@@ -1,0 +1,61 @@
+"""B1 — BE router under load (Section 5).
+
+Latency/throughput of connection-less source-routed BE traffic on a 4x4
+mesh under uniform random Bernoulli injection: the classic NoC load curve
+(flat latency at low load, rising towards saturation, no packet loss at
+any point — wormhole + credits are lossless).
+"""
+
+import pytest
+
+from repro import MangoNetwork
+from repro.analysis.report import Table
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.stats import percentile
+from repro.traffic.workload import UniformBeWorkload
+
+from .common import record, run_once
+
+LOADS = (0.05, 0.3, 0.6, 0.9)
+
+
+def run_load_point(probability):
+    net = MangoNetwork(4, 4)
+    workload = UniformBeWorkload(
+        net, UniformRandom(net.mesh, seed=13), slot_ns=10.0,
+        probability=probability, payload_words=7, n_slots=80, seed=21)
+    workload.run(drain_ns=30000.0)
+    latencies = workload.latencies()
+    return {
+        "sent": workload.sent,
+        "received": workload.received,
+        "p50": percentile(latencies, 50),
+        "p99": percentile(latencies, 99),
+    }
+
+
+def run_experiment():
+    table = Table(["offered load (pkt/slot)", "sent", "delivered",
+                   "p50 latency (ns)", "p99 latency (ns)"],
+                  title="BE router load curve: uniform random traffic, "
+                        "4x4 mesh, 8-flit packets")
+    points = {}
+    for load in LOADS:
+        point = run_load_point(load)
+        points[load] = point
+        table.add_row(load, point["sent"], point["received"],
+                      round(point["p50"], 2), round(point["p99"], 2))
+    return points, table
+
+
+def test_be_load_curve(benchmark):
+    points, table = run_once(benchmark, run_experiment)
+    record("B1", "BE router latency/throughput under uniform load",
+           table.render())
+    for load, point in points.items():
+        assert point["received"] == point["sent"], f"loss at load {load}"
+    # The curve must rise with load (queueing), and be convex-ish: the
+    # jump towards saturation dwarfs the low-load slope.
+    p50s = [points[load]["p50"] for load in LOADS]
+    assert p50s == sorted(p50s)
+    assert points[LOADS[-1]]["p99"] > 2 * points[LOADS[0]]["p99"]

@@ -1,0 +1,62 @@
+"""G1 — Fair-share: each of 8 VCs gets >= 1/8 of the link (Section 4.4).
+
+Sweeps the number of saturating connections on one link (the paper's
+fair-share access scheme) and measures per-connection shares; also checks
+the hard floor over a multi-hop path with cross traffic, which is what the
+single-flit output buffers must sustain ("enough to ensure the fair-share
+scheme to function over a sequence of links").
+"""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig
+from repro.analysis.report import Table
+from repro.traffic.generators import SaturatingSource
+
+from .common import record, run_once
+
+# A tile has 4 GS source and 4 GS sink interfaces, so the 8-VC point uses
+# two source tiles and two sink tiles, with every connection crossing the
+# bottleneck link (1,0)->(2,0) of a 4x1 mesh.
+
+
+def shares_for_n_connections(n_conns):
+    net = MangoNetwork(4, 1)
+    conns = []
+    for index in range(n_conns):
+        src = Coord(0, 0) if index % 2 == 0 else Coord(1, 0)
+        dst = Coord(2, 0) if index < 4 else Coord(3, 0)
+        conns.append(net.open_connection_instant(src, dst))
+    for conn in conns:
+        SaturatingSource(net.sim, conn, 4000)
+    net.run(until=30000.0)
+    cycle = net.config.timing.link_cycle_ns
+    return [conn.sink.throughput_flits_per_ns() * cycle for conn in conns]
+
+
+def run_experiment():
+    table = Table(["active VCs", "min share", "max share", "sum",
+                   "guarantee 1/8"],
+                  title="Per-VC share of the bottleneck link "
+                        "(fair-share arbitration, saturating sources)")
+    results = {}
+    for n_conns in (1, 2, 4, 8):
+        shares = shares_for_n_connections(n_conns)
+        results[n_conns] = shares
+        table.add_row(n_conns, round(min(shares), 4),
+                      round(max(shares), 4), round(sum(shares), 4), 0.125)
+    return results, table
+
+
+def test_fair_share_floor(benchmark):
+    results, table = run_once(benchmark, run_experiment)
+    record("G1", "fair-share bandwidth floor (>= 1/8 per VC)",
+           table.render())
+    # With 8 backlogged VCs each gets exactly 1/8 (the hard floor).
+    eight = results[8]
+    for share in eight:
+        assert share >= 0.125 - 0.01
+        assert share == pytest.approx(0.125, abs=0.015)
+    # Fewer contenders -> work conservation redistributes idle bandwidth.
+    assert min(results[4]) >= 0.24
+    assert sum(results[2]) == pytest.approx(1.0, abs=0.03)

@@ -1,0 +1,67 @@
+"""P1 — Zero dynamic idle power (Section 1).
+
+"[Clockless circuits] have zero dynamic power consumption when idle."
+Power versus offered GS load for the clockless router, against a clocked
+equivalent that keeps its clock tree toggling at the 515 MHz port rate.
+"""
+
+import pytest
+
+from repro import MangoNetwork, Coord
+from repro.analysis.area import AreaModel
+from repro.analysis.power import EnergyModel, power_report
+from repro.analysis.report import Table
+from repro.traffic.generators import CbrSource
+from repro.traffic.workload import run_until_processes_done
+
+from .common import record, run_once
+
+INTERVAL_NS = 10000.0
+
+
+def router_counters_at_load(period_ns):
+    """Counters of the source router after INTERVAL_NS of CBR traffic."""
+    net = MangoNetwork(2, 1)
+    if period_ns is not None:
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        CbrSource(net.sim, conn, period_ns=period_ns,
+                  n_flits=int(INTERVAL_NS / period_ns))
+    net.run(until=INTERVAL_NS)
+    return net.routers[Coord(0, 0)].counters
+
+
+def run_experiment():
+    model = EnergyModel()
+    area = AreaModel().report().total
+    table = Table(["offered load", "clockless dynamic (mW)",
+                   "clockless total (mW)", "clocked total (mW)"],
+                  title="Router power vs load: clockless vs clocked "
+                        "equivalent (515 MHz clock)")
+    points = {}
+    for label, period in (("idle", None), ("10%", 19.4), ("40%", 4.9),
+                          ("75%", 2.6)):
+        counters = router_counters_at_load(period)
+        clockless = power_report(model, counters, INTERVAL_NS, area)
+        clocked = power_report(model, counters, INTERVAL_NS, area,
+                               clock_mhz=515.0)
+        points[label] = (clockless, clocked)
+        table.add_row(label, round(clockless.dynamic_mw, 4),
+                      round(clockless.total_mw, 4),
+                      round(clocked.total_mw, 4))
+    return points, table
+
+
+def test_idle_power(benchmark):
+    points, table = run_once(benchmark, run_experiment)
+    record("P1", "zero dynamic idle power (clockless vs clocked)",
+           table.render())
+    idle_clockless, idle_clocked = points["idle"]
+    # The claim: zero dynamic power when idle.
+    assert idle_clockless.dynamic_mw == 0.0
+    # The clocked equivalent burns clock power regardless.
+    assert idle_clocked.total_mw > 5 * idle_clockless.total_mw
+    # Dynamic power grows monotonically with load.
+    dynamics = [points[label][0].dynamic_mw
+                for label in ("idle", "10%", "40%", "75%")]
+    assert dynamics == sorted(dynamics)
+    assert dynamics[-1] > 0.5

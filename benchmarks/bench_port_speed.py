@@ -1,0 +1,49 @@
+"""S1 — Port speed: 515 MHz worst-case / 795 MHz typical (Section 6).
+
+Two derivations that must agree: the analytical stage-delay sum, and the
+measured flit rate of a saturated link in the discrete-event simulation.
+"""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig, TYPICAL, WORST_CASE
+from repro.analysis.report import Table
+from repro.analysis.timing_analysis import PAPER_PORT_SPEED_MHZ
+from repro.traffic.generators import SaturatingSource
+
+from .common import record, run_once
+
+
+def measured_port_speed_mhz(profile):
+    net = MangoNetwork(2, 1, config=RouterConfig(timing=profile))
+    conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+             for _ in range(4)]
+    for conn in conns:
+        SaturatingSource(net.sim, conn, 3000)
+    net.run(until=10000.0)
+    total = sum(conn.sink.throughput_flits_per_ns() for conn in conns)
+    return total * 1e3
+
+
+def run_experiment():
+    table = Table(["Corner", "V / degC", "analytic MHz", "simulated MHz",
+                   "paper MHz"],
+                  title="Port speed per corner (flits per second per port)")
+    results = {}
+    for profile in (WORST_CASE, TYPICAL):
+        simulated = measured_port_speed_mhz(profile)
+        results[profile.name] = (profile.port_speed_mhz, simulated)
+        table.add_row(profile.name,
+                      f"{profile.voltage_v}/{profile.temperature_c:.0f}",
+                      round(profile.port_speed_mhz, 1), round(simulated, 1),
+                      PAPER_PORT_SPEED_MHZ[profile.name])
+    return results, table
+
+
+def test_port_speed(benchmark):
+    results, table = run_once(benchmark, run_experiment)
+    record("S1", "Port speed (515 MHz WC / 795 MHz typical)", table.render())
+    for corner, (analytic, simulated) in results.items():
+        paper = PAPER_PORT_SPEED_MHZ[corner]
+        assert analytic == pytest.approx(paper, rel=0.01)
+        assert simulated == pytest.approx(analytic, rel=0.02)

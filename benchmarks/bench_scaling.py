@@ -1,0 +1,65 @@
+"""X2 — Scaling ablations (Section 4.2/4.3).
+
+"The switching module, which constitutes a considerable part of the total
+router area, scales linearly with the number of VCs, and thus with the
+number of connections supported."  Also sweeps the VC-control module
+(quadratic-ish in V: V muxes of (P-1)·V inputs) — the structure the paper
+suggests replacing with a Clos network at larger V.
+"""
+
+import pytest
+
+from repro import RouterConfig
+from repro.analysis.area import AreaModel
+from repro.analysis.report import Table
+
+from .common import record, run_once
+
+VC_SWEEP = (2, 4, 6, 8)
+
+
+def run_experiment():
+    table = Table(["VCs/port", "connections", "switching mm2",
+                   "vc buffers mm2", "vc control mm2", "total mm2"],
+                  title="Router area vs VCs per port (raw structural "
+                        "counts, calibrated scale)")
+    points = {}
+    for vcs in VC_SWEEP:
+        model = AreaModel(RouterConfig(vcs_per_port=vcs))
+        report = model.report()
+        points[vcs] = report
+        table.add_row(vcs, 4 * vcs,
+                      round(report.modules["switching_module"], 4),
+                      round(report.modules["vc_buffers"], 4),
+                      round(report.modules["vc_control"], 4),
+                      round(report.total, 4))
+    return points, table
+
+
+def test_area_scaling(benchmark):
+    points, table = run_once(benchmark, run_experiment)
+    record("X2", "area scaling vs number of VCs", table.render())
+
+    # The switching module grows linearly with the number of VCs —
+    # in units of 4x4-switch halves (VCs come in fours per switch, paper
+    # Figure 5): flat inside a half, equal jumps across half boundaries.
+    switching = {v: points[v].modules["switching_module"] for v in VC_SWEEP}
+    assert switching[2] == pytest.approx(switching[4], rel=1e-9)
+    assert switching[6] == pytest.approx(switching[8], rel=1e-9)
+    jump = switching[6] - switching[4]
+    assert jump > 0
+    # Doubling the VCs adds exactly one more half per network port: the
+    # increment from 4 to 8 equals one uniform step.
+    assert switching[8] - switching[4] == pytest.approx(jump, rel=1e-9)
+
+    # VC buffers strictly linear in V.
+    buffers = [points[v].modules["vc_buffers"] for v in VC_SWEEP]
+    buffer_deltas = [b - a for a, b in zip(buffers, buffers[1:])]
+    for delta in buffer_deltas:
+        assert delta == pytest.approx(buffer_deltas[0], rel=0.05)
+
+    # VC control is super-linear (mux count x mux width both grow with V)
+    # — the reason the paper mentions Clos networks for larger V.
+    control = [points[v].modules["vc_control"] for v in VC_SWEEP]
+    control_deltas = [b - a for a, b in zip(control, control[1:])]
+    assert control_deltas[-1] > 1.5 * control_deltas[0]

@@ -1,0 +1,63 @@
+"""X1 — Connection setup over the BE network (Sections 3/4.1).
+
+GS connections are programmed into the routers via BE config packets.
+Measures setup latency (with acknowledgements) versus path length, and
+admission behaviour when VCs run out.
+"""
+
+import pytest
+
+from repro import AdmissionError, MangoNetwork, Coord, RouterConfig
+from repro.analysis.report import Table
+
+from .common import record, run_once
+
+
+def setup_time(net, src, dst):
+    start = net.now
+    conn = net.open_connection(src, dst)
+    elapsed = net.now - start
+    net.close_connection(conn)
+    return elapsed
+
+
+def run_experiment():
+    net = MangoNetwork(6, 1)
+    table = Table(["hops", "setup + ack (ns)", "ns per hop"],
+                  title="GS connection setup latency via BE config packets")
+    times = {}
+    for hops in (1, 2, 3, 5):
+        elapsed = setup_time(net, Coord(0, 0), Coord(hops, 0))
+        times[hops] = elapsed
+        table.add_row(hops, round(elapsed, 2), round(elapsed / hops, 2))
+
+    # Admission: a 2-VC router runs out after two connections.
+    small = MangoNetwork(2, 1, config=RouterConfig(vcs_per_port=2))
+    admitted = 0
+    rejected = 0
+    for _ in range(4):
+        try:
+            small.open_connection(Coord(0, 0), Coord(1, 0))
+            admitted += 1
+        except AdmissionError:
+            rejected += 1
+    admission = Table(["VCs per port", "requested", "admitted", "rejected"],
+                      title="Admission control at VC exhaustion")
+    admission.add_row(2, 4, admitted, rejected)
+    return times, admitted, rejected, table, admission
+
+
+def test_setup_latency(benchmark):
+    times, admitted, rejected, table, admission = run_once(benchmark,
+                                                           run_experiment)
+    record("X1", "connection setup latency and admission control",
+           table.render() + "\n\n" + admission.render())
+    # Setup cost grows with path length (more routers to program, longer
+    # BE round trips).
+    hops = sorted(times)
+    ordered = [times[h] for h in hops]
+    assert ordered == sorted(ordered)
+    # Setup is fast in absolute terms: well under a microsecond for a
+    # 5-hop path.
+    assert times[5] < 1000.0
+    assert (admitted, rejected) == (2, 2)

@@ -1,0 +1,31 @@
+"""T1 — Table 1: area usage in the MANGO router.
+
+Regenerates the paper's area breakdown from the bottom-up cell-count model
+(5x5 ports, 8 VCs/port, 32-bit flits, 0.12 µm standard cells) and checks
+every row lands within 2 % of the published value.
+"""
+
+from repro.analysis.area import AreaModel, TABLE1_PAPER_MM2
+from repro.analysis.report import Table
+
+from .common import record, run_once
+
+
+def build_table():
+    report = AreaModel().report()
+    table = Table(["Module", "mm2 (model)", "mm2 (paper)", "error %"],
+                  title="Table 1. Area usage in the MANGO router")
+    for name, value in report.rows():
+        paper = TABLE1_PAPER_MM2[name]
+        table.add_row(name.replace("_", " "), round(value, 4), paper,
+                      round(100 * (value - paper) / paper, 2))
+    return report, table
+
+
+def test_table1_area(benchmark):
+    report, table = run_once(benchmark, build_table)
+    record("T1", "Table 1 area breakdown", table.render())
+    for name, value in report.modules.items():
+        paper = TABLE1_PAPER_MM2[name]
+        assert abs(value - paper) / paper < 0.02, name
+    assert abs(report.total - 0.188) / 0.188 < 0.02

@@ -1,0 +1,56 @@
+"""V1 — Share-based vs credit-based VC control (Section 4.3).
+
+"[The share-based] scheme is much cheaper, both area and power wise, than
+the commonly used credit-based VC control scheme", while credits win on
+average-case performance (deeper per-VC pipelining) — which is why BE
+channels use credits.  Both schemes run on the same router datapath here.
+"""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig
+from repro.analysis.report import Table
+from repro.baselines.credit_control import (
+    credit_router_config,
+    flow_control_cost_comparison,
+)
+from repro.traffic.generators import SaturatingSource
+
+from .common import record, run_once
+
+
+def single_vc_throughput(config):
+    net = MangoNetwork(2, 1, config=config)
+    conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+    SaturatingSource(net.sim, conn, 4000)
+    net.run(until=12000.0)
+    cycle = config.timing.link_cycle_ns
+    return conn.sink.throughput_flits_per_ns() * cycle
+
+
+def run_experiment():
+    costs = flow_control_cost_comparison(window=4)
+    share_util = single_vc_throughput(RouterConfig())
+    credit_util = single_vc_throughput(credit_router_config(window=4))
+
+    table = Table(["scheme", "control area (um2)", "extra buffer bits",
+                   "single-VC link utilization"],
+                  title="VC control schemes: cost vs average-case "
+                        "performance (window = 4)")
+    table.add_row("share", round(costs["share"].area_um2, 0),
+                  costs["share"].extra_buffer_bits, round(share_util, 4))
+    table.add_row("credit", round(costs["credit"].area_um2, 0),
+                  costs["credit"].extra_buffer_bits, round(credit_util, 4))
+    return costs, share_util, credit_util, table
+
+
+def test_vc_control_schemes(benchmark):
+    costs, share_util, credit_util, table = run_once(benchmark,
+                                                     run_experiment)
+    record("V1", "share-based vs credit-based VC control", table.render())
+    # Cost: share-based is several times cheaper.
+    assert costs["share"].area_um2 < costs["credit"].area_um2 / 2
+    # Performance: credits let one VC approach full link bandwidth.
+    assert credit_util > share_util
+    assert credit_util == pytest.approx(1.0, abs=0.03)
+    assert share_util < 0.85

@@ -1,0 +1,79 @@
+"""G3 — Single-VC ceiling and VC overlap (Section 4.3).
+
+"Even if the link cycle for each flit transmitted on a VC is long, the
+full link bandwidth is exploited by the unlock handshake of different VCs
+overlapping.  A single VC cannot utilize the full link bandwidth."
+
+Measures link throughput vs the number of active VCs, compares the 1-VC
+point against the analytical round-trip prediction, and sweeps link
+length/pipelining to show the ceiling dropping as the unlock round trip
+grows.
+"""
+
+import pytest
+
+from repro import MangoNetwork, Coord, Mesh, RouterConfig
+from repro.analysis.report import Table
+from repro.network.topology import Direction, LinkSpec
+from repro.traffic.generators import SaturatingSource
+
+from .common import record, run_once
+
+
+def throughput_with_n_vcs(n_vcs, length_mm=1.5, stages=1):
+    key = (Coord(0, 0), Direction.EAST)
+    mesh = Mesh(2, 1, link_overrides={
+        key: LinkSpec(Coord(0, 0), Direction.EAST, length_mm, stages)})
+    net = MangoNetwork(2, 1, mesh=mesh)
+    conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+             for _ in range(n_vcs)]
+    for conn in conns:
+        SaturatingSource(net.sim, conn, 4000)
+    net.run(until=25000.0)
+    cycle = net.config.timing.link_cycle_ns
+    return sum(conn.sink.throughput_flits_per_ns() * cycle
+               for conn in conns)
+
+
+def run_experiment():
+    config = RouterConfig()
+    table = Table(["active VCs", "link utilization", "predicted 1-VC cap"],
+                  title="Link utilization vs number of overlapping VCs "
+                        "(1.5 mm link)")
+    utilization = {}
+    predicted_single = config.timing.single_vc_utilization(1.5)
+    for n_vcs in (1, 2, 3, 4):
+        utilization[n_vcs] = throughput_with_n_vcs(n_vcs)
+        table.add_row(n_vcs, round(utilization[n_vcs], 4),
+                      round(predicted_single, 4) if n_vcs == 1 else "-")
+
+    sweep = Table(["link mm", "stages", "1-VC utilization",
+                   "4-VC utilization"],
+                  title="Single-VC ceiling vs link length and pipelining")
+    lengths = {}
+    for length_mm, stages in ((1.5, 1), (4.5, 3), (9.0, 6)):
+        single = throughput_with_n_vcs(1, length_mm, stages)
+        quad = throughput_with_n_vcs(4, length_mm, stages)
+        lengths[(length_mm, stages)] = (single, quad)
+        sweep.add_row(length_mm, stages, round(single, 4), round(quad, 4))
+    return utilization, predicted_single, lengths, table, sweep
+
+
+def test_vc_overlap(benchmark):
+    utilization, predicted, lengths, table, sweep = run_once(
+        benchmark, run_experiment)
+    record("G3", "single-VC ceiling and overlap to full bandwidth",
+           table.render() + "\n\n" + sweep.render())
+    # The 1-VC point matches the analytic round-trip prediction and is
+    # strictly below full bandwidth.
+    assert utilization[1] == pytest.approx(predicted, abs=0.02)
+    assert utilization[1] < 0.85
+    # Two or more VCs overlap to the full link bandwidth.
+    assert utilization[2] == pytest.approx(1.0, abs=0.02)
+    assert utilization[4] == pytest.approx(1.0, abs=0.02)
+    # Longer links: the single-VC ceiling drops, overlap still wins.
+    singles = [lengths[key][0] for key in sorted(lengths)]
+    assert singles == sorted(singles, reverse=True)
+    for single, quad in lengths.values():
+        assert quad > single
+        assert quad == pytest.approx(1.0, abs=0.05)

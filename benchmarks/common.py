@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one table/figure/claim from the paper (see the
+experiment index in DESIGN.md).  Results are printed and appended to
+``benchmarks/results.txt`` so the paper-vs-measured record survives pytest
+output capturing; EXPERIMENTS.md is written from that file.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def record(experiment_id: str, title: str, body: str) -> None:
+    """Print and persist one experiment's output block."""
+    block = (f"\n=== {experiment_id}: {title} ===\n{body}\n")
+    print(block, file=sys.stderr)
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(block)
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation experiment exactly once under
+    pytest-benchmark (repeating a DES run only re-measures the host)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,14 @@
+"""Benchmark session setup: start a fresh results file."""
+
+import os
+
+import pytest
+
+from .common import RESULTS_PATH
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fresh_results_file():
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)
+    yield

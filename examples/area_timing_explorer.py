@@ -1,0 +1,87 @@
+"""Design-space exploration with the area/timing/power models.
+
+Sweeps the router parameters the paper fixes (VCs per port, flit width,
+flow-control scheme, link length) and prints the resulting area, port
+speed and guarantee properties — the kind of what-if table an SoC
+architect would build before committing to a configuration.
+
+Run with::
+
+    python examples/area_timing_explorer.py
+"""
+
+from repro import RouterConfig, TYPICAL, WORST_CASE
+from repro.analysis.area import AreaModel
+from repro.analysis.power import EnergyModel
+from repro.analysis.report import Table
+from repro.analysis.timing_analysis import timing_report
+from repro.circuits.pipeline import stages_for_full_speed
+
+
+def sweep_vcs():
+    table = Table(["VCs/port", "GS connections", "area mm2",
+                   "per-VC floor", "fair-share wait bound ns"],
+                  title="VCs per port: connections vs area vs guarantees")
+    for vcs in (2, 4, 8):
+        config = RouterConfig(vcs_per_port=vcs)
+        area = AreaModel(config).report().total
+        report = timing_report(WORST_CASE, vcs=vcs)
+        table.add_row(vcs, config.gs_connections_supported, round(area, 3),
+                      f"1/{vcs}", round(report.fair_share_wait_bound_ns, 2))
+    print(table.render())
+
+
+def sweep_width():
+    table = Table(["flit width", "area mm2", "GS payload per grant (B)"],
+                  title="Flit width: area vs granularity")
+    for width in (16, 32, 64):
+        config = RouterConfig(flit_width=width)
+        area = AreaModel(config).report().total
+        table.add_row(width, round(area, 3), width // 8)
+    print()
+    print(table.render())
+
+
+def sweep_links():
+    table = Table(["link mm", "stages for full speed", "1-VC ceiling",
+                   "fair-share feasible (8 VCs)"],
+                  title="Link length: pipelining and the single-VC ceiling")
+    for mm in (1.0, 1.5, 3.0, 6.0, 9.0):
+        stages = stages_for_full_speed(WORST_CASE, mm)
+        report = timing_report(WORST_CASE, link_mm=mm)
+        table.add_row(mm, stages, round(report.single_vc_utilization, 3),
+                      report.fair_share_feasible)
+    print()
+    print(table.render())
+
+
+def corners_and_power():
+    table = Table(["corner", "port speed MHz", "link cycle ns",
+                   "idle power mW", "clocked-idle mW"],
+                  title="Corners and idle power (0.188 mm2 router)")
+    model = EnergyModel()
+    area = AreaModel().report().total
+    for profile in (WORST_CASE, TYPICAL):
+        from repro.core.counters import ActivityCounters
+        idle = model.clockless_power_mw(ActivityCounters(), 1000.0, area)
+        clocked = model.clocked_power_mw(ActivityCounters(), 1000.0, area,
+                                         clock_mhz=profile.port_speed_mhz)
+        table.add_row(profile.name, round(profile.port_speed_mhz, 1),
+                      round(profile.link_cycle_ns, 4), round(idle, 3),
+                      round(clocked, 3))
+    print()
+    print(table.render())
+
+
+def main():
+    sweep_vcs()
+    sweep_width()
+    sweep_links()
+    corners_and_power()
+    print("\nThe paper's configuration (8 VCs, 32-bit flits, 1-2 mm links)"
+          "\nsits where 32 connections fit in 0.188 mm2 and every link"
+          "\nsustains the 515 MHz port speed.")
+
+
+if __name__ == "__main__":
+    main()

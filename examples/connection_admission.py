@@ -1,0 +1,75 @@
+"""Connection lifecycle: programming, admission control, teardown, reuse.
+
+Shows the control plane of the GS service: connections are programmed
+into router tables via BE packets (with acknowledgements), admission
+fails cleanly when VCs or local interfaces run out, and teardown returns
+resources for reuse.
+
+Run with::
+
+    python examples/connection_admission.py
+"""
+
+from repro import AdmissionError, Coord, MangoNetwork, RouterConfig
+
+
+def describe(net, conn):
+    path = " -> ".join(f"{hop.coord}:{hop.out_dir.name}/vc{hop.vc}"
+                       for hop in conn.hops)
+    print(f"  conn {conn.connection_id}: {path} "
+          f"(src iface {conn.src_iface}, dst iface {conn.dst_iface})")
+
+
+def main():
+    # Small routers (2 VCs per port) so admission limits are easy to hit.
+    net = MangoNetwork(3, 1, config=RouterConfig(vcs_per_port=2))
+    src, dst = Coord(0, 0), Coord(2, 0)
+
+    print("opening connections until the link VCs run out:")
+    conns = []
+    while True:
+        try:
+            start = net.now
+            conn = net.open_connection(src, dst)
+            print(f"  opened in {net.now - start:.1f} ns simulated time")
+            describe(net, conn)
+            conns.append(conn)
+        except AdmissionError as error:
+            print(f"  admission rejected: {error}")
+            break
+    print(f"  -> {len(conns)} connections admitted "
+          f"(2 VCs on the bottleneck link)\n")
+
+    print("router (1,0) connection table while both connections live:")
+    for port, vc, entry in net.routers[Coord(1, 0)].table.entries():
+        steer = "-> local" if entry.steering is None else \
+            f"split={entry.steering.split_code} switch={entry.steering.switch_code}"
+        print(f"  ({port.name}, vc{vc}): conn {entry.connection_id}, "
+              f"steer [{steer}], unlock <- {entry.unlock_dir.name}"
+              f"/{entry.unlock_vc}")
+
+    print("\nstreaming over both connections simultaneously...")
+    for index, conn in enumerate(conns):
+        for value in range(20):
+            conn.send(index * 100 + value)
+    net.run(until=net.now + 2000.0)
+    for conn in conns:
+        print(f"  conn {conn.connection_id}: delivered {conn.sink.count} "
+              f"flits, in order = "
+              f"{conn.sink.payloads == sorted(conn.sink.payloads)}")
+
+    print("\ntearing down the first connection and re-admitting:")
+    victim = conns[0]
+    net.close_connection(victim)
+    print(f"  conn {victim.connection_id} closed; "
+          f"router (1,0) table now has "
+          f"{len(net.routers[Coord(1, 0)].table)} entries")
+    fresh = net.open_connection(src, dst)
+    describe(net, fresh)
+    fresh.send(0xF00D)
+    net.run(until=net.now + 1000.0)
+    print(f"  fresh connection delivered: {fresh.sink.payloads == [0xF00D]}")
+
+
+if __name__ == "__main__":
+    main()

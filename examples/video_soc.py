@@ -1,0 +1,94 @@
+"""A GALS system-on-chip: video pipeline with guaranteed services.
+
+The scenario the paper's GS connections target: a video stream needs
+predictable bandwidth and bounded jitter from a camera-in tile to a
+display tile, while a CPU hammers a memory controller with bursty BE
+traffic over the same links.  Every IP core runs its own clock — the NAs
+synchronize into the clockless network (Figure 1).
+
+Run with::
+
+    python examples/video_soc.py
+"""
+
+from repro import ClockDomain, Coord, MangoNetwork
+from repro.analysis.report import Table
+from repro.network.ocp import OcpMaster, OcpMemorySlave
+from repro.traffic.generators import CbrSource
+from repro.traffic.stats import percentile
+
+# Floorplan of the 3x3 SoC.
+CAMERA = Coord(0, 0)
+CPU = Coord(1, 0)
+DSP = Coord(2, 0)
+DISPLAY = Coord(2, 2)
+MEMORY = Coord(1, 1)
+
+#: Each core has its own clock — different frequencies, GALS style.
+CLOCKS = {
+    CAMERA: ClockDomain(period_ns=4.0),    # 250 MHz sensor pipeline
+    CPU: ClockDomain(period_ns=1.25),      # 800 MHz CPU
+    DSP: ClockDomain(period_ns=2.0),       # 500 MHz DSP
+    DISPLAY: ClockDomain(period_ns=6.0),   # 166 MHz display controller
+    MEMORY: ClockDomain(period_ns=2.5),    # 400 MHz memory controller
+}
+
+
+def cpu_workload(net, master, n_transactions):
+    """Bursty CPU: read-modify-write loops against the memory tile."""
+    for index in range(n_transactions):
+        response = yield from master.read(MEMORY, 0x1000 + index % 64)
+        value = (response.data[0] + index) & 0xFFFFFFFF
+        yield from master.write(MEMORY, 0x1000 + index % 64, [value])
+        # Think time between bursts.
+        if index % 8 == 7:
+            yield net.sim.timeout(40.0)
+
+
+def main():
+    net = MangoNetwork(3, 3, clocks=CLOCKS)
+
+    # GS connections: camera -> display (video), camera -> DSP
+    # (preview), DSP -> display (overlay).
+    print("setting up GS connections via BE config packets...")
+    video = net.open_connection(CAMERA, DISPLAY)
+    preview = net.open_connection(CAMERA, DSP)
+    overlay = net.open_connection(DSP, DISPLAY)
+    print(f"  all connections open at t={net.now:.1f} ns")
+
+    # The video stream: one 32-bit flit every 8 ns = 500 MB/s.
+    frames = CbrSource(net.sim, video, period_ns=8.0, n_flits=1500)
+    CbrSource(net.sim, preview, period_ns=32.0, n_flits=300)
+    CbrSource(net.sim, overlay, period_ns=24.0, n_flits=400)
+
+    # The CPU hammers memory over BE in the background.
+    master = OcpMaster(net.adapters[CPU])
+    memory = OcpMemorySlave(net.adapters[MEMORY], latency_ns=10.0)
+    cpu = net.sim.process(cpu_workload(net, master, 150))
+
+    while not (frames.process.triggered and cpu.triggered):
+        net.run(until=net.now + 2000.0)
+    net.run(until=net.now + 3000.0)
+
+    table = Table(["stream", "flits", "mean ns", "p99 ns", "jitter ns",
+                   "rate MB/s"], title="GS stream report")
+    for name, conn, period in (("video", video, 8.0),
+                               ("preview", preview, 32.0),
+                               ("overlay", overlay, 24.0)):
+        lat = conn.sink.latencies
+        jitter = max(lat) - min(lat)
+        rate = conn.sink.throughput_flits_per_ns() * 4 * 1e3  # 4 B/flit
+        table.add_row(name, conn.sink.count, round(sum(lat) / len(lat), 2),
+                      round(percentile(lat, 99), 2), round(jitter, 2),
+                      round(rate, 0))
+    print()
+    print(table.render())
+
+    print(f"\nCPU completed {memory.reads} reads / {memory.writes} writes "
+          f"over BE while the streams ran.")
+    print("The video stream's jitter stays within a few link cycles — the"
+          "\nfair-share guarantee holds regardless of the CPU's bursts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of the MANGO clockless network-on-chip router.
+
+Bjerregaard & Sparsø, "A Router Architecture for Connection-Oriented
+Service Guarantees in the MANGO Clockless Network-on-Chip", DATE 2005.
+
+Quickstart::
+
+    from repro import MangoNetwork, Coord
+
+    net = MangoNetwork(2, 2)
+    conn = net.open_connection(Coord(0, 0), Coord(1, 1))
+    for value in range(16):
+        conn.send(value)
+    net.run(until=net.now + 2000)
+    print(conn.sink.count, "flits delivered,",
+          f"mean latency {conn.sink.mean_latency:.1f} ns")
+"""
+
+from .circuits.timing import TYPICAL, TimingProfile, WORST_CASE
+from .core.config import RouterConfig
+from .core.router import MangoRouter
+from .network.adapter import ClockDomain, NetworkAdapter
+from .network.connection import AdmissionError, Connection, GsSink
+from .network.network import MangoNetwork
+from .network.topology import Coord, Direction, Mesh
+from .sim.kernel import Simulator
+from .sim.tracing import Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionError",
+    "ClockDomain",
+    "Connection",
+    "Coord",
+    "Direction",
+    "GsSink",
+    "MangoNetwork",
+    "MangoRouter",
+    "Mesh",
+    "NetworkAdapter",
+    "RouterConfig",
+    "Simulator",
+    "TYPICAL",
+    "TimingProfile",
+    "Tracer",
+    "WORST_CASE",
+    "__version__",
+]

@@ -1,0 +1,95 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``     — Table 1 area breakdown + per-corner timing figures
+* ``contract``   — QoS contract for a connection of N hops
+* ``simulate``   — a quick mixed GS/BE simulation on a small mesh
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import Coord, MangoNetwork, RouterConfig, TYPICAL, WORST_CASE
+from .analysis.area import AreaModel, TABLE1_PAPER_MM2
+from .analysis.qos import contract_for_path
+from .analysis.report import Table
+from .analysis.timing_analysis import timing_report
+
+
+def cmd_report(_args) -> int:
+    area = AreaModel().report()
+    table = Table(["module", "mm2 (model)", "mm2 (paper)"],
+                  title="Table 1 — area usage in the MANGO router")
+    for name, value in area.rows():
+        table.add_row(name.replace("_", " "), round(value, 4),
+                      TABLE1_PAPER_MM2[name])
+    print(table.render())
+
+    timing = Table(["figure", "worst-case", "typical"],
+                   title="\nTiming (paper Section 6: 515 / 795 MHz)")
+    wc = timing_report(WORST_CASE)
+    typ = timing_report(TYPICAL)
+    for (label, wc_value), (_l, typ_value) in zip(wc.rows(), typ.rows()):
+        timing.add_row(label, round(wc_value, 4), round(typ_value, 4))
+    print(timing.render())
+    return 0
+
+
+def cmd_contract(args) -> int:
+    contract = contract_for_path(args.hops, RouterConfig())
+    table = Table(["guarantee", "value"],
+                  title=f"QoS contract for a {args.hops}-hop GS connection"
+                        " (paper defaults, fair-share)")
+    for label, value in contract.rows():
+        table.add_row(label, value)
+    print(table.render())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    net = MangoNetwork(args.cols, args.rows)
+    src, dst = Coord(0, 0), Coord(args.cols - 1, args.rows - 1)
+    print(f"opening GS connection {src} -> {dst} ...")
+    conn = net.open_connection(src, dst)
+    print(f"  open after {net.now:.1f} ns (programmed via BE packets)")
+    for value in range(args.flits):
+        conn.send(value)
+    for x in range(args.cols - 1):
+        net.send_be(Coord(x, 0), Coord(x + 1, 0), [x, x + 1])
+    net.run(until=net.now + args.horizon)
+    print(f"  GS: {conn.sink.count}/{args.flits} flits, mean latency "
+          f"{conn.sink.mean_latency:.2f} ns, max "
+          f"{conn.sink.max_latency:.2f} ns\n")
+    from .analysis.netreport import build_run_report
+    print(build_run_report(net).render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MANGO clockless NoC router reproduction (DATE 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("report", help="Table 1 + timing figures")
+
+    contract = sub.add_parser("contract", help="QoS contract for N hops")
+    contract.add_argument("--hops", type=int, default=3)
+
+    simulate = sub.add_parser("simulate", help="quick mixed-traffic run")
+    simulate.add_argument("--cols", type=int, default=3)
+    simulate.add_argument("--rows", type=int, default=3)
+    simulate.add_argument("--flits", type=int, default=100)
+    simulate.add_argument("--horizon", type=float, default=10000.0)
+
+    args = parser.parse_args(argv)
+    handlers = {"report": cmd_report, "contract": cmd_contract,
+                "simulate": cmd_simulate}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Evaluation models: area (Table 1), timing, power, reporting."""
+
+from .area import AreaModel, AreaReport, CellLibrary, TABLE1_PAPER_MM2
+from .netreport import NetworkRunReport, build_run_report
+from .power import EnergyModel, PowerReport, power_report
+from .qos import QosContract, contract_for_connection, contract_for_path
+from .report import Table, format_value
+from .timing_analysis import (
+    PAPER_PORT_SPEED_MHZ,
+    TimingReport,
+    corner_comparison,
+    timing_report,
+)
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "CellLibrary",
+    "EnergyModel",
+    "NetworkRunReport",
+    "PAPER_PORT_SPEED_MHZ",
+    "PowerReport",
+    "QosContract",
+    "build_run_report",
+    "TABLE1_PAPER_MM2",
+    "Table",
+    "TimingReport",
+    "contract_for_connection",
+    "contract_for_path",
+    "corner_comparison",
+    "format_value",
+    "power_report",
+    "timing_report",
+]

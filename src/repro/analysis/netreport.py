@@ -1,0 +1,110 @@
+"""Whole-network run reports.
+
+Summarises a simulation run the way a NoC architect would want it: link
+utilizations, per-connection delivery/latency/contract status, BE traffic
+totals, and the power implied by the activity counters.  Rendered as
+ASCII (for terminals) or Markdown (for lab notebooks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .area import AreaModel
+from .power import EnergyModel
+from .qos import contract_for_connection
+from .report import Table
+
+__all__ = ["NetworkRunReport", "build_run_report"]
+
+
+@dataclass
+class NetworkRunReport:
+    """Assembled tables for one simulation run."""
+
+    duration_ns: float
+    link_table: Table
+    connection_table: Table
+    traffic_table: Table
+    power_table: Table
+
+    def render(self) -> str:
+        parts = [f"Simulation run report ({self.duration_ns:.1f} ns)",
+                 "", self.link_table.render(), "",
+                 self.connection_table.render(), "",
+                 self.traffic_table.render(), "",
+                 self.power_table.render()]
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering (tables as fenced blocks)."""
+        return "```\n" + self.render() + "\n```"
+
+
+def _link_rows(network) -> Table:
+    table = Table(["link", "GS flits", "BE flits", "utilization"],
+                  title="Link activity")
+    for (coord, direction), link in sorted(network.links.items()):
+        port = link.src_port
+        utilization = 0.0
+        if port.arbiter is not None:
+            utilization = port.arbiter.stats.utilization(network.now)
+        table.add_row(f"{coord}->{direction.name}", link.gs_flits,
+                      link.be_flits, round(utilization, 4))
+    return table
+
+
+def _connection_rows(network) -> Table:
+    table = Table(["conn", "route", "delivered", "mean ns", "max ns",
+                   "rate/floor"],
+                  title="GS connections")
+    manager = network.connection_manager
+    for conn_id in sorted(manager.connections):
+        conn = manager.connections[conn_id]
+        contract = contract_for_connection(conn)
+        rate = conn.sink.throughput_flits_per_ns()
+        floor = contract.min_bandwidth_flits_per_ns
+        table.add_row(conn_id, f"{conn.src}->{conn.dst}", conn.sink.count,
+                      round(conn.sink.mean_latency, 2),
+                      round(conn.sink.max_latency, 2),
+                      round(rate / floor, 2) if floor else "-")
+    return table
+
+
+def _traffic_rows(network) -> Table:
+    counters = network.aggregate_counters()
+    table = Table(["metric", "count"], title="Network totals")
+    for name in ("gs_flits_switched", "gs_link_flits", "be_link_flits",
+                 "be_packets_delivered", "config_commands"):
+        table.add_row(name.replace("_", " "), counters[name])
+    table.add_row("gs flits still buffered", network.total_gs_occupancy())
+    return table
+
+
+def _power_rows(network, energy_model: EnergyModel) -> Table:
+    table = Table(["router", "dynamic mW", "total mW"],
+                  title="Per-router power over the run (clockless)")
+    area = AreaModel(network.config).report().total
+    duration = max(network.now, 1e-9)
+    for coord in sorted(network.routers):
+        router = network.routers[coord]
+        dynamic = energy_model.dynamic_energy_pj(router.counters) / duration
+        total = energy_model.clockless_power_mw(router.counters, duration,
+                                                area)
+        table.add_row(str(coord), round(dynamic, 4), round(total, 4))
+    return table
+
+
+def build_run_report(network,
+                     energy_model: Optional[EnergyModel] = None
+                     ) -> NetworkRunReport:
+    """Assemble the report for the network's current state."""
+    model = energy_model or EnergyModel()
+    return NetworkRunReport(
+        duration_ns=network.now,
+        link_table=_link_rows(network),
+        connection_table=_connection_rows(network),
+        traffic_table=_traffic_rows(network),
+        power_table=_power_rows(network, model),
+    )

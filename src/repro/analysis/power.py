@@ -1,0 +1,113 @@
+"""Power model.
+
+Clockless circuits "have zero dynamic power consumption when idle"
+(paper Section 1) — dynamic energy is strictly activity-proportional, so a
+router that routes nothing burns only leakage.  A clocked equivalent keeps
+its clock tree and registers toggling regardless of traffic.  This module
+converts the routers' activity counters into energy and contrasts the two
+styles (`benchmarks/bench_idle_power.py`).
+
+Energy constants are representative estimates for a 0.12 µm process at
+1.2 V; absolute values are not calibrated against the paper (it reports no
+power numbers) — the *shape* (idle floor, slope vs. load) is the claim
+under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.counters import ActivityCounters
+
+__all__ = ["EnergyModel", "PowerReport"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event dynamic energies (picojoules) and static densities."""
+
+    # Dynamic energy per event.
+    e_switch_traverse_pj: float = 1.2   # split + 4x4 switch, 34 bits
+    e_vc_buffer_pj: float = 0.9        # unsharebox + buffer latch writes
+    e_link_flit_pj: float = 2.1        # 39 wires across ~1.5 mm
+    e_arbitration_pj: float = 0.25     # mutex + grant + merge control
+    e_unlock_pj: float = 0.12          # one wire + mux + sharebox toggle
+    e_be_hop_pj: float = 1.1           # BE buffer write + output mux
+    e_table_write_pj: float = 0.4      # connection table programming
+
+    # Static.  Leakage in a 0.12 µm process is small — idle power in that
+    # generation was dominated by the clock, which is the paper's point.
+    leakage_mw_per_mm2: float = 0.15
+
+    # Clocked-equivalent overhead: clock tree + register clock pins toggle
+    # every cycle whether or not there is traffic (~0.01 pJ per register
+    # clock pin incl. tree buffers -> ~20 mW at 515 MHz for this block).
+    clock_pj_per_reg_cycle: float = 0.01
+    clocked_registers: int = 3900      # VC buffers + BE buffers + table
+
+    def dynamic_energy_pj(self, counters: ActivityCounters) -> float:
+        """Total dynamic energy implied by a router's activity counters."""
+        gs_flits = counters["gs_flits_switched"]
+        be_accepted = counters["be_flits_accepted"]
+        be_link = counters["be_link_flits"]
+        gs_link = counters["gs_link_flits"]
+        return (
+            gs_flits * (self.e_switch_traverse_pj + self.e_vc_buffer_pj
+                        + self.e_unlock_pj)
+            + (gs_link + be_link) * (self.e_link_flit_pj
+                                     + self.e_arbitration_pj)
+            + (be_accepted + counters["be_local_injected"]) * self.e_be_hop_pj
+            + counters["config_commands"] * self.e_table_write_pj
+        )
+
+    def clockless_power_mw(self, counters: ActivityCounters,
+                           interval_ns: float, area_mm2: float) -> float:
+        """Average power of the clockless router over ``interval_ns``.
+
+        1 pJ/ns is exactly 1 mW, so dynamic power is energy over time
+        with no further conversion.
+        """
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        dynamic_mw = self.dynamic_energy_pj(counters) / interval_ns
+        return dynamic_mw + self.leakage_mw_per_mm2 * area_mm2
+
+    def clock_power_mw(self, clock_mhz: float) -> float:
+        """Always-on clock load: pJ/cycle/reg x regs x cycles/ns = pJ/ns
+        = mW (clock_mhz * 1e-3 converts MHz to cycles per ns)."""
+        return (self.clock_pj_per_reg_cycle * self.clocked_registers
+                * clock_mhz * 1e-3)
+
+    def clocked_power_mw(self, counters: ActivityCounters,
+                         interval_ns: float, area_mm2: float,
+                         clock_mhz: float) -> float:
+        """A hypothetical clocked equivalent: same dynamic work plus the
+        always-on clock load."""
+        base = self.clockless_power_mw(counters, interval_ns, area_mm2)
+        return base + self.clock_power_mw(clock_mhz)
+
+
+@dataclass
+class PowerReport:
+    """Power split for one measurement interval."""
+
+    interval_ns: float
+    dynamic_mw: float
+    leakage_mw: float
+    clock_mw: float = 0.0
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.leakage_mw + self.clock_mw
+
+
+def power_report(model: EnergyModel, counters: ActivityCounters,
+                 interval_ns: float, area_mm2: float,
+                 clock_mhz: float = 0.0) -> PowerReport:
+    """Build a :class:`PowerReport`; ``clock_mhz`` > 0 adds the clocked
+    equivalent's always-on clock power."""
+    dynamic = model.dynamic_energy_pj(counters) / interval_ns
+    leakage = model.leakage_mw_per_mm2 * area_mm2
+    clock = model.clock_power_mw(clock_mhz) if clock_mhz > 0 else 0.0
+    return PowerReport(interval_ns, dynamic, leakage, clock)

@@ -1,0 +1,87 @@
+"""QoS contracts for GS connections.
+
+The application-level value of the MANGO architecture (paper Section 2) is
+*predictability*: a connection's service is computable from the
+architecture alone, independent of other traffic.  This module turns a
+connection (or a prospective path) into an explicit contract — minimum
+bandwidth, worst-case latency, jitter bound — that a system integrator can
+verify against requirements before committing, and that the simulation
+provably honours (`tests/integration/test_qos_contracts.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.timing import TimingProfile
+from ..core.config import RouterConfig
+
+__all__ = ["QosContract", "contract_for_path", "contract_for_connection"]
+
+
+@dataclass(frozen=True)
+class QosContract:
+    """Hard per-connection guarantees under fair-share arbitration."""
+
+    hops: int
+    flit_bytes: int
+    link_cycle_ns: float
+    requesters: int            # fair-share contenders per link (V + BE)
+
+    @property
+    def min_bandwidth_flits_per_ns(self) -> float:
+        """Guaranteed sustained rate: one grant per fair-share round."""
+        return 1.0 / (self.requesters * self.link_cycle_ns)
+
+    @property
+    def min_bandwidth_mbytes_per_s(self) -> float:
+        return self.min_bandwidth_flits_per_ns * self.flit_bytes * 1e3
+
+    @property
+    def max_latency_ns(self) -> float:
+        """Worst-case network latency of a flit (full interference on
+        every hop): per hop, a full fair-share round plus the constant
+        forward path."""
+        per_hop = (self.requesters + 1) * self.link_cycle_ns
+        return self.hops * per_hop
+
+    @property
+    def jitter_bound_ns(self) -> float:
+        """Worst-case arrival-spacing variation of a paced stream: the
+        difference between best case (immediate grants) and worst case
+        (full rounds) accumulated over the path."""
+        return self.hops * self.requesters * self.link_cycle_ns
+
+    def admits_rate(self, flits_per_ns: float) -> bool:
+        """Whether a source rate is within the guaranteed bandwidth."""
+        return flits_per_ns <= self.min_bandwidth_flits_per_ns + 1e-12
+
+    def rows(self):
+        return [
+            ("hops", self.hops),
+            ("guaranteed bandwidth (MB/s)",
+             round(self.min_bandwidth_mbytes_per_s, 1)),
+            ("worst-case latency (ns)", round(self.max_latency_ns, 2)),
+            ("jitter bound (ns)", round(self.jitter_bound_ns, 2)),
+        ]
+
+
+def contract_for_path(hops: int, config: RouterConfig = RouterConfig()
+                      ) -> QosContract:
+    """The contract a connection over ``hops`` links would get."""
+    if hops < 1:
+        raise ValueError("a connection crosses at least one link")
+    return QosContract(
+        hops=hops,
+        flit_bytes=config.flit_width // 8,
+        link_cycle_ns=config.timing.link_cycle_ns,
+        requesters=config.link_requesters,
+    )
+
+
+def contract_for_connection(connection, config: RouterConfig = None
+                            ) -> QosContract:
+    """The contract of an open :class:`~repro.network.connection.Connection`."""
+    if config is None:
+        config = connection.manager.network.config
+    return contract_for_path(connection.n_hops, config)

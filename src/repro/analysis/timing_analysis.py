@@ -1,0 +1,126 @@
+"""Derived timing figures and guarantee bounds.
+
+Computes the headline performance numbers of Section 6 (port speed per
+corner) and the analytic service bounds that the simulation benches verify
+against:
+
+* fair-share: a backlogged VC is served at least once per V link cycles,
+  so its bandwidth floor is ``1/V`` of the link and its worst-case access
+  wait is ``(V - 1)`` cycles plus the residual transfer;
+* ALG: one grant per requester per round, high priorities first within a
+  round — bandwidth floor ``1/V`` and a priority-dependent latency bound;
+* the single-VC ceiling: the unlock round trip exceeds the link cycle, so
+  one VC alone cannot saturate a link (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..circuits.timing import DEFAULT_LINK_MM, TimingProfile, TYPICAL, WORST_CASE
+
+__all__ = ["TimingReport", "timing_report", "PAPER_PORT_SPEED_MHZ"]
+
+#: Section 6: "515 MHz per port (795 MHz under typical timing conditions)".
+PAPER_PORT_SPEED_MHZ = {"worst-case": 515.0, "typical": 795.0}
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """All derived figures for one corner and link length."""
+
+    corner: str
+    link_mm: float
+    link_cycle_ns: float
+    port_speed_mhz: float
+    forward_latency_ns: float
+    unlock_latency_ns: float
+    vc_round_trip_ns: float
+    single_vc_utilization: float
+    vcs: int
+
+    @property
+    def vc_bandwidth_floor(self) -> float:
+        """Guaranteed fraction of link bandwidth per backlogged VC."""
+        return 1.0 / self.vcs
+
+    @property
+    def fair_share_wait_bound_ns(self) -> float:
+        """Worst-case link-access wait under fair-share: the other V-1
+        requesters plus the residual transfer."""
+        return self.vcs * self.link_cycle_ns
+
+    def alg_wait_bound_ns(self, priority: int) -> float:
+        """Worst-case link-access wait for ALG priority ``priority``.
+
+        A flit that just missed its round waits for the remainder of the
+        current round (up to V-1 grants), then for the higher priorities
+        of its own round (``priority`` grants), plus the residual
+        transfer: (V + priority + 1) cycles is a safe bound.
+        """
+        if priority < 0:
+            raise ValueError("priority must be >= 0")
+        return (self.vcs + priority + 1) * self.link_cycle_ns
+
+    @property
+    def fair_share_feasible(self) -> bool:
+        """Whether the 1/V floor is sustainable over a chain of links with
+        the paper's single-flit buffers: the per-VC round trip must fit in
+        V link cycles (Section 4.4)."""
+        return self.vc_round_trip_ns <= self.vcs * self.link_cycle_ns
+
+    def end_to_end_latency_bound_ns(self, hops: int) -> float:
+        """Hard worst-case network latency of one GS flit over ``hops``
+        links under fair-share arbitration, all links fully loaded.
+
+        Per hop: the fair-share access wait (V cycles incl. the residual
+        transfer) + the constant forward path + the unsharebox transfer.
+        This is the end-to-end predictability that "promotes system
+        integrity" (Section 2) — no term depends on other traffic.
+        """
+        if hops < 1:
+            raise ValueError("a connection crosses at least one link")
+        per_hop = (self.fair_share_wait_bound_ns + self.forward_latency_ns
+                   + self.link_cycle_ns)  # + unshare transfer, inside cycle
+        return hops * per_hop
+
+    def rows(self) -> List[tuple]:
+        return [
+            ("link cycle (ns)", self.link_cycle_ns),
+            ("port speed (MHz)", self.port_speed_mhz),
+            ("switch forward latency (ns)", self.forward_latency_ns),
+            ("unlock latency (ns)", self.unlock_latency_ns),
+            ("per-VC round trip (ns)", self.vc_round_trip_ns),
+            ("single-VC utilization", self.single_vc_utilization),
+            ("per-VC bandwidth floor", self.vc_bandwidth_floor),
+            ("fair-share wait bound (ns)", self.fair_share_wait_bound_ns),
+        ]
+
+
+def timing_report(profile: TimingProfile = WORST_CASE,
+                  link_mm: float = DEFAULT_LINK_MM,
+                  vcs: int = 8) -> TimingReport:
+    """Derive all figures for a corner/link-length combination."""
+    if vcs < 1:
+        raise ValueError("need at least one VC")
+    return TimingReport(
+        corner=profile.name,
+        link_mm=link_mm,
+        link_cycle_ns=profile.link_cycle_ns,
+        port_speed_mhz=profile.port_speed_mhz,
+        forward_latency_ns=profile.forward_latency_ns(link_mm),
+        unlock_latency_ns=profile.unlock_latency_ns(link_mm),
+        vc_round_trip_ns=profile.vc_round_trip_ns(link_mm),
+        single_vc_utilization=profile.single_vc_utilization(link_mm),
+        vcs=vcs,
+    )
+
+
+def corner_comparison(link_mm: float = DEFAULT_LINK_MM,
+                      vcs: int = 8) -> Dict[str, TimingReport]:
+    """Both paper corners side by side."""
+    return {
+        "worst-case": timing_report(WORST_CASE, link_mm, vcs),
+        "typical": timing_report(TYPICAL, link_mm, vcs),
+    }

@@ -1,0 +1,32 @@
+"""Comparison systems: generic VC router, TDM (ÆTHEREAL-style), priority
+VCs, credit-based flow control."""
+
+from .credit_control import (
+    FlowControlCost,
+    credit_router_config,
+    flow_control_cost_comparison,
+)
+from .generic_vc_router import GenericFlit, GenericVcRouter
+from .priority_router import PRIORITY_BASELINE_NOTES, priority_router_config
+from .tdm_router import (
+    AETHEREAL_PUBLISHED,
+    TdmConnection,
+    TdmPathAllocator,
+    TdmSlotTable,
+    tdm_latency_bound_ns,
+)
+
+__all__ = [
+    "AETHEREAL_PUBLISHED",
+    "FlowControlCost",
+    "GenericFlit",
+    "GenericVcRouter",
+    "PRIORITY_BASELINE_NOTES",
+    "TdmConnection",
+    "TdmPathAllocator",
+    "TdmSlotTable",
+    "credit_router_config",
+    "flow_control_cost_comparison",
+    "priority_router_config",
+    "tdm_latency_bound_ns",
+]

@@ -1,0 +1,92 @@
+"""Credit-based VC control — the scheme share-based control is cheaper than.
+
+Section 4.3: share-based VC control "is much cheaper, both area and power
+wise, than the commonly used credit-based VC control scheme", while
+credit-based control improves average-case performance (it lets one VC
+keep several flits in flight) — which is why the BE channels use credits.
+Both schemes are implemented on the real router datapath
+(``RouterConfig.flow_control``); this module adds the cost accounting for
+the comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.area import CellLibrary
+from ..core.config import RouterConfig
+
+__all__ = ["credit_router_config", "FlowControlCost",
+           "flow_control_cost_comparison"]
+
+
+def credit_router_config(base: RouterConfig = RouterConfig(),
+                         window: int = 4) -> RouterConfig:
+    """GS VCs flow-controlled by credits instead of shareboxes."""
+    from dataclasses import replace
+    return replace(base, flow_control="credit", credit_window=window)
+
+
+@dataclass(frozen=True)
+class FlowControlCost:
+    """Per-router cost of one VC flow-control scheme."""
+
+    scheme: str
+    reverse_wires_per_link: int
+    area_um2: float
+    extra_buffer_bits: int
+
+    def rows(self):
+        return [
+            ("scheme", self.scheme),
+            ("reverse wires per link", self.reverse_wires_per_link),
+            ("control area (um2)", round(self.area_um2, 1)),
+            ("extra buffer bits", self.extra_buffer_bits),
+        ]
+
+
+def flow_control_cost_comparison(config: RouterConfig = RouterConfig(),
+                                 library: CellLibrary = CellLibrary(),
+                                 window: int = 4
+                                 ) -> Dict[str, FlowControlCost]:
+    """Cost of share-based vs credit-based control for the same router.
+
+    Share-based: one unlock wire per VC, a sharebox (a latch and a couple
+    of gates) per VC, and the unlock mux of the VC control module.
+
+    Credit-based: the reverse path must carry credit *values* or one
+    pulse wire per VC plus an up/down counter per VC at the sender, a
+    comparator, and ``window``-deep downstream buffering instead of the
+    single-flit unsharebox.
+    """
+    vcs = config.vcs_per_port
+    body = config.flit_width + 2
+    slots_per_router = 4 * vcs + config.local_gs_interfaces
+
+    share_area = slots_per_router * (
+        library.latch + 2 * library.nand2      # sharebox
+        + library.mux_tree(4 * vcs)            # unlock mux instance
+    )
+    share = FlowControlCost(
+        scheme="share",
+        reverse_wires_per_link=vcs,
+        area_um2=share_area,
+        extra_buffer_bits=0,
+    )
+
+    counter_bits = max(1, window.bit_length())
+    credit_area = slots_per_router * (
+        counter_bits * library.dff             # credit counter
+        + counter_bits * 2 * library.nand2     # inc/dec + zero compare
+        + library.mux_tree(4 * vcs)            # return-path routing
+    )
+    extra_bits = slots_per_router * body * (window - 1)
+    credit_area += extra_bits * library.latch  # deeper landing buffers
+    credit = FlowControlCost(
+        scheme="credit",
+        reverse_wires_per_link=vcs,            # pulse wire per VC
+        area_um2=credit_area,
+        extra_buffer_bits=extra_bits,
+    )
+    return {"share": share, "credit": credit}

@@ -1,0 +1,25 @@
+"""Prioritized-VC router baseline (Felicijan & Furber [9]).
+
+Reference [9] is a clockless router that provides *differentiated*
+services by statically prioritizing VCs: high-priority connections see
+better latency, but there is no admission control, so "no hard guarantees
+are provided" — low-priority VCs starve once higher priorities saturate
+the link.  MANGO's pluggable arbiter makes this a one-line configuration;
+`benchmarks/bench_alg_latency.py` contrasts it with fair-share and ALG.
+"""
+
+from __future__ import annotations
+
+from ..core.config import RouterConfig
+
+__all__ = ["priority_router_config", "PRIORITY_BASELINE_NOTES"]
+
+PRIORITY_BASELINE_NOTES = (
+    "static VC priority, no admission control: differentiated latency, "
+    "no hard bandwidth floor for low priorities")
+
+
+def priority_router_config(base: RouterConfig = RouterConfig()
+                           ) -> RouterConfig:
+    """The [9]-style configuration: same router, strict-priority arbiter."""
+    return base.with_arbiter("static_priority")

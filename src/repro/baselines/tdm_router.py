@@ -1,0 +1,140 @@
+"""ÆTHEREAL-style TDM router model (the Section 6 comparison point).
+
+ÆTHEREAL [8][16] provides per-connection bandwidth guarantees by time
+division multiplexing: a global slot table of S slots per revolution; a
+connection reserves slots, and a slot reserved at hop k must align with
+slot (k+1) mod S at the next hop.  Characteristics the paper contrasts
+MANGO against:
+
+* clocked operation — 500 MHz ports, 0.175 mm² (0.13 µm, custom FIFOs);
+* up to 256 connections, but **not independently buffered** — shared
+  buffering means end-to-end flow control (credits) is needed;
+* routing information is not stored in the routers, so GS connections
+  carry **packet headers** (bandwidth overhead MANGO avoids);
+* bandwidth is allocated in quanta of 1/S of the link, and worst-case
+  access latency is a full table revolution.
+
+TDM is impossible in a clockless NoC ("no notion of time"), which is why
+MANGO needs the share-based scheme at all — this model exists so the
+comparison bench can put numbers side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["AETHEREAL_PUBLISHED", "TdmSlotTable", "TdmPathAllocator",
+           "TdmConnection", "tdm_latency_bound_ns"]
+
+#: Published figures quoted in paper Section 6 for the 0.13 µm ÆTHEREAL.
+AETHEREAL_PUBLISHED = {
+    "port_speed_mhz": 500.0,
+    "area_mm2": 0.175,
+    "max_connections": 256,
+    "independently_buffered": False,
+    "needs_end_to_end_flow_control": True,
+    "stores_routes_in_router": False,
+}
+
+
+@dataclass
+class TdmConnection:
+    """A TDM circuit: reserved slot indices at the first hop."""
+
+    connection_id: int
+    path_links: List[int]
+    slots: List[int]
+
+    def bandwidth_fraction(self, table_size: int) -> float:
+        return len(self.slots) / table_size
+
+
+class TdmSlotTable:
+    """Slot reservations for one link."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("slot table needs at least one slot")
+        self.size = size
+        self.owner: List[Optional[int]] = [None] * size
+
+    def free_slots(self) -> List[int]:
+        return [i for i, owner in enumerate(self.owner) if owner is None]
+
+    def reserve(self, slot: int, connection_id: int) -> None:
+        if self.owner[slot] is not None:
+            raise ValueError(f"slot {slot} already owned by "
+                             f"{self.owner[slot]}")
+        self.owner[slot] = connection_id
+
+    def release(self, connection_id: int) -> None:
+        for index, owner in enumerate(self.owner):
+            if owner == connection_id:
+                self.owner[index] = None
+
+
+class TdmPathAllocator:
+    """Allocates aligned slots along multi-link paths.
+
+    Slot s on link k must continue as slot (s + 1) mod S on link k+1 —
+    the "contention-free routing" constraint of slot-table NoCs.  This is
+    what makes TDM allocation a global puzzle, in contrast to MANGO's
+    per-link independent VC choice.
+    """
+
+    def __init__(self, n_links: int, table_size: int):
+        self.table_size = table_size
+        self.tables = [TdmSlotTable(table_size) for _ in range(n_links)]
+        self._ids = 0
+        self.connections: Dict[int, TdmConnection] = {}
+
+    def _aligned_free(self, path_links: Sequence[int], start_slot: int
+                      ) -> bool:
+        for offset, link in enumerate(path_links):
+            slot = (start_slot + offset) % self.table_size
+            if self.tables[link].owner[slot] is not None:
+                return False
+        return True
+
+    def allocate(self, path_links: Sequence[int], n_slots: int
+                 ) -> Optional[TdmConnection]:
+        """Reserve ``n_slots`` aligned slot trains; None when impossible."""
+        if n_slots < 1:
+            raise ValueError("need at least one slot")
+        found = [slot for slot in range(self.table_size)
+                 if self._aligned_free(path_links, slot)]
+        if len(found) < n_slots:
+            return None
+        self._ids += 1
+        conn = TdmConnection(self._ids, list(path_links), found[:n_slots])
+        for slot in conn.slots:
+            for offset, link in enumerate(path_links):
+                self.tables[link].reserve((slot + offset) % self.table_size,
+                                          conn.connection_id)
+        self.connections[conn.connection_id] = conn
+        return conn
+
+    def release(self, conn: TdmConnection) -> None:
+        for link in conn.path_links:
+            self.tables[link].release(conn.connection_id)
+        self.connections.pop(conn.connection_id, None)
+
+    def utilization(self, link: int) -> float:
+        table = self.tables[link]
+        return 1.0 - len(table.free_slots()) / table.size
+
+
+def tdm_latency_bound_ns(slots: Sequence[int], table_size: int,
+                         slot_ns: float, hops: int) -> float:
+    """Worst-case network-entry latency of a TDM connection: the longest
+    gap until the next reserved slot, plus one slot per hop."""
+    if not slots:
+        raise ValueError("connection owns no slots")
+    ordered = sorted(slots)
+    gaps = []
+    for index, slot in enumerate(ordered):
+        prev = ordered[index - 1] if index else ordered[-1] - table_size
+        gaps.append(slot - prev)
+    worst_wait = max(gaps) * slot_ns
+    return worst_wait + hops * slot_ns

@@ -1,0 +1,37 @@
+"""Clockless circuit primitives and timing models."""
+
+from .timing import (
+    DEFAULT_LINK_MM,
+    StructuralDelays,
+    TimingProfile,
+    TYPICAL,
+    WORST_CASE,
+)
+from .primitives import CElement, LatchStage, Mutex
+from .sharebox import Sharebox, ShareProtocolError, Unsharebox
+from .arbiter_tree import MutexTreeArbiter, mutex_count, tree_depth
+from .pipeline import (
+    build_link_pipeline,
+    link_stage_parameters,
+    stages_for_full_speed,
+)
+
+__all__ = [
+    "CElement",
+    "DEFAULT_LINK_MM",
+    "LatchStage",
+    "Mutex",
+    "MutexTreeArbiter",
+    "Sharebox",
+    "ShareProtocolError",
+    "StructuralDelays",
+    "TimingProfile",
+    "TYPICAL",
+    "Unsharebox",
+    "WORST_CASE",
+    "build_link_pipeline",
+    "link_stage_parameters",
+    "mutex_count",
+    "stages_for_full_speed",
+    "tree_depth",
+]

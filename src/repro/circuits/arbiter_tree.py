@@ -1,0 +1,119 @@
+"""Mutex-tree arbiter circuit.
+
+An N-way clockless arbiter is built as a balanced binary tree of two-input
+mutex elements: a request ripples from a leaf to the root, winning each
+mutex on the way; the root grant is exclusive.  Grant latency on an idle
+tree is ``depth * mutex_delay``; release ripples back down.
+
+The behavioural :class:`repro.core.link_arbiter.LinkArbiter` assumes an
+arbitration latency of ``delays.arbitration`` τ; the unit tests race this
+circuit model against that assumption (see DESIGN.md §2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional
+
+from ..sim.kernel import Event, Simulator, SimulationError
+from .primitives import Mutex
+
+__all__ = ["MutexTreeArbiter", "tree_depth", "mutex_count"]
+
+
+def tree_depth(n_inputs: int) -> int:
+    """Depth of the balanced mutex tree arbitrating ``n_inputs`` requests."""
+    if n_inputs < 1:
+        raise ValueError("need at least one input")
+    if n_inputs == 1:
+        return 0
+    return math.ceil(math.log2(n_inputs))
+
+
+def mutex_count(n_inputs: int) -> int:
+    """Number of 2-input mutex elements in an N-way tree (N-1)."""
+    if n_inputs < 1:
+        raise ValueError("need at least one input")
+    return n_inputs - 1
+
+
+class MutexTreeArbiter:
+    """Event-level N-way arbiter assembled from :class:`Mutex` elements.
+
+    ``request(i)`` returns an event that fires when input ``i`` holds every
+    mutex on its root path; ``release(i)`` frees the path bottom-up.
+    """
+
+    def __init__(self, sim: Simulator, n_inputs: int, mutex_delay: float,
+                 name: str = "arbtree"):
+        if n_inputs < 2:
+            raise ValueError("an arbiter needs at least two inputs")
+        self.sim = sim
+        self.n_inputs = n_inputs
+        self.name = name
+        self.depth = tree_depth(n_inputs)
+        # Pad the leaf count to a power of two; unused leaves never request.
+        self._leaves = 1 << self.depth
+        # Level 0 is closest to the leaves; the last level is the root.
+        self._levels: List[List[Mutex]] = []
+        width = self._leaves // 2
+        level = 0
+        while width >= 1:
+            self._levels.append([
+                Mutex(sim, mutex_delay, name=f"{name}.L{level}.{i}")
+                for i in range(width)
+            ])
+            width //= 2
+            level += 1
+        self._held: dict = {}
+        self.grants = 0
+
+    def _path(self, index: int) -> List[tuple]:
+        """(mutex, side) pairs from leaf ``index`` up to the root."""
+        path = []
+        position = index
+        for level in self._levels:
+            mutex = level[position // 2]
+            side = position % 2
+            path.append((mutex, side))
+            position //= 2
+        return path
+
+    def request(self, index: int) -> Event:
+        if not 0 <= index < self.n_inputs:
+            raise ValueError(f"input index {index} out of range")
+        if index in self._held:
+            raise SimulationError(
+                f"{self.name}: input {index} already requesting/holding")
+        self._held[index] = None  # reserves the slot while climbing
+        done = Event(self.sim)
+        self.sim.process(self._climb(index, done),
+                         name=f"{self.name}.req{index}")
+        return done
+
+    def _climb(self, index: int, done: Event):
+        path = self._path(index)
+        for mutex, side in path:
+            yield mutex.request(side)
+        self._held[index] = path
+        self.grants += 1
+        done.succeed(index)
+
+    def release(self, index: int) -> None:
+        path = self._held.pop(index, None)
+        if not path:
+            raise SimulationError(
+                f"{self.name}: release of non-granted input {index}")
+        for mutex, side in path:
+            mutex.release(side)
+
+    @property
+    def holder(self) -> Optional[int]:
+        """Index currently holding the root, if any."""
+        root = self._levels[-1][0]
+        if root.owner is None:
+            return None
+        for index, path in self._held.items():
+            if path and path[-1][0] is root:
+                return index
+        return None

@@ -1,0 +1,148 @@
+"""Delay-insensitive 1-of-4 link encoding (paper Section 6, future work).
+
+The implemented MANGO router uses 4-phase *bundled data* between routers:
+cheap (one wire per bit + request/ack) but timing-dependent — the matched
+delay of the request wire must exceed the worst-case data-wire skew, which
+is exactly what gets hard to guarantee on long inter-router wires.  The
+paper advocates delay-insensitive signalling between routers, e.g. 1-of-4
+encoding [Bainbridge & Furber], "in order to make assembling a NoC-based
+SoC a modular and timing safe exercise, and in order to save power.  This
+will be realized in future MANGO versions."
+
+This module implements that future version's link layer:
+
+* codec: 2 data bits -> one 1-of-4 group (exactly one of four wires fires
+  per symbol), with codeword validation;
+* wire/transition accounting: 1-of-4 doubles the wire count but fires one
+  transition per two bits (RTZ: two edges), vs a bundled-data link firing
+  ~0.5·bits transitions plus the request/ack pair — the power trade the
+  paper refers to;
+* a skew-robustness model: a DI link tolerates arbitrary per-wire skew
+  (completion detection waits for the group), while a bundled-data link
+  fails once data skew exceeds its matched-delay margin.
+
+`benchmarks/bench_link_encoding.py` is the ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "EncodingError",
+    "encode_one_of_four",
+    "decode_one_of_four",
+    "LinkEncodingModel",
+    "bundled_data_model",
+    "one_of_four_model",
+]
+
+
+class EncodingError(ValueError):
+    """Raised for invalid codewords (not exactly one wire per group)."""
+
+
+def encode_one_of_four(word: int, bits: int = 34) -> Tuple[int, ...]:
+    """Encode ``bits`` of ``word`` into 1-of-4 groups.
+
+    Returns one one-hot nibble (as an int with exactly one bit set) per
+    2-bit group, least-significant group first.  ``bits`` must be even.
+    """
+    if bits % 2:
+        raise EncodingError("1-of-4 encodes two bits per group")
+    if word < 0 or word >= (1 << bits):
+        raise EncodingError(f"word does not fit in {bits} bits")
+    groups = []
+    for index in range(bits // 2):
+        pair = (word >> (2 * index)) & 0x3
+        groups.append(1 << pair)
+    return tuple(groups)
+
+
+def decode_one_of_four(groups: Sequence[int], bits: int = 34) -> int:
+    """Inverse of :func:`encode_one_of_four`; validates the code."""
+    if bits % 2 or len(groups) != bits // 2:
+        raise EncodingError(
+            f"expected {bits // 2} groups, got {len(groups)}")
+    word = 0
+    for index, group in enumerate(groups):
+        if group not in (1, 2, 4, 8):
+            raise EncodingError(
+                f"group {index} is {group:#x}: not a 1-of-4 codeword")
+        pair = group.bit_length() - 1
+        word |= pair << (2 * index)
+    return word
+
+
+@dataclass(frozen=True)
+class LinkEncodingModel:
+    """Wire/transition/robustness accounting for one link flit."""
+
+    name: str
+    data_bits: int
+    wires: int                   # forward data + control wires
+    transitions_per_flit: float  # average wire transitions (RTZ included)
+    handshake_wires: int         # ack (+ request for bundled data)
+    delay_insensitive: bool
+    matched_delay_margin_tau: float  # skew tolerance; inf when DI
+
+    @property
+    def total_wires(self) -> int:
+        return self.wires + self.handshake_wires
+
+    def energy_per_flit_pj(self, e_transition_pj: float = 0.035,
+                           length_mm: float = 1.5) -> float:
+        """Wire energy: transitions x per-transition-per-mm energy."""
+        return self.transitions_per_flit * e_transition_pj * length_mm
+
+    def survives_skew(self, skew_tau: float) -> bool:
+        """Whether a flit is received correctly under per-wire skew of
+        ``skew_tau`` gate delays."""
+        if self.delay_insensitive:
+            return True
+        return skew_tau <= self.matched_delay_margin_tau
+
+
+def bundled_data_model(data_bits: int = 34, steering_bits: int = 5,
+                       activity: float = 0.5,
+                       matched_delay_margin_tau: float = 2.0
+                       ) -> LinkEncodingModel:
+    """The implemented MANGO link: single-rail data + req/ack.
+
+    ``activity`` is the average fraction of data wires toggling per flit;
+    req and ack each make two transitions per 4-phase cycle.
+    """
+    bits = data_bits + steering_bits
+    return LinkEncodingModel(
+        name="bundled-data (4-phase)",
+        data_bits=bits,
+        wires=bits,
+        transitions_per_flit=bits * activity + 4.0,  # data + req/ack RTZ
+        handshake_wires=2,
+        delay_insensitive=False,
+        matched_delay_margin_tau=matched_delay_margin_tau,
+    )
+
+
+def one_of_four_model(data_bits: int = 34, steering_bits: int = 5
+                      ) -> LinkEncodingModel:
+    """The future MANGO link: 1-of-4 DI encoding + one ack wire.
+
+    Every 2-bit group fires exactly one wire (two transitions with
+    return-to-zero) regardless of data — data-independent power, double
+    the wires, no timing assumptions.
+    """
+    bits = data_bits + steering_bits
+    if bits % 2:
+        bits += 1  # pad to a group boundary
+    groups = bits // 2
+    return LinkEncodingModel(
+        name="1-of-4 (delay-insensitive)",
+        data_bits=bits,
+        wires=groups * 4,
+        transitions_per_flit=groups * 2.0 + 2.0,  # one wire RTZ/group + ack
+        handshake_wires=1,
+        delay_insensitive=True,
+        matched_delay_margin_tau=float("inf"),
+    )

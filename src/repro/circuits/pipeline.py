@@ -1,0 +1,72 @@
+"""Bundled-data pipelines parameterised by a timing profile.
+
+Long inter-router links are pipelined to keep link speed up (paper
+Section 3): each stage adds forward latency but the chain's throughput is
+set by the slowest single stage.  These helpers build such chains from a
+:class:`~repro.circuits.timing.TimingProfile`.
+"""
+
+from __future__ import annotations
+
+from ..sim.handshake import PipelineChain
+from ..sim.kernel import Simulator
+from .timing import TimingProfile
+
+__all__ = ["build_link_pipeline", "link_stage_parameters",
+           "stages_for_full_speed"]
+
+
+def link_stage_parameters(profile: TimingProfile, length_mm: float,
+                          stages: int) -> tuple:
+    """(forward_latency_ns, cycle_time_ns) for each stage of a pipelined
+    link of ``length_mm`` split into ``stages`` equal segments.
+
+    Each segment carries wire delay plus one latch; its handshake cycle is
+    the wire delay both ways plus the latch controller overhead, and must
+    not exceed the router's link cycle or the pipeline — not the router —
+    would set the port speed.
+    """
+    if stages < 1:
+        raise ValueError("a link has at least one stage")
+    if length_mm <= 0:
+        raise ValueError("link length must be positive")
+    d = profile.delays
+    segment_mm = length_mm / stages
+    wire = d.wire_per_mm * segment_mm
+    forward = profile.ns(wire + d.latch_capture)
+    cycle = profile.ns(2 * wire + d.latch_controller + d.rtz_overhead)
+    return forward, cycle
+
+
+def build_link_pipeline(sim: Simulator, profile: TimingProfile,
+                        length_mm: float, stages: int,
+                        name: str = "link") -> PipelineChain:
+    """A pipelined link as a chain of bundled-data stages.
+
+    The chain's total forward latency models the physical wire once plus
+    one latch per stage boundary, so deeper pipelining adds latency while
+    shortening the per-stage handshake cycle.
+    """
+    d = profile.delays
+    total_forward = profile.ns(d.wire_per_mm * length_mm
+                               + (stages + 1) * d.latch_capture)
+    per_channel = total_forward / (stages + 1)
+    _forward, cycle = link_stage_parameters(profile, length_mm, stages)
+    return PipelineChain(sim, stages, per_channel, max(cycle, per_channel),
+                         name=name)
+
+
+def stages_for_full_speed(profile: TimingProfile, length_mm: float) -> int:
+    """Minimum number of pipeline stages so the link does not throttle the
+    router's port speed (stage cycle <= router link cycle)."""
+    d = profile.delays
+    stages = 1
+    while True:
+        wire = d.wire_per_mm * (length_mm / stages)
+        cycle = 2 * wire + d.latch_controller + d.rtz_overhead
+        if cycle <= d.link_cycle:
+            return stages
+        stages += 1
+        if stages > 64:  # physically absurd; guard against bad inputs
+            raise ValueError(
+                f"link of {length_mm} mm cannot reach full speed")

@@ -1,0 +1,178 @@
+"""Event-level models of the clockless circuit primitives.
+
+These are the building blocks the paper's control circuits are made of:
+Muller C-elements (handshake joins), mutex elements (metastability-filtered
+two-way arbitration) and transparent latches with 4-phase controllers.
+They ground the behavioural router model: the mutex tree built from
+:class:`Mutex` in :mod:`repro.circuits.arbiter_tree` validates the
+grant-latency assumptions used by the fast behavioural link arbiter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, List, Optional
+
+from ..sim.kernel import Event, Simulator, SimulationError
+
+__all__ = ["CElement", "Mutex", "LatchStage"]
+
+
+class CElement:
+    """Muller C-element: output follows inputs once they all agree.
+
+    The output transitions ``delay`` ns after the last input reaches
+    consensus.  ``on_change`` callbacks receive the new output value.
+    """
+
+    def __init__(self, sim: Simulator, n_inputs: int, delay: float,
+                 name: str = "c"):
+        if n_inputs < 1:
+            raise ValueError("C-element needs at least one input")
+        self.sim = sim
+        self.delay = delay
+        self.name = name
+        self.inputs: List[bool] = [False] * n_inputs
+        self.output = False
+        self.transitions = 0
+        self._listeners: List[Callable[[bool], None]] = []
+        self._pending: Optional[bool] = None
+
+    def on_change(self, callback: Callable[[bool], None]) -> None:
+        self._listeners.append(callback)
+
+    def set_input(self, index: int, value: bool) -> None:
+        self.inputs[index] = bool(value)
+        self._evaluate()
+
+    def _evaluate(self) -> None:
+        consensus: Optional[bool] = None
+        if all(self.inputs):
+            consensus = True
+        elif not any(self.inputs):
+            consensus = False
+        if consensus is None or consensus == self.output:
+            return
+        if self._pending == consensus:
+            return
+        self._pending = consensus
+        fire = self.sim.event()
+        fire.succeed(consensus, delay=self.delay)
+        fire.add_callback(self._commit)
+
+    def _commit(self, event: Event) -> None:
+        value = event.value
+        self._pending = None
+        # Inputs may have diverged again during the delay; re-check.
+        if value and not all(self.inputs):
+            return
+        if not value and any(self.inputs):
+            return
+        if value == self.output:
+            return
+        self.output = value
+        self.transitions += 1
+        for listener in self._listeners:
+            listener(value)
+
+
+class Mutex:
+    """Two-input mutual-exclusion element.
+
+    Grants are mutually exclusive and FIFO-fair per side; the resolution
+    delay models the metastability filter of the standard-cell MUTEX.
+    """
+
+    def __init__(self, sim: Simulator, delay: float, name: str = "mutex"):
+        self.sim = sim
+        self.delay = delay
+        self.name = name
+        self._owner: Optional[int] = None
+        self._waiting: deque = deque()  # (side, event)
+        self.grants = 0
+
+    @property
+    def owner(self) -> Optional[int]:
+        return self._owner
+
+    def request(self, side: int) -> Event:
+        if side not in (0, 1):
+            raise ValueError("mutex side must be 0 or 1")
+        event = Event(self.sim)
+        if self._owner is None and not self._waiting:
+            self._grant(side, event)
+        else:
+            self._waiting.append((side, event))
+        return event
+
+    def release(self, side: int) -> None:
+        if self._owner != side:
+            raise SimulationError(
+                f"mutex {self.name!r}: release by non-owner side {side}")
+        self._owner = None
+        if self._waiting:
+            next_side, event = self._waiting.popleft()
+            self._grant(next_side, event)
+
+    def _grant(self, side: int, event: Event) -> None:
+        self._owner = side
+        self.grants += 1
+        event.succeed(side, delay=self.delay)
+
+
+class LatchStage:
+    """Transparent latch + 4-phase controller as one pipeline element.
+
+    ``push`` completes a full 4-phase cycle (capture after
+    ``forward_delay``, handshake completes after ``cycle_time``); data is
+    then available via ``pop``.  Capacity is one token, as in the paper's
+    unsharebox and single-flit output buffers.
+    """
+
+    def __init__(self, sim: Simulator, forward_delay: float,
+                 cycle_time: float, name: str = "latch"):
+        if cycle_time < forward_delay:
+            raise ValueError("cycle_time must cover the forward delay")
+        self.sim = sim
+        self.forward_delay = forward_delay
+        self.cycle_time = cycle_time
+        self.name = name
+        self._data: Any = None
+        self._full = False
+        self._space: deque = deque()   # events waiting for space
+        self._tokens: deque = deque()  # events waiting for data
+        self._last_cycle_end = -float("inf")
+        self.captured = 0
+
+    @property
+    def full(self) -> bool:
+        return self._full
+
+    def push(self, data: Any):
+        """Sub-generator: capture ``data`` once the latch has space."""
+        if self._full or self._space:
+            gate = Event(self.sim)
+            self._space.append(gate)
+            yield gate
+        spacing = self._last_cycle_end + self.cycle_time - self.sim.now
+        wait = max(self.forward_delay, spacing)
+        yield self.sim.timeout(wait)
+        self._full = True
+        self._data = data
+        self._last_cycle_end = self.sim.now
+        self.captured += 1
+        while self._tokens:
+            self._tokens.popleft().succeed(None)
+
+    def pop(self):
+        """Sub-generator: wait for data, remove and return it."""
+        while not self._full:
+            gate = Event(self.sim)
+            self._tokens.append(gate)
+            yield gate
+        data = self._data
+        self._data = None
+        self._full = False
+        if self._space:
+            self._space.popleft().succeed(None)
+        return data

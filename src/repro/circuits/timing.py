@@ -1,0 +1,186 @@
+"""Timing model for the 4-phase bundled-data MANGO router.
+
+All structural delays are expressed in a gate-delay unit τ; a corner
+(:class:`TimingProfile`) fixes τ in nanoseconds.  The structural counts are
+identical across corners — exactly how corner scaling behaves for a
+standard-cell design — so the worst-case/typical speed ratio equals the τ
+ratio.
+
+Calibration (documented in DESIGN.md §4): the paper reports a port speed of
+515 MHz at the worst-case corner (1.08 V / 125 °C) and 795 MHz typical for
+its 0.12 µm standard-cell implementation.  The shared-media admission stage
+(mutex → grant → merge → steering append → request wire → latch controller
+→ ack return → return-to-zero) sums to 18.5 τ, so τ_wc = 0.105 ns gives
+1.9425 ns (514.8 MHz) and τ_typ = 0.068 ns gives 1.258 ns (794.9 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "StructuralDelays",
+    "TimingProfile",
+    "WORST_CASE",
+    "TYPICAL",
+    "DEFAULT_LINK_MM",
+]
+
+# Default inter-router link length in millimetres.  Links are "much longer"
+# than the router-internal wiring (Section 6), which is why the per-VC
+# unlock round trip exceeds the link cycle and a single VC cannot saturate
+# a link.  1.5 mm is the longest unpipelined link whose own handshake cycle
+# (2 x wire + latch controller + RTZ = 17.5 τ) stays below the router's
+# 18.5 τ link cycle; longer links need pipeline stages to sustain the port
+# speed (see `circuits.pipeline.stages_for_full_speed`).
+DEFAULT_LINK_MM = 1.5
+
+
+@dataclass(frozen=True)
+class StructuralDelays:
+    """Delay counts in gate-delay units τ for each circuit element.
+
+    The counts describe the control-path structure of the router; they are
+    corner-independent.
+    """
+
+    # Link-access (shared media admission) stage — sets the port speed.
+    mutex: float = 2.0               # mutex element resolution
+    grant_logic: float = 2.5         # grant generation after mutex
+    merge_mux: float = 1.5           # merge of granted VC onto the link
+    steering_append: float = 1.0     # appending the 5 steering bits
+    request_wire: float = 1.0        # local request wire
+    latch_controller: float = 4.5    # 4-phase latch controller (set phase)
+    ack_return: float = 2.0          # acknowledge back to the arbiter
+    rtz_overhead: float = 4.0        # return-to-zero of req/ack
+
+    # Forward data path through the next router (constant, non-blocking).
+    split_stage: float = 1.5         # split demux, strips 3 steering bits
+    switch_stage: float = 1.5        # 4x4 switch, strips 2 steering bits
+    latch_capture: float = 1.0       # capture into the unsharebox latch
+
+    # VC-control (unlock) path.
+    unshare_transfer: float = 1.0    # unsharebox -> output buffer transfer
+    vc_control_mux: float = 1.5      # (P-1)*V-input unlock mux
+    sharebox_unlock: float = 1.5     # sharebox unlock logic
+
+    # Wires.
+    wire_per_mm: float = 3.0         # repeated wire delay per millimetre
+
+    # BE router internals.
+    be_route_decode: float = 2.5     # header MSB decode + rotate
+    be_arbitration: float = 4.0      # round-robin input arbitration
+    be_buffer_stage: float = 2.5     # BE input buffer stage cycle overhead
+    credit_return: float = 2.0       # credit wire signalling overhead
+
+    @property
+    def link_cycle(self) -> float:
+        """τ per flit on the shared media — reciprocal is the port speed."""
+        return (self.mutex + self.grant_logic + self.merge_mux
+                + self.steering_append + self.request_wire
+                + self.latch_controller + self.ack_return
+                + self.rtz_overhead)
+
+    @property
+    def arbitration(self) -> float:
+        """τ from request to grant on an idle link."""
+        return self.mutex + self.grant_logic
+
+    def forward_path(self, link_mm: float) -> float:
+        """τ from link grant to capture in the next router's unsharebox."""
+        return (self.merge_mux + self.steering_append
+                + self.wire_per_mm * link_mm + self.split_stage
+                + self.switch_stage + self.latch_capture)
+
+    def unlock_path(self, link_mm: float) -> float:
+        """τ from unsharebox departure to the upstream sharebox unlocking."""
+        return (self.vc_control_mux + self.wire_per_mm * link_mm
+                + self.sharebox_unlock)
+
+    def vc_round_trip(self, link_mm: float) -> float:
+        """τ per flit for a single VC using the link alone.
+
+        Grant → forward path → unsharebox-to-buffer transfer → unlock back
+        → re-arbitration.  Exceeds :attr:`link_cycle`, which is why one VC
+        cannot use the full link bandwidth (paper Section 4.3).
+        """
+        return (self.forward_path(link_mm) + self.unshare_transfer
+                + self.unlock_path(link_mm) + self.arbitration)
+
+
+@dataclass(frozen=True)
+class TimingProfile:
+    """A process corner: fixes the gate-delay unit τ in nanoseconds."""
+
+    name: str
+    voltage_v: float
+    temperature_c: float
+    gate_delay_ns: float
+    delays: StructuralDelays = StructuralDelays()
+
+    def ns(self, tau: float) -> float:
+        """Convert a τ count to nanoseconds at this corner."""
+        return tau * self.gate_delay_ns
+
+    # -- headline derived values -------------------------------------------
+
+    @property
+    def link_cycle_ns(self) -> float:
+        return self.ns(self.delays.link_cycle)
+
+    @property
+    def port_speed_mhz(self) -> float:
+        """Flit rate per port in MHz (paper: 515 WC / 795 typical)."""
+        return 1e3 / self.link_cycle_ns
+
+    def forward_latency_ns(self, link_mm: float = DEFAULT_LINK_MM) -> float:
+        return self.ns(self.delays.forward_path(link_mm))
+
+    def unlock_latency_ns(self, link_mm: float = DEFAULT_LINK_MM) -> float:
+        return self.ns(self.delays.unlock_path(link_mm))
+
+    def arbitration_ns(self) -> float:
+        return self.ns(self.delays.arbitration)
+
+    def unshare_transfer_ns(self) -> float:
+        return self.ns(self.delays.unshare_transfer)
+
+    def vc_round_trip_ns(self, link_mm: float = DEFAULT_LINK_MM) -> float:
+        return self.ns(self.delays.vc_round_trip(link_mm))
+
+    def single_vc_utilization(self, link_mm: float = DEFAULT_LINK_MM
+                              ) -> float:
+        """Fraction of link bandwidth one VC can sustain.
+
+        Below 1 for realistic link lengths (the unlock round trip exceeds
+        the link cycle); capped at 1 for very short links where the link
+        cycle itself is the binding constraint.
+        """
+        return min(1.0, self.delays.link_cycle
+                   / self.delays.vc_round_trip(link_mm))
+
+    def fair_share_feasible(self, vcs: int,
+                            link_mm: float = DEFAULT_LINK_MM) -> bool:
+        """True when a VC's 1/V share is sustainable over this link.
+
+        The fair-share guarantee holds when the per-VC round trip fits in V
+        link cycles (paper Section 4.4: single-flit buffers "are enough to
+        ensure the fair-share scheme to function over a sequence of links").
+        """
+        return self.delays.vc_round_trip(link_mm) <= vcs * self.delays.link_cycle
+
+    def scaled(self, factor: float, name: str = "") -> "TimingProfile":
+        """A derived corner with τ scaled by ``factor``."""
+        return replace(self, name=name or f"{self.name}*{factor}",
+                       gate_delay_ns=self.gate_delay_ns * factor)
+
+
+#: Worst-case corner from the paper: 1.08 V / 125 °C → 515 MHz per port.
+WORST_CASE = TimingProfile(
+    name="worst-case", voltage_v=1.08, temperature_c=125.0,
+    gate_delay_ns=0.105)
+
+#: Typical corner from the paper: nominal V/T → 795 MHz per port.
+TYPICAL = TimingProfile(
+    name="typical", voltage_v=1.20, temperature_c=25.0,
+    gate_delay_ns=0.068)

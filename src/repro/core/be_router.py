@@ -1,0 +1,137 @@
+"""The best-effort router (paper Section 5, Figure 7).
+
+A simple source-routing wormhole router: the two MSBs of the header flit
+select one of the four network output ports; selecting the direction the
+packet came from routes it to the local port; the header is rotated two
+bits per hop.  Outputs arbitrate fairly between contending inputs and an
+input keeps its grant until the tail flit has passed (packet coherency).
+Per-hop flow control on the BE channels is credit-based, handled
+separately from the GS VC control module.
+
+The BE router is integrated into the GS router (Figure 8): its network
+outputs feed the BE transmit channels that share each link through the
+link arbiter, and its network inputs are fed by the split modules (three
+steering bits stripped, 34 bits remaining).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..network.packet import BeFlit
+from ..network.routing import header_direction, rotate_header
+from ..network.topology import Direction, NETWORK_DIRECTIONS
+from ..sim.kernel import Simulator
+from ..sim.resources import Resource, Store
+
+__all__ = ["BeRouter"]
+
+_INPUT_KEYS = tuple(NETWORK_DIRECTIONS) + (Direction.LOCAL,)
+
+
+class BeRouter:
+    """5-input/5-output source-routing wormhole router."""
+
+    def __init__(self, sim: Simulator, router, name: str):
+        self.sim = sim
+        self.router = router
+        self.config = router.config
+        self.name = name
+        depth = self.config.be_buffer_depth
+        vcs = max(1, self.config.be_channels)
+        self.vcs = vcs
+        # One input buffer per (input port, BE VC).
+        self.inputs: Dict[Tuple[Direction, int], Store] = {
+            (direction, vc): Store(sim, capacity=depth,
+                                   name=f"{name}.in.{direction.name}.{vc}")
+            for direction in _INPUT_KEYS for vc in range(vcs)
+        }
+        # Output locks give wormhole packet coherency; FIFO grant order is
+        # the fair arbitration of the paper (no input starves).
+        self.output_locks: Dict[Tuple[Direction, int], Resource] = {
+            (direction, vc): Resource(sim, 1,
+                                      name=f"{name}.lock.{direction.name}.{vc}")
+            for direction in _INPUT_KEYS for vc in range(vcs)
+        }
+        # Local delivery: raw flits to be assembled by the local BE port.
+        self.local_out = Store(sim, name=f"{name}.local_out")
+        self.packets_routed = 0
+        self.flits_routed = 0
+        for key in self.inputs:
+            sim.process(self._input_process(*key),
+                        name=f"{name}.proc.{key[0].name}.{key[1]}")
+
+    def accept(self, in_dir: Direction, flit: BeFlit) -> None:
+        """Arrival from a split module (or the local injection path).
+
+        Credits guarantee space; overflow is a protocol violation.
+        """
+        vc = flit.vc if flit.vc < self.vcs else 0
+        store = self.inputs[(in_dir, vc)]
+        if not store.try_put(flit):
+            raise RuntimeError(
+                f"{self.name}: BE input buffer {in_dir.name}/{vc} overflow "
+                "(credit protocol violated)")
+
+    def _route(self, in_dir: Direction, header_word: int) -> Direction:
+        """Section 5 routing: 2 MSBs pick the output; the way back in is
+        the local port."""
+        direction = header_direction(header_word)
+        if in_dir.is_network and direction == in_dir:
+            return Direction.LOCAL
+        return direction
+
+    def _return_credit(self, in_dir: Direction, vc: int) -> None:
+        if in_dir is Direction.LOCAL:
+            self.router.local_link.return_be_credit(vc)
+        else:
+            link = self.router.input_links.get(in_dir)
+            if link is not None:
+                link.return_be_credit(vc)
+
+    def _input_process(self, in_dir: Direction, vc: int):
+        buf = self.inputs[(in_dir, vc)]
+        timing = self.config.timing
+        decode_ns = timing.ns(timing.delays.be_route_decode)
+        stage_ns = timing.ns(timing.delays.be_buffer_stage)
+        while True:
+            head = yield buf.get()
+            if not head.is_head:
+                raise RuntimeError(
+                    f"{self.name}: body flit at packet boundary on "
+                    f"{in_dir.name}/{vc} (wormhole coherency broken)")
+            out_dir = self._route(in_dir, head.word)
+            yield self.sim.timeout(decode_ns)
+            lock = self.output_locks[(out_dir, vc)]
+            yield lock.request()
+            try:
+                rotated = BeFlit(rotate_header(head.word), is_head=True,
+                                 is_tail=head.is_tail, vc=head.vc,
+                                 packet_id=head.packet_id,
+                                 inject_time=head.inject_time)
+                yield from self._deliver(out_dir, vc, rotated)
+                self._return_credit(in_dir, vc)
+                self.flits_routed += 1
+                tail_seen = head.is_tail
+                while not tail_seen:
+                    flit = yield buf.get()
+                    yield self.sim.timeout(stage_ns)
+                    yield from self._deliver(out_dir, vc, flit)
+                    self._return_credit(in_dir, vc)
+                    self.flits_routed += 1
+                    tail_seen = flit.is_tail
+                self.packets_routed += 1
+            finally:
+                lock.release()
+
+    def _deliver(self, out_dir: Direction, vc: int, flit: BeFlit):
+        if out_dir is Direction.LOCAL:
+            yield self.local_out.put(flit)
+        else:
+            port = self.router.output_ports[out_dir]
+            if not port.be_tx:
+                raise RuntimeError(
+                    f"{self.name}: BE flit towards {out_dir.name} but the "
+                    "router has no BE channels configured")
+            chan = port.be_tx[min(vc, len(port.be_tx) - 1)]
+            yield chan.queue.put(flit)

@@ -1,0 +1,95 @@
+"""Router configuration.
+
+The defaults reproduce the implementation of paper Section 6: a 5x5-port
+32-bit router with 8 VCs per network port (4x8 = 32 independently buffered
+GS connections), 4 GS interfaces + 1 BE interface on the local port, a
+fair-share link arbiter, and share-based VC control with output buffers one
+flit deep plus one flit in the unsharebox.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..circuits.timing import DEFAULT_LINK_MM, TimingProfile, WORST_CASE
+
+__all__ = ["RouterConfig", "ARBITER_POLICIES", "FLOW_CONTROL_SCHEMES"]
+
+ARBITER_POLICIES = ("fair_share", "static_priority", "alg")
+FLOW_CONTROL_SCHEMES = ("share", "credit")
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Static parameters of a MANGO router instance."""
+
+    # Architecture (paper Section 6 defaults).
+    vcs_per_port: int = 8          # GS VCs on each network port
+    flit_width: int = 32           # data bits per flit
+    local_gs_interfaces: int = 4   # GS interfaces on the local port
+    be_channels: int = 1           # BE channels per link (paper supports 2)
+    be_buffer_depth: int = 4       # BE input buffer depth (credit window)
+    be_queue_depth: int = 2        # BE output queue depth at the link
+
+    # Service scheme (pluggable — the paper's modularity claim).
+    arbiter: str = "fair_share"
+    flow_control: str = "share"
+    credit_window: int = 4         # only used with flow_control="credit"
+
+    # Physical.
+    timing: TimingProfile = field(default=WORST_CASE)
+    link_length_mm: float = DEFAULT_LINK_MM
+    link_stages: int = 1
+
+    def __post_init__(self):
+        if self.vcs_per_port < 1 or self.vcs_per_port > 8:
+            raise ValueError(
+                "vcs_per_port must be 1..8 (two 4x4 switches per port)")
+        if self.flit_width < 8:
+            raise ValueError("flit width below 8 bits is not meaningful")
+        if not 1 <= self.local_gs_interfaces <= 4:
+            raise ValueError("local GS interfaces must be 1..4")
+        if self.be_channels not in (0, 1, 2):
+            raise ValueError(
+                "the BE-VC bit supports at most two BE channels")
+        if self.be_buffer_depth < 1:
+            raise ValueError("BE input buffers need at least one slot")
+        if self.be_queue_depth < 1:
+            raise ValueError("BE output queues need at least one slot")
+        if self.arbiter not in ARBITER_POLICIES:
+            raise ValueError(f"unknown arbiter {self.arbiter!r}; "
+                             f"choose from {ARBITER_POLICIES}")
+        if self.flow_control not in FLOW_CONTROL_SCHEMES:
+            raise ValueError(f"unknown flow control {self.flow_control!r}; "
+                             f"choose from {FLOW_CONTROL_SCHEMES}")
+        if self.credit_window < 1:
+            raise ValueError("credit window must be >= 1")
+        if self.link_length_mm <= 0:
+            raise ValueError("link length must be positive")
+        if self.link_stages < 1:
+            raise ValueError("links have at least one pipeline stage")
+
+    @property
+    def gs_connections_supported(self) -> int:
+        """Independently buffered GS connections through one router
+        (paper: 4 network ports x 8 VCs = 32)."""
+        return 4 * self.vcs_per_port
+
+    @property
+    def vc_buffer_capacity(self) -> int:
+        """Flits a VC slot holds: the single-flit buffer plus the
+        unsharebox latch (share), or the credit window (credit)."""
+        if self.flow_control == "credit":
+            return self.credit_window + 1
+        return 2
+
+    @property
+    def link_requesters(self) -> int:
+        """Requesters at each network link arbiter: GS VCs + BE channels."""
+        return self.vcs_per_port + self.be_channels
+
+    def with_timing(self, timing: TimingProfile) -> "RouterConfig":
+        return replace(self, timing=timing)
+
+    def with_arbiter(self, arbiter: str) -> "RouterConfig":
+        return replace(self, arbiter=arbiter)

@@ -1,0 +1,108 @@
+"""Per-router connection table.
+
+For each hop of a GS connection a router stores two pieces of state, keyed
+by the VC buffer reserved for the connection at one of its output ports
+(paper Section 4.1):
+
+* the **steering bits** appended to flits when they win link access, which
+  guide them through the *next* router's switching module to the VC buffer
+  reserved there (absent on the last hop, where the NA consumes), and
+* the **control channel bits** that map the VC buffer's unlock toggle back
+  to the correct VC wire of the input port the connection arrives on.
+
+"This overhead was accepted because it facilitates some very simple
+circuits" — the table is the 0.005 mm² "connection table" row of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..network.packet import Steering
+from ..network.topology import Direction
+
+__all__ = ["TableEntry", "ConnectionTable", "TableError"]
+
+
+class TableError(KeyError):
+    """Raised when a lookup misses or a programming write conflicts."""
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """State for one reserved VC buffer.
+
+    ``steering`` is None on the final hop (local delivery).  The unlock
+    mapping points at the *input* the connection arrives on: a network
+    direction plus the link VC index, or LOCAL plus the NA interface index.
+    """
+
+    connection_id: int
+    steering: Optional[Steering]
+    unlock_dir: Direction
+    unlock_vc: int
+
+
+class ConnectionTable:
+    """Steering + control-channel storage, programmed via BE packets."""
+
+    def __init__(self, vcs_per_port: int, local_gs_interfaces: int):
+        self.vcs_per_port = vcs_per_port
+        self.local_gs_interfaces = local_gs_interfaces
+        self._entries: Dict[Tuple[Direction, int], TableEntry] = {}
+        self.writes = 0
+        self.clears = 0
+
+    def _check_key(self, out_port: Direction, vc: int) -> None:
+        limit = (self.local_gs_interfaces if out_port is Direction.LOCAL
+                 else self.vcs_per_port)
+        if not 0 <= vc < limit:
+            raise TableError(
+                f"VC {vc} out of range for output {out_port.name}")
+
+    def program(self, out_port: Direction, vc: int, entry: TableEntry
+                ) -> None:
+        """Install ``entry`` for the VC buffer (out_port, vc)."""
+        self._check_key(out_port, vc)
+        existing = self._entries.get((out_port, vc))
+        if existing is not None and existing.connection_id != entry.connection_id:
+            raise TableError(
+                f"VC buffer ({out_port.name},{vc}) already reserved by "
+                f"connection {existing.connection_id}")
+        self._entries[(out_port, vc)] = entry
+        self.writes += 1
+
+    def clear(self, out_port: Direction, vc: int) -> None:
+        self._check_key(out_port, vc)
+        if (out_port, vc) not in self._entries:
+            raise TableError(
+                f"teardown of unprogrammed VC buffer ({out_port.name},{vc})")
+        del self._entries[(out_port, vc)]
+        self.clears += 1
+
+    def lookup(self, out_port: Direction, vc: int) -> Optional[TableEntry]:
+        return self._entries.get((out_port, vc))
+
+    def require(self, out_port: Direction, vc: int) -> TableEntry:
+        entry = self._entries.get((out_port, vc))
+        if entry is None:
+            raise TableError(
+                f"no connection programmed on VC buffer "
+                f"({out_port.name},{vc})")
+        return entry
+
+    def is_free(self, out_port: Direction, vc: int) -> bool:
+        self._check_key(out_port, vc)
+        return (out_port, vc) not in self._entries
+
+    def entries(self) -> List[Tuple[Direction, int, TableEntry]]:
+        return [(port, vc, entry)
+                for (port, vc), entry in sorted(self._entries.items())]
+
+    def connections(self) -> List[int]:
+        """Distinct connection ids passing through this router."""
+        return sorted({e.connection_id for e in self._entries.values()})
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,44 @@
+"""Activity counters.
+
+Each router counts the events that cost dynamic energy (flit switchings,
+link traversals, arbitrations, unlock toggles...).  The power model in
+:mod:`repro.analysis.power` converts these into energy — and demonstrates
+the clockless router's zero dynamic idle power: no activity, no counts,
+no dynamic energy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["ActivityCounters"]
+
+
+class ActivityCounters:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def merge(self, other: "ActivityCounters") -> None:
+        for name, value in other._counts.items():
+            self.bump(name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"ActivityCounters({inner})"

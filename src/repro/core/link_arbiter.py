@@ -1,0 +1,236 @@
+"""Link access arbitration (paper Section 4.4).
+
+Since the switching module is non-blocking and the share-based VC control
+keeps flits from stalling on the shared media, **link access is the only
+point of contention on a connection** — so the link arbiter is the element
+that implements whatever service guarantee the router provides.  The
+engine/policy split mirrors the paper's modularity claim: "it is an easy
+and modular task to instantiate new GS schemes".
+
+Policies provided:
+
+* :class:`FairSharePolicy` — the scheme implemented in the paper's silicon
+  ([5]): work-conserving round-robin, guaranteeing each of the V VCs at
+  least 1/V of the link bandwidth, with unused allocations automatically
+  picked up by other contenders.
+* :class:`StaticPriorityPolicy` — prioritized VCs as in Felicijan/Furber
+  [9]: improves latency for high-priority connections but gives **no hard
+  guarantee** (low priorities starve under saturation) — the baseline the
+  paper distinguishes itself from.
+* :class:`AlgPolicy` — the ALG scheme of the companion paper [6]:
+  round-structured admission (each VC is served at most once per round)
+  with priority ordering inside a round, giving every VC a 1/V bandwidth
+  guarantee *and* latency bounds proportional to priority.
+
+Requester ids: GS VCs are 0..V-1 (id doubles as the ALG/static priority,
+0 highest); BE channels are V..V+B-1 (lowest priority under priority
+schemes, equal peers under fair-share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.kernel import Event, Simulator, SimulationError
+from ..sim.resources import Signal
+
+__all__ = [
+    "ArbiterPolicy",
+    "FairSharePolicy",
+    "StaticPriorityPolicy",
+    "AlgPolicy",
+    "LinkArbiter",
+    "make_policy",
+]
+
+
+class ArbiterPolicy:
+    """Strategy deciding which pending requester is granted next."""
+
+    name = "abstract"
+
+    def select(self, pending: Dict[int, float]) -> int:
+        """Pick one id from ``pending`` (id -> request time)."""
+        raise NotImplementedError
+
+    def granted(self, rid: int) -> None:
+        """Hook called when ``rid`` is actually granted."""
+
+
+class FairSharePolicy(ArbiterPolicy):
+    """Round-robin over the requester id space.
+
+    A backlogged requester is served at least once per V grants, i.e. it
+    receives at least 1/V of the link bandwidth; idle allocations go to
+    whoever is contending (work conservation).
+    """
+
+    name = "fair_share"
+
+    def __init__(self, n_requesters: int):
+        if n_requesters < 1:
+            raise ValueError("need at least one requester")
+        self.n_requesters = n_requesters
+        self._next = 0
+
+    def select(self, pending: Dict[int, float]) -> int:
+        for offset in range(self.n_requesters):
+            rid = (self._next + offset) % self.n_requesters
+            if rid in pending:
+                return rid
+        raise SimulationError("select() with no pending requests")
+
+    def granted(self, rid: int) -> None:
+        self._next = (rid + 1) % self.n_requesters
+
+
+class StaticPriorityPolicy(ArbiterPolicy):
+    """Strict priority: lowest id wins.  No starvation protection."""
+
+    name = "static_priority"
+
+    def select(self, pending: Dict[int, float]) -> int:
+        return min(pending)
+
+
+class AlgPolicy(ArbiterPolicy):
+    """ALG: rounds of admission + priority order within a round.
+
+    Each requester is granted at most once per round; within a round the
+    highest priority (lowest id) pending request goes first.  A request
+    arriving from a requester already served this round waits for the next
+    round.  Consequences (measured in `benchmarks/bench_alg_latency.py`):
+
+    * bandwidth: every backlogged requester gets one grant per round, i.e.
+      at least 1/V of the link — same hard floor as fair-share;
+    * latency: a flit of priority p waits for at most the unserved
+      higher-priority requesters of its round plus the residual grant, so
+      worst-case latency grows with p instead of being uniform.
+    """
+
+    name = "alg"
+
+    def __init__(self, n_requesters: int):
+        if n_requesters < 1:
+            raise ValueError("need at least one requester")
+        self.n_requesters = n_requesters
+        self.round_no = 0
+        self._served: set = set()
+        self._round_of: Dict[int, int] = {}
+
+    def enqueued(self, rid: int) -> None:
+        """Assign the arriving request to a round."""
+        if rid in self._served:
+            self._round_of[rid] = self.round_no + 1
+        else:
+            self._round_of[rid] = self.round_no
+
+    def select(self, pending: Dict[int, float]) -> int:
+        if not pending:
+            raise SimulationError("select() with no pending requests")
+        best = min(pending, key=lambda rid: (self._round_of[rid], rid))
+        if self._round_of[best] > self.round_no:
+            # Everyone still pending belongs to the next round: open it.
+            self.round_no += 1
+            self._served.clear()
+        return best
+
+    def granted(self, rid: int) -> None:
+        self._served.add(rid)
+        self._round_of.pop(rid, None)
+        if len(self._served) >= self.n_requesters:
+            self.round_no += 1
+            self._served.clear()
+
+
+def make_policy(name: str, n_requesters: int) -> ArbiterPolicy:
+    if name == "fair_share":
+        return FairSharePolicy(n_requesters)
+    if name == "static_priority":
+        return StaticPriorityPolicy()
+    if name == "alg":
+        return AlgPolicy(n_requesters)
+    raise ValueError(f"unknown arbiter policy {name!r}")
+
+
+@dataclass
+class ArbiterStats:
+    grants: Dict[int, int] = field(default_factory=dict)
+    busy_ns: float = 0.0
+    first_grant: float = float("inf")
+    last_release: float = 0.0
+
+    def utilization(self, now: float) -> float:
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / now)
+
+
+class LinkArbiter:
+    """Grant engine for one output link.
+
+    The shared media accepts one flit per ``cycle_ns`` (the 18.5 τ link
+    cycle that sets the 515 MHz port speed).  A request issued while the
+    link is idle pays the ``arbitration_ns`` mutex+grant latency; requests
+    queued while the link is busy overlap their arbitration with the
+    ongoing transfer and are granted back-to-back.
+    """
+
+    def __init__(self, sim: Simulator, policy: ArbiterPolicy,
+                 cycle_ns: float, arbitration_ns: float, name: str = "arb"):
+        if cycle_ns <= 0:
+            raise ValueError("cycle time must be positive")
+        self.sim = sim
+        self.policy = policy
+        self.cycle_ns = cycle_ns
+        self.arbitration_ns = arbitration_ns
+        self.name = name
+        self._pending: Dict[int, tuple] = {}  # rid -> (event, req_time)
+        self._wake = Signal(sim, name=f"{name}.wake")
+        self._busy_until = -float("inf")
+        self.stats = ArbiterStats()
+        self._proc = sim.process(self._run(), name=f"{name}.dispatch")
+
+    def request(self, rid: int) -> Event:
+        """Contend for the link; the returned event fires at grant time."""
+        if rid in self._pending:
+            raise SimulationError(
+                f"{self.name}: requester {rid} already pending (the share "
+                "scheme allows one outstanding flit per VC)")
+        event = Event(self.sim)
+        self._pending[rid] = (event, self.sim.now)
+        if isinstance(self.policy, AlgPolicy):
+            self.policy.enqueued(rid)
+        self._wake.pulse()
+        return event
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _run(self):
+        while True:
+            if not self._pending:
+                yield self._wake.wait()
+                continue
+            now = self.sim.now
+            if now < self._busy_until:
+                yield self.sim.timeout(self._busy_until - now)
+                continue
+            rid = self.policy.select(
+                {r: t for r, (_, t) in self._pending.items()})
+            event, req_time = self._pending.pop(rid)
+            grant_time = max(now, req_time + self.arbitration_ns,
+                             self._busy_until)
+            self.policy.granted(rid)
+            self.stats.grants[rid] = self.stats.grants.get(rid, 0) + 1
+            self.stats.busy_ns += self.cycle_ns
+            self.stats.first_grant = min(self.stats.first_grant, grant_time)
+            self._busy_until = grant_time + self.cycle_ns
+            self.stats.last_release = self._busy_until
+            if grant_time > self.sim.now:
+                yield self.sim.timeout(grant_time - self.sim.now)
+            event.succeed(grant_time)
+            # Wait out the media cycle before the next grant.
+            yield self.sim.timeout(self._busy_until - self.sim.now)

@@ -1,0 +1,323 @@
+"""Output-buffered ports (paper Section 4.4).
+
+MANGO places the VC buffers at the outputs: because a connection is a
+reserved sequence of VCs, the target VC buffer of an incoming flit is
+deterministic, so no arbitration is needed between the switch and the
+buffers — only at link access.  Each VC slot holds one flit in the
+unsharebox latch plus one in a single-flit buffer; the unlock toggle fires
+when a flit moves from the unsharebox into the buffer.
+
+The flow-control strategy is pluggable (Section 4.3): share-based (the
+paper's GS scheme — one wire per VC, cheapest) or credit-based (the
+"commonly used" scheme: better average-case at higher cost), so the two
+can be compared on the same link (`benchmarks/bench_vc_control_schemes.py`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..circuits.sharebox import Sharebox, ShareProtocolError, Unsharebox
+from ..network.packet import BeFlit, GsFlit
+from ..network.topology import Direction
+from ..sim.kernel import Event, Simulator
+from ..sim.resources import Gate, Signal, Store
+from .config import RouterConfig
+from .link_arbiter import LinkArbiter
+
+__all__ = [
+    "ShareFlow",
+    "CreditFlow",
+    "VcSlot",
+    "NetworkOutputPort",
+    "LocalOutputPort",
+    "BeTxChannel",
+]
+
+
+class ShareFlow:
+    """Share-based VC control: lock on admit, unlock from downstream."""
+
+    scheme = "share"
+
+    def __init__(self, sim: Simulator, name: str = "share"):
+        self._box = Sharebox(sim, name=name)
+
+    def wait_ready(self) -> Event:
+        return self._box.wait_unlocked()
+
+    @property
+    def ready(self) -> bool:
+        return not self._box.locked
+
+    def admit(self) -> None:
+        self._box.admit()
+
+    def release(self) -> None:
+        self._box.unlock()
+
+    @property
+    def admitted(self) -> int:
+        return self._box.admitted
+
+
+class CreditFlow:
+    """Credit-based VC control: a window of ``window`` flits in flight.
+
+    Cheaper schemes lock per flit; credits let a single VC pipeline
+    several flits into the downstream buffer, improving average-case
+    throughput at the cost of counters, wider reverse signalling and
+    deeper downstream buffers (area model: `analysis.area`).
+    """
+
+    scheme = "credit"
+
+    def __init__(self, sim: Simulator, window: int, name: str = "credit"):
+        if window < 1:
+            raise ValueError("credit window must be >= 1")
+        self.window = window
+        self.credits = window
+        self._gate = Gate(sim, is_open=True, name=f"{name}.gate")
+        self.admitted_count = 0
+
+    def wait_ready(self) -> Event:
+        return self._gate.wait_open()
+
+    @property
+    def ready(self) -> bool:
+        return self.credits > 0
+
+    def admit(self) -> None:
+        if self.credits <= 0:
+            raise ShareProtocolError("credit underflow")
+        self.credits -= 1
+        self.admitted_count += 1
+        if self.credits == 0:
+            self._gate.close()
+
+    def release(self) -> None:
+        if self.credits >= self.window:
+            raise ShareProtocolError("credit overflow (spurious return)")
+        self.credits += 1
+        self._gate.open()
+
+    @property
+    def admitted(self) -> int:
+        return self.admitted_count
+
+
+def make_flow(config: RouterConfig, sim: Simulator, name: str):
+    if config.flow_control == "credit":
+        return CreditFlow(sim, config.credit_window, name=name)
+    return ShareFlow(sim, name=name)
+
+
+class VcSlot:
+    """One output VC: unsharebox latch -> single-flit buffer -> link.
+
+    ``on_departed`` is wired to the VC control module: it fires when a
+    flit leaves the unsharebox, which is what toggles the unlock wire
+    back along the connection.
+    """
+
+    def __init__(self, sim: Simulator, config: RouterConfig,
+                 out_port: Direction, vc: int,
+                 on_departed: Callable[[], None], name: str):
+        self.sim = sim
+        self.config = config
+        self.out_port = out_port
+        self.vc = vc
+        self.name = name
+        latch_capacity = (config.credit_window
+                          if config.flow_control == "credit" else 1)
+        self.unsharebox = Unsharebox(sim, name=f"{name}.ub")
+        # Credit mode needs the downstream landing space to cover the
+        # window; share mode is exactly one flit as in the paper.
+        self.unsharebox.latch.capacity = latch_capacity
+        self.unsharebox.on_unlock(on_departed)
+        self.buffer = Store(sim, capacity=1, name=f"{name}.buf")
+        self.flow = make_flow(config, sim, name=f"{name}.flow")
+        self.flits_through = 0
+        self._mover = sim.process(self._move(), name=f"{name}.mover")
+
+    def accept(self, flit: GsFlit) -> None:
+        """Arrival from the switching module into the unsharebox."""
+        self.unsharebox.accept(flit)
+
+    def _move(self):
+        """Unsharebox -> buffer; the departure fires the unlock."""
+        transfer_ns = self.config.timing.unshare_transfer_ns()
+        while True:
+            yield self.unsharebox.latch.when_any()
+            yield self.buffer.when_space()
+            yield self.sim.timeout(transfer_ns)
+            flit = yield self.unsharebox.take()
+            if not self.buffer.try_put(flit):
+                raise ShareProtocolError(
+                    f"{self.name}: buffer stolen during unshare transfer")
+            self.flits_through += 1
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.buffer) + len(self.unsharebox.latch)
+
+
+class BeTxChannel:
+    """BE side of a network output port: queue + credit counter.
+
+    The BE channel shares the physical link through the same arbiter but
+    has its own credit-based flow control, handled separately from the VC
+    control module (paper Sections 4.3 and 5).
+    """
+
+    def __init__(self, sim: Simulator, config: RouterConfig, vc: int,
+                 name: str):
+        self.sim = sim
+        self.config = config
+        self.vc = vc
+        self.name = name
+        self.queue = Store(sim, capacity=config.be_queue_depth,
+                           name=f"{name}.q")
+        self.credits = config.be_buffer_depth
+        self._gate = Gate(sim, is_open=True, name=f"{name}.credits")
+        self.flits_sent = 0
+
+    def credit_return(self) -> None:
+        if self.credits >= self.config.be_buffer_depth:
+            raise ShareProtocolError(f"{self.name}: BE credit overflow")
+        self.credits += 1
+        self._gate.open()
+
+    def consume_credit(self) -> None:
+        if self.credits <= 0:
+            raise ShareProtocolError(f"{self.name}: BE credit underflow")
+        self.credits -= 1
+        if self.credits == 0:
+            self._gate.close()
+
+    def wait_credit(self) -> Event:
+        return self._gate.wait_open()
+
+
+class NetworkOutputPort:
+    """A network output: V VC slots + BE channels + the link arbiter.
+
+    The port is created unattached; :meth:`attach_link` wires it to the
+    physical link and starts the sender processes (the arbiter cycle time
+    depends on the link's pipelining).
+    """
+
+    def __init__(self, sim: Simulator, router, direction: Direction,
+                 name: str):
+        self.sim = sim
+        self.router = router
+        self.config: RouterConfig = router.config
+        self.direction = direction
+        self.name = name
+        self.slots: List[VcSlot] = [
+            VcSlot(sim, self.config, direction, vc,
+                   on_departed=self._departure_hook(vc),
+                   name=f"{name}.vc{vc}")
+            for vc in range(self.config.vcs_per_port)
+        ]
+        self.be_tx: List[BeTxChannel] = [
+            BeTxChannel(sim, self.config, vc, name=f"{name}.be{vc}")
+            for vc in range(self.config.be_channels)
+        ]
+        self.link = None
+        self.arbiter: Optional[LinkArbiter] = None
+
+    def _departure_hook(self, vc: int) -> Callable[[], None]:
+        def hook():
+            self.router.vc_control.departed(self.direction, vc)
+        return hook
+
+    def attach_link(self, link) -> None:
+        if self.link is not None:
+            raise ValueError(f"{self.name}: link already attached")
+        self.link = link
+        from .link_arbiter import make_policy
+        policy = make_policy(self.config.arbiter,
+                             self.config.link_requesters)
+        self.arbiter = LinkArbiter(
+            self.sim, policy, cycle_ns=link.media_cycle_ns,
+            arbitration_ns=self.config.timing.arbitration_ns(),
+            name=f"{self.name}.arb")
+        for slot in self.slots:
+            self.sim.process(self._gs_sender(slot),
+                             name=f"{slot.name}.sender")
+        for chan in self.be_tx:
+            self.sim.process(self._be_sender(chan),
+                             name=f"{chan.name}.sender")
+
+    def _gs_sender(self, slot: VcSlot):
+        """Contend for the link whenever the slot head flit may advance."""
+        while True:
+            yield slot.buffer.when_any()
+            while not slot.flow.ready:
+                yield slot.flow.wait_ready()
+            yield self.arbiter.request(slot.vc)
+            flit = slot.buffer.try_get()
+            if flit is None:  # pragma: no cover - single consumer
+                raise ShareProtocolError(f"{slot.name}: buffer raced empty")
+            slot.flow.admit()
+            entry = self.router.table.require(self.direction, slot.vc)
+            if entry.steering is None:
+                raise ShareProtocolError(
+                    f"{slot.name}: network VC without forward steering")
+            self.router.counters.bump("gs_link_flits")
+            self.link.transmit_gs(flit, entry.steering)
+
+    def _be_sender(self, chan: BeTxChannel):
+        be_rid = self.config.vcs_per_port + chan.vc
+        while True:
+            yield chan.queue.when_any()
+            while chan.credits <= 0:
+                yield chan.wait_credit()
+            yield self.arbiter.request(be_rid)
+            flit = chan.queue.try_get()
+            if flit is None:  # pragma: no cover - single consumer
+                raise ShareProtocolError(f"{chan.name}: queue raced empty")
+            chan.consume_credit()
+            chan.flits_sent += 1
+            self.router.counters.bump("be_link_flits")
+            self.link.transmit_be(flit)
+
+    def sharebox_release(self, vc: int) -> None:
+        """Unlock/credit return arriving over the link's reverse wires."""
+        self.slots[vc].flow.release()
+
+    def be_credit_return(self, vc: int) -> None:
+        self.be_tx[vc].credit_return()
+
+
+class LocalOutputPort:
+    """The local output: dedicated GS interfaces straight to the NA.
+
+    No arbitration — each of the (up to four) GS interfaces is its own
+    physical channel; the NA consumes from the slot buffer at its own
+    (clocked) pace, which backpressures the connection end to end.
+    """
+
+    def __init__(self, sim: Simulator, router, name: str):
+        self.sim = sim
+        self.router = router
+        self.config: RouterConfig = router.config
+        self.direction = Direction.LOCAL
+        self.name = name
+        self.slots: List[VcSlot] = [
+            VcSlot(sim, self.config, Direction.LOCAL, iface,
+                   on_departed=self._departure_hook(iface),
+                   name=f"{name}.if{iface}")
+            for iface in range(self.config.local_gs_interfaces)
+        ]
+
+    def _departure_hook(self, iface: int) -> Callable[[], None]:
+        def hook():
+            self.router.vc_control.departed(Direction.LOCAL, iface)
+        return hook
+
+    def take(self, iface: int) -> Event:
+        """Event yielding the next delivered flit on an interface (used by
+        the network adapter)."""
+        return self.slots[iface].buffer.get()

@@ -1,0 +1,59 @@
+"""The VC control module (paper Section 4.3, Figure 6).
+
+Share-based VC control uses a single wire per VC: when a flit leaves the
+unsharebox of a VC buffer, the unlock toggle must reach the sharebox of
+the *previous* hop of that connection.  The VC control module is a
+non-blocking (P·V) x (P·V) circuit switch — in the 5x5/8VC router, 5·8
+instances of a (5−1)·8-input multiplexer — that steers each VC buffer's
+unlock onto the correct input-port VC wire according to the control
+channel bits stored in the connection table.  The mapping is static during
+connection usage.
+"""
+
+from __future__ import annotations
+
+from ..network.topology import Direction
+
+__all__ = ["VcControlModule"]
+
+
+class VcControlModule:
+    """Routes unlock toggles from VC buffers back along connections."""
+
+    def __init__(self, router):
+        self.router = router
+        self.unlocks_routed = 0
+        self.orphan_unlocks = 0
+
+    def departed(self, out_port: Direction, vc: int) -> None:
+        """A flit left the unsharebox of (out_port, vc): route the unlock
+        to the connection's input wire per the connection table."""
+        entry = self.router.table.lookup(out_port, vc)
+        if entry is None:
+            # Can only happen if a connection is torn down with flits in
+            # flight; counted so tests can assert it never fires in a
+            # well-formed run.
+            self.orphan_unlocks += 1
+            return
+        self.unlocks_routed += 1
+        if entry.unlock_dir is Direction.LOCAL:
+            self.router.local_link.send_gs_unlock(entry.unlock_vc)
+        else:
+            link = self.router.input_links.get(entry.unlock_dir)
+            if link is None:
+                raise RuntimeError(
+                    f"router {self.router.coord}: unlock towards "
+                    f"{entry.unlock_dir.name} but no link attached")
+            link.send_unlock(entry.unlock_vc)
+
+    @property
+    def mux_instances(self) -> int:
+        """Structural count: one unlock mux per VC buffer (area model)."""
+        cfg = self.router.config
+        return 4 * cfg.vcs_per_port + cfg.local_gs_interfaces
+
+    @property
+    def mux_inputs(self) -> int:
+        """Inputs per unlock mux: (P-1) * V candidate input wires."""
+        cfg = self.router.config
+        return 4 * cfg.vcs_per_port

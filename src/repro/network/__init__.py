@@ -1,0 +1,88 @@
+"""NoC substrate: topology, packets, routing, links, adapters, network.
+
+Only the dependency-free leaf modules are imported eagerly; the heavier
+modules (adapter, connection, network, ocp) are exposed lazily (PEP 562)
+because they import from :mod:`repro.core`, which itself uses the leaf
+modules here — eager imports would create a package-init cycle.
+"""
+
+from importlib import import_module
+
+from .topology import Coord, Direction, Mesh, NETWORK_DIRECTIONS
+from .packet import (
+    BeFlit,
+    BePacket,
+    FLIT_DATA_BITS,
+    GsFlit,
+    LINK_FLIT_BITS,
+    Steering,
+    SteeringError,
+    allowed_output_ports,
+    decode_steering,
+    encode_steering,
+    make_be_packet,
+)
+from .routing import (
+    MAX_HOPS,
+    RouteError,
+    encode_source_route,
+    header_direction,
+    reverse_moves,
+    rotate_header,
+    route_for,
+    walk_route,
+    xy_moves,
+)
+
+_LAZY = {
+    "AdmissionError": ".connection",
+    "ClockDomain": ".adapter",
+    "Connection": ".connection",
+    "ConnectionManager": ".connection",
+    "GsSink": ".connection",
+    "GsTxEndpoint": ".adapter",
+    "LOCAL_LINK_MM": ".link",
+    "Link": ".link",
+    "LocalLink": ".link",
+    "MangoNetwork": ".network",
+    "NetworkAdapter": ".adapter",
+    "OcpError": ".ocp",
+    "OcpMaster": ".ocp",
+    "OcpMemorySlave": ".ocp",
+    "OcpResponse": ".ocp",
+}
+
+__all__ = [
+    "BeFlit",
+    "BePacket",
+    "Coord",
+    "Direction",
+    "FLIT_DATA_BITS",
+    "GsFlit",
+    "LINK_FLIT_BITS",
+    "MAX_HOPS",
+    "Mesh",
+    "NETWORK_DIRECTIONS",
+    "RouteError",
+    "Steering",
+    "SteeringError",
+    "allowed_output_ports",
+    "decode_steering",
+    "encode_source_route",
+    "encode_steering",
+    "header_direction",
+    "make_be_packet",
+    "reverse_moves",
+    "rotate_header",
+    "route_for",
+    "walk_route",
+    "xy_moves",
+] + sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = import_module(target, __name__)
+    return getattr(module, name)

@@ -1,0 +1,288 @@
+"""Network adapters (paper Section 3, Figure 1).
+
+Each IP core connects to the network through a network adapter (NA): it
+packetizes transactions, terminates GS connections on the local port's
+dedicated GS interfaces, injects/receives BE packets, and performs the
+synchronization between the clocked core and the clockless network — the
+GALS boundary.  OCP-style read/write transactions ride on top
+(:mod:`repro.network.ocp`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..core.output_port import ShareFlow
+from ..network.packet import BeFlit, BePacket, GsFlit, Steering, make_be_packet
+from ..network.routing import route_for
+from ..network.topology import Coord, Direction
+from ..sim.kernel import Simulator
+from ..sim.resources import Store
+
+__all__ = ["ClockDomain", "GsTxEndpoint", "NetworkAdapter"]
+
+
+class ClockDomain:
+    """The IP core's clock: injection/consumption happen on edges, and
+    data entering the clock domain pays a synchronizer latency."""
+
+    def __init__(self, period_ns: float, sync_cycles: int = 2,
+                 offset_ns: float = 0.0):
+        if period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        if sync_cycles < 1:
+            raise ValueError("a synchronizer is at least one cycle")
+        self.period_ns = period_ns
+        self.sync_cycles = sync_cycles
+        self.offset_ns = offset_ns
+
+    @property
+    def frequency_mhz(self) -> float:
+        return 1e3 / self.period_ns
+
+    @property
+    def sync_latency_ns(self) -> float:
+        return self.sync_cycles * self.period_ns
+
+    def next_edge(self, sim: Simulator):
+        """Timeout to the next clock edge strictly after now."""
+        now = sim.now - self.offset_ns
+        edges = math.floor(now / self.period_ns) + 1
+        target = edges * self.period_ns + self.offset_ns
+        return sim.timeout(target - sim.now)
+
+
+class GsTxEndpoint:
+    """Source end of a GS connection: one of the NA's local GS interfaces.
+
+    Holds the connection's first-hop steering bits and a sharebox that the
+    first router's VC control module unlocks — the inherent end-to-end
+    flow control of MANGO reaches all the way into the NA.
+    """
+
+    def __init__(self, sim: Simulator, iface: int, name: str):
+        self.sim = sim
+        self.iface = iface
+        self.name = name
+        self.queue = Store(sim, name=f"{name}.q")  # application-side queue
+        self.flow = ShareFlow(sim, name=f"{name}.flow")
+        self.steering: Optional[Steering] = None
+        self.connection_id: Optional[int] = None
+        self.flits_injected = 0
+
+    @property
+    def bound(self) -> bool:
+        return self.steering is not None
+
+
+class NetworkAdapter:
+    """One tile's NA: GS endpoints + BE interface + GALS synchronization."""
+
+    def __init__(self, sim: Simulator, coord: Coord, router, local_link,
+                 clock: Optional[ClockDomain] = None):
+        self.sim = sim
+        self.coord = coord
+        self.router = router
+        self.local_link = local_link
+        self.clock = clock
+        self.name = f"NA{coord.x}.{coord.y}"
+        config = router.config
+        self.tx_endpoints: List[GsTxEndpoint] = [
+            GsTxEndpoint(sim, i, name=f"{self.name}.tx{i}")
+            for i in range(config.local_gs_interfaces)
+        ]
+        self._rx_bound: Dict[int, Callable] = {}
+        self.be_inbox: Store = Store(sim, name=f"{self.name}.be_inbox")
+        self._ack_handlers: List[Callable[[int], None]] = []
+        self._packet_handlers: List[Callable[[BePacket], Optional[bool]]] = []
+        self.be_packets_sent = 0
+        self.be_packets_received = 0
+        self.dropped_rx_flits = 0
+        local_link.attach_adapter(self)
+        # Endpoint processes are persistent; bind/unbind only swaps the
+        # routing state, so teardown never leaves stale waiters on stores.
+        for endpoint in self.tx_endpoints:
+            sim.process(self._tx_run(endpoint), name=f"{endpoint.name}.run")
+        for iface in range(config.local_gs_interfaces):
+            sim.process(self._rx_run(iface), name=f"{self.name}.rx{iface}")
+        sim.process(self._be_dispatch(), name=f"{self.name}.be_dispatch")
+
+    # -- GS transmit -----------------------------------------------------------
+
+    def bind_tx(self, iface: int, steering: Steering,
+                connection_id: int) -> GsTxEndpoint:
+        """Attach a new connection's first hop to a local GS interface."""
+        endpoint = self.tx_endpoints[iface]
+        if endpoint.bound:
+            raise ValueError(f"{endpoint.name} already bound to connection "
+                             f"{endpoint.connection_id}")
+        endpoint.steering = steering
+        endpoint.connection_id = connection_id
+        return endpoint
+
+    def unbind_tx(self, iface: int) -> None:
+        endpoint = self.tx_endpoints[iface]
+        endpoint.steering = None
+        endpoint.connection_id = None
+
+    def release_tx(self, iface: int) -> None:
+        """Unlock toggle from the router's VC control module."""
+        self.tx_endpoints[iface].flow.release()
+
+    def gs_send(self, iface: int, flit: GsFlit) -> None:
+        """Queue a flit on a bound connection (application side)."""
+        endpoint = self.tx_endpoints[iface]
+        if not endpoint.bound:
+            raise ValueError(f"{endpoint.name} is not bound to a connection")
+        if flit.inject_time < 0:
+            flit.inject_time = self.sim.now
+        flit.connection_id = endpoint.connection_id
+        if not endpoint.queue.try_put(flit):  # pragma: no cover
+            raise RuntimeError("unbounded queue refused a put")
+
+    def _tx_run(self, endpoint: GsTxEndpoint):
+        cycle_ns = self.router.config.timing.link_cycle_ns
+        while True:
+            yield endpoint.queue.when_any()
+            if self.clock is not None:
+                yield self.clock.next_edge(self.sim)
+            while not endpoint.flow.ready:
+                yield endpoint.flow.wait_ready()
+            flit = endpoint.queue.try_get()
+            if flit is None:  # pragma: no cover - single consumer
+                continue
+            if not endpoint.bound:
+                # Stragglers queued before an unbind are dropped; the
+                # manager drains connections before closing them.
+                self.dropped_rx_flits += 1
+                continue
+            endpoint.flow.admit()
+            endpoint.flits_injected += 1
+            self.local_link.transmit_inject(endpoint.steering, flit)
+            yield self.sim.timeout(cycle_ns)
+
+    # -- GS receive --------------------------------------------------------------
+
+    def bind_rx(self, iface: int, callback: Callable[[GsFlit, float], None]
+                ) -> None:
+        """Deliver flits arriving on a local GS interface to ``callback``."""
+        if iface in self._rx_bound:
+            raise ValueError(f"{self.name}: rx interface {iface} already "
+                             "bound")
+        self._rx_bound[iface] = callback
+
+    def unbind_rx(self, iface: int) -> None:
+        self._rx_bound.pop(iface, None)
+
+    def _deliver_rx(self, iface: int, flit: GsFlit) -> None:
+        callback = self._rx_bound.get(iface)
+        if callback is None:
+            self.dropped_rx_flits += 1
+        else:
+            callback(flit, self.sim.now)
+
+    def _rx_run(self, iface: int):
+        if self.clock is None:
+            while True:
+                flit = yield self.router.local_output.take(iface)
+                self._deliver_rx(iface, flit)
+        # Clocked core: a small synchronizer FIFO pipelines the crossing —
+        # throughput one flit per clock edge, latency the synchronizer
+        # depth, back-pressure through the bounded FIFO into the network.
+        sync_fifo = Store(self.sim, capacity=4,
+                          name=f"{self.name}.sync{iface}")
+        self.sim.process(self._rx_sync_mover(iface, sync_fifo),
+                         name=f"{self.name}.sync_mover{iface}")
+        while True:
+            yield sync_fifo.when_any()
+            while not sync_fifo.is_empty:
+                yield self.clock.next_edge(self.sim)
+                arrival, flit = sync_fifo.head()
+                if self.sim.now - arrival >= self.clock.sync_latency_ns:
+                    sync_fifo.try_get()
+                    self._deliver_rx(iface, flit)
+
+    def _rx_sync_mover(self, iface: int, sync_fifo: Store):
+        while True:
+            flit = yield self.router.local_output.take(iface)
+            yield sync_fifo.put((self.sim.now, flit))
+
+    # -- BE interface -------------------------------------------------------------
+
+    def send_be(self, dst: Coord, words: List[int], vc: int = 0
+                ) -> Generator:
+        """Sub-generator: inject one BE packet routed to ``dst``.
+
+        ``vc`` selects the BE VC explicitly, or pass ``"adaptive"`` to
+        let the NA pick the emptier VC at the first hop — the "adaptive
+        VC allocation" extension the spare header bit enables (paper
+        Section 5).  Same-tile traffic is looped back locally (the 2-bit
+        rotation scheme cannot address the own local port, DESIGN.md §4).
+        """
+        if dst == self.coord:
+            packet = BePacket(header=0, words=list(words),
+                              packet_id=-1, src=self.coord,
+                              inject_time=self.sim.now,
+                              arrive_time=self.sim.now)
+            self._dispatch_packet(packet)
+            return
+        header = route_for(self.coord, dst)
+        yield self.router.hold_local_be_port()
+        try:
+            # Decide the VC once injection actually starts, so adaptive
+            # selection sees the congestion state at that moment.
+            chosen = self._pick_be_vc(dst) if vc == "adaptive" else vc
+            flits = make_be_packet(header, words, vc=chosen,
+                                   inject_time=self.sim.now,
+                                   src=self.coord)
+            self.be_packets_sent += 1
+            yield from self.router._inject_local_be_flits(flits)
+        finally:
+            self.router.release_local_be_port()
+
+    def _pick_be_vc(self, dst: Coord) -> int:
+        """Choose the less-congested BE VC towards the first hop of the
+        XY route (most available downstream credits; ties favour VC 0)."""
+        from .routing import xy_moves
+        vcs = self.router.be_router.vcs
+        if vcs < 2:
+            return 0
+        first_move = xy_moves(self.coord, dst)[0]
+        port = self.router.output_ports[first_move]
+        best_vc, best_credits = 0, -1
+        for index, channel in enumerate(port.be_tx):
+            free = channel.credits - len(channel.queue.items)
+            if free > best_credits:
+                best_vc, best_credits = index, free
+        return best_vc
+
+    def on_config_ack(self, handler: Callable[[int], None]) -> None:
+        self._ack_handlers.append(handler)
+
+    def add_packet_handler(self, handler: Callable[[BePacket],
+                                                   Optional[bool]]) -> None:
+        """Handlers may claim a packet by returning True; unclaimed packets
+        land in :attr:`be_inbox`."""
+        self._packet_handlers.append(handler)
+
+    def _be_dispatch(self):
+        from ..core.programming import OP_ACK, is_config_word
+        while True:
+            packet = yield self.router.local_be_rx.get()
+            self.be_packets_received += 1
+            words = packet.words
+            if words and is_config_word(words[0]) \
+                    and ((words[0] >> 20) & 0xF) == OP_ACK:
+                seq = (words[0] >> 8) & 0xFFF
+                for handler in self._ack_handlers:
+                    handler(seq)
+                continue
+            self._dispatch_packet(packet)
+
+    def _dispatch_packet(self, packet: BePacket) -> None:
+        for handler in self._packet_handlers:
+            if handler(packet):
+                return
+        if not self.be_inbox.try_put(packet):  # pragma: no cover
+            raise RuntimeError("unbounded inbox refused a put")

@@ -1,0 +1,318 @@
+"""GS connections: allocation, programming and lifecycle.
+
+A connection is a reserved sequence of independently buffered VCs from a
+source NA interface to a destination NA interface (paper Section 3).  The
+:class:`ConnectionManager` computes the XY path, allocates one free VC on
+every link (admission control), and programs each router's connection
+table — via real BE config packets through the network, exactly as the
+paper describes ("GS connections are set up by programming these into the
+GS router via the BE router"), or instantly for unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..core.connection_table import TableEntry
+from ..core.programming import OP_SETUP, OP_TEARDOWN, pack_command
+from ..network.packet import GsFlit, Steering, encode_steering
+from ..network.routing import route_for, xy_moves
+from ..network.topology import Coord, Direction
+from ..sim.kernel import Event, Simulator
+
+__all__ = ["AdmissionError", "GsSink", "Connection", "ConnectionManager"]
+
+
+class AdmissionError(Exception):
+    """No free VC (or local interface) on some hop of the requested path."""
+
+
+class GsSink:
+    """Records flits arriving at the destination NA of a connection."""
+
+    def __init__(self):
+        self.count = 0
+        self.payloads: List[int] = []
+        self.latencies: List[float] = []
+        self.first_arrival = float("inf")
+        self.last_arrival = -float("inf")
+
+    def record(self, flit: GsFlit, now: float) -> None:
+        self.count += 1
+        self.payloads.append(flit.payload)
+        if flit.inject_time >= 0:
+            self.latencies.append(now - flit.inject_time)
+        self.first_arrival = min(self.first_arrival, now)
+        self.last_arrival = max(self.last_arrival, now)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies) if self.latencies else float("nan")
+
+    def throughput_flits_per_ns(self) -> float:
+        """Arrival rate over the sink's active window."""
+        span = self.last_arrival - self.first_arrival
+        if self.count < 2 or span <= 0:
+            return 0.0
+        return (self.count - 1) / span
+
+
+@dataclass
+class Hop:
+    """One reserved VC buffer: at ``coord``'s ``out_dir`` port, index ``vc``."""
+
+    coord: Coord
+    out_dir: Direction
+    vc: int
+
+
+@dataclass
+class Connection:
+    """Handle for an open (or opening) GS connection."""
+
+    connection_id: int
+    src: Coord
+    dst: Coord
+    src_iface: int
+    dst_iface: int
+    hops: List[Hop]
+    manager: "ConnectionManager"
+    sink: GsSink = field(default_factory=GsSink)
+    state: str = "opening"
+    sent_count: int = 0
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.hops)
+
+    def send(self, payload: int, last: bool = False) -> GsFlit:
+        """Queue one flit at the source NA (application side)."""
+        if self.state != "open":
+            raise RuntimeError(f"connection {self.connection_id} is "
+                               f"{self.state}, not open")
+        flit = GsFlit(payload=payload, last=last, seq=self.sent_count)
+        self.sent_count += 1
+        na = self.manager.network.adapters[self.src]
+        na.gs_send(self.src_iface, flit)
+        return flit
+
+    def send_message(self, payloads: List[int]) -> None:
+        """Queue a burst, marking the final flit with the tail bit."""
+        for index, payload in enumerate(payloads):
+            self.send(payload, last=(index == len(payloads) - 1))
+
+
+class ConnectionManager:
+    """Allocates VCs and programs connections into the routers."""
+
+    def __init__(self, network):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self._ids = itertools.count(1)
+        self._seqs = itertools.count(1)
+        # Free VC pools per (router coord, output direction).
+        vcs = network.config.vcs_per_port
+        self.vc_pools: Dict[Tuple[Coord, Direction], set] = {}
+        for coord, direction in network.link_keys():
+            self.vc_pools[(coord, direction)] = set(range(vcs))
+        ifaces = network.config.local_gs_interfaces
+        self.tx_pools: Dict[Coord, set] = {
+            coord: set(range(ifaces)) for coord in network.mesh.tiles()}
+        self.rx_pools: Dict[Coord, set] = {
+            coord: set(range(ifaces)) for coord in network.mesh.tiles()}
+        self.connections: Dict[int, Connection] = {}
+        self._pending_acks: Dict[int, Event] = {}
+        for adapter in network.adapters.values():
+            adapter.on_config_ack(self._ack_arrived)
+
+    # -- allocation ------------------------------------------------------------
+
+    def _allocate(self, src: Coord, dst: Coord) -> Tuple[int, int, List[Hop]]:
+        """Reserve a path; raises :class:`AdmissionError` when full."""
+        if src == dst:
+            raise AdmissionError(
+                "GS connections terminate on different local ports "
+                "(paper Section 3)")
+        moves = xy_moves(src, dst)
+        from ..network.routing import MAX_HOPS
+        if len(moves) > MAX_HOPS:
+            raise AdmissionError(
+                f"path of {len(moves)} hops exceeds the {MAX_HOPS}-hop "
+                "source-route limit of the programming packets")
+        if not self.tx_pools[src]:
+            raise AdmissionError(f"no free GS source interface at {src}")
+        if not self.rx_pools[dst]:
+            raise AdmissionError(f"no free GS sink interface at {dst}")
+        hops: List[Hop] = []
+        taken: List[Tuple[Coord, Direction, int]] = []
+        here = src
+        try:
+            for move in moves:
+                pool = self.vc_pools[(here, move)]
+                if not pool:
+                    raise AdmissionError(
+                        f"no free VC on link {here}->{move.name}")
+                vc = min(pool)
+                pool.discard(vc)
+                taken.append((here, move, vc))
+                hops.append(Hop(here, move, vc))
+                here = here.step(move)
+        except AdmissionError:
+            for coord, direction, vc in taken:
+                self.vc_pools[(coord, direction)].add(vc)
+            raise
+        src_iface = min(self.tx_pools[src])
+        dst_iface = min(self.rx_pools[dst])
+        self.tx_pools[src].discard(src_iface)
+        self.rx_pools[dst].discard(dst_iface)
+        return src_iface, dst_iface, hops
+
+    def _free(self, conn: Connection) -> None:
+        for hop in conn.hops:
+            self.vc_pools[(hop.coord, hop.out_dir)].add(hop.vc)
+        self.tx_pools[conn.src].add(conn.src_iface)
+        self.rx_pools[conn.dst].add(conn.dst_iface)
+
+    # -- table entry construction ------------------------------------------------
+
+    def _entries(self, conn: Connection) -> List[Tuple[Coord, Direction, int,
+                                                       TableEntry]]:
+        """(router coord, out_port, vc, entry) for every table write."""
+        cfg = self.network.config
+        writes = []
+        hops = conn.hops
+        for index, hop in enumerate(hops):
+            nxt = hop.coord.step(hop.out_dir)
+            in_dir_next = hop.out_dir.opposite
+            if index + 1 < len(hops):
+                steer = encode_steering(
+                    in_dir_next, hops[index + 1].out_dir,
+                    hops[index + 1].vc, vcs_per_port=cfg.vcs_per_port,
+                    local_interfaces=cfg.local_gs_interfaces)
+            else:
+                steer = encode_steering(
+                    in_dir_next, Direction.LOCAL, conn.dst_iface,
+                    vcs_per_port=cfg.vcs_per_port,
+                    local_interfaces=cfg.local_gs_interfaces)
+            if index == 0:
+                unlock_dir, unlock_vc = Direction.LOCAL, conn.src_iface
+            else:
+                unlock_dir = hops[index - 1].out_dir.opposite
+                unlock_vc = hops[index - 1].vc
+            writes.append((hop.coord, hop.out_dir, hop.vc,
+                           TableEntry(conn.connection_id, steer,
+                                      unlock_dir, unlock_vc)))
+        # Final router: the VC buffer at the local output port.
+        last = hops[-1]
+        writes.append((conn.dst, Direction.LOCAL, conn.dst_iface,
+                       TableEntry(conn.connection_id, None,
+                                  last.out_dir.opposite, last.vc)))
+        return writes
+
+    def _source_steering(self, conn: Connection) -> Steering:
+        cfg = self.network.config
+        first = conn.hops[0]
+        return encode_steering(Direction.LOCAL, first.out_dir, first.vc,
+                               vcs_per_port=cfg.vcs_per_port,
+                               local_interfaces=cfg.local_gs_interfaces)
+
+    def _bind_endpoints(self, conn: Connection) -> None:
+        src_na = self.network.adapters[conn.src]
+        dst_na = self.network.adapters[conn.dst]
+        src_na.bind_tx(conn.src_iface, self._source_steering(conn),
+                       conn.connection_id)
+        dst_na.bind_rx(conn.dst_iface, conn.sink.record)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def open_instant(self, src: Coord, dst: Coord) -> Connection:
+        """Reserve and program a connection with zero-time table writes.
+
+        Bypasses the BE network — for unit tests and experiments that are
+        not about setup cost."""
+        src_iface, dst_iface, hops = self._allocate(src, dst)
+        conn = Connection(next(self._ids), src, dst, src_iface, dst_iface,
+                          hops, self)
+        for coord, out_port, vc, entry in self._entries(conn):
+            self.network.routers[coord].table.program(out_port, vc, entry)
+        self._bind_endpoints(conn)
+        conn.state = "open"
+        self.connections[conn.connection_id] = conn
+        return conn
+
+    def open(self, src: Coord, dst: Coord,
+             want_ack: bool = True) -> Generator:
+        """Sub-generator: open a connection by sending config packets via
+        the BE network from the source NA; completes when all routers have
+        acknowledged.  Returns the open :class:`Connection`."""
+        src_iface, dst_iface, hops = self._allocate(src, dst)
+        conn = Connection(next(self._ids), src, dst, src_iface, dst_iface,
+                          hops, self)
+        try:
+            yield from self._program(conn, OP_SETUP, want_ack)
+        except Exception:
+            # Programming failed: return the reservations so the failure
+            # does not leak VCs or local interfaces.
+            self._free(conn)
+            raise
+        self._bind_endpoints(conn)
+        conn.state = "open"
+        self.connections[conn.connection_id] = conn
+        return conn
+
+    def close(self, conn: Connection, want_ack: bool = True) -> Generator:
+        """Sub-generator: tear the connection down and free its VCs.
+
+        The caller must have stopped the source; in-flight flits should be
+        drained before closing (checked via router occupancy)."""
+        if conn.state != "open":
+            raise RuntimeError(f"connection {conn.connection_id} is "
+                               f"{conn.state}")
+        conn.state = "closing"
+        src_na = self.network.adapters[conn.src]
+        src_na.unbind_tx(conn.src_iface)
+        self.network.adapters[conn.dst].unbind_rx(conn.dst_iface)
+        yield from self._program(conn, OP_TEARDOWN, want_ack)
+        self._free(conn)
+        conn.state = "closed"
+        del self.connections[conn.connection_id]
+
+    def _program(self, conn: Connection, opcode: int,
+                 want_ack: bool) -> Generator:
+        src_na = self.network.adapters[conn.src]
+        ack_events: List[Event] = []
+        for coord, out_port, vc, entry in self._entries(conn):
+            seq = next(self._seqs) & 0xFFF
+            ack_route = None
+            if want_ack and coord != conn.src:
+                ack_route = route_for(coord, conn.src)
+            words = pack_command(
+                opcode, seq, out_port=out_port, out_vc=vc,
+                steering=entry.steering, unlock_dir=entry.unlock_dir,
+                unlock_vc=entry.unlock_vc,
+                connection_id=conn.connection_id, ack_route=ack_route)
+            if coord == conn.src:
+                # The own router is programmed through the local port
+                # extension directly (a zero-hop BE route is impossible).
+                self.network.routers[coord].programming.execute(words)
+            else:
+                if ack_route is not None:
+                    event = Event(self.sim)
+                    self._pending_acks[seq] = event
+                    ack_events.append(event)
+                yield from src_na.send_be(coord, words)
+        for event in ack_events:
+            yield event
+
+    def _ack_arrived(self, seq: int) -> None:
+        event = self._pending_acks.pop(seq, None)
+        if event is not None and not event.triggered:
+            event.succeed()

@@ -1,0 +1,223 @@
+"""Minimal OCP transaction layer over the BE network (paper Section 3).
+
+Each NA provides "high level communication services, i.e. OCP
+transactions, on the basis of primitive services implemented by the
+network".  This module maps OCP-style reads and writes onto BE
+request/response packets:
+
+``command word``::
+
+    [31:28] 0xA magic
+    [27:24] command   (1 WR, 2 RD, 3 WR-response, 4 RD-response)
+    [23:16] tag       (matches responses to requests)
+    [15:8]  source x  (for the response route)
+    [7:0]   source y
+
+followed by an address word and, for writes / read responses, data words.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..sim.kernel import Event, Simulator
+from .packet import BePacket
+from .topology import Coord
+
+__all__ = ["OCP_MAGIC", "OcpError", "OcpMaster", "OcpMemorySlave",
+           "OcpResponse", "OcpStreamWriter", "OcpStreamReceiver"]
+
+OCP_MAGIC = 0xA
+CMD_WRITE = 1
+CMD_READ = 2
+CMD_WRITE_RESP = 3
+CMD_READ_RESP = 4
+
+
+class OcpError(Exception):
+    """Malformed OCP packet or protocol violation."""
+
+
+def _command_word(cmd: int, tag: int, src: Coord) -> int:
+    if not 0 <= tag < 256:
+        raise OcpError(f"tag {tag} does not fit in 8 bits")
+    if not (0 <= src.x < 256 and 0 <= src.y < 256):
+        raise OcpError(f"source {src} does not fit the 8-bit fields")
+    return (OCP_MAGIC << 28) | (cmd << 24) | (tag << 16) | (src.x << 8) | src.y
+
+
+def is_ocp_word(word: int) -> bool:
+    return (word >> 28) & 0xF == OCP_MAGIC
+
+
+def _parse(words: List[int]):
+    if not words or not is_ocp_word(words[0]):
+        raise OcpError("not an OCP packet")
+    head = words[0]
+    cmd = (head >> 24) & 0xF
+    tag = (head >> 16) & 0xFF
+    src = Coord((head >> 8) & 0xFF, head & 0xFF)
+    return cmd, tag, src, words[1:]
+
+
+@dataclass
+class OcpResponse:
+    """Completion of an OCP transaction."""
+
+    tag: int
+    command: int
+    data: List[int] = field(default_factory=list)
+    complete_time: float = -1.0
+
+
+class OcpMaster:
+    """Issues OCP reads/writes from one tile; matches responses by tag."""
+
+    def __init__(self, adapter):
+        self.adapter = adapter
+        self.sim: Simulator = adapter.sim
+        self._tags = itertools.count()
+        self._pending: Dict[int, Event] = {}
+        self.completed: List[OcpResponse] = []
+        adapter.add_packet_handler(self._handle)
+
+    def _handle(self, packet: BePacket) -> bool:
+        try:
+            cmd, tag, _src, rest = _parse(packet.words)
+        except OcpError:
+            return False
+        if cmd not in (CMD_WRITE_RESP, CMD_READ_RESP):
+            return False
+        event = self._pending.pop(tag, None)
+        if event is None:
+            raise OcpError(f"response with unknown tag {tag}")
+        response = OcpResponse(tag=tag, command=cmd, data=rest[1:],
+                               complete_time=self.sim.now)
+        self.completed.append(response)
+        event.succeed(response)
+        return True
+
+    def write(self, target: Coord, addr: int, data: List[int]
+              ) -> Generator:
+        """Sub-generator: posted write + wait for the write response.
+        Returns the :class:`OcpResponse`."""
+        tag = next(self._tags) & 0xFF
+        words = [_command_word(CMD_WRITE, tag, self.adapter.coord),
+                 addr & 0xFFFFFFFF] + [d & 0xFFFFFFFF for d in data]
+        event = Event(self.sim)
+        self._pending[tag] = event
+        yield from self.adapter.send_be(target, words)
+        response = yield event
+        return response
+
+    def read(self, target: Coord, addr: int, length: int = 1) -> Generator:
+        """Sub-generator: read ``length`` words; returns OcpResponse with
+        the data."""
+        if not 1 <= length <= 16:
+            raise OcpError("read length must be 1..16")
+        tag = next(self._tags) & 0xFF
+        words = [_command_word(CMD_READ, tag, self.adapter.coord),
+                 addr & 0xFFFFFFFF, length]
+        event = Event(self.sim)
+        self._pending[tag] = event
+        yield from self.adapter.send_be(target, words)
+        response = yield event
+        return response
+
+
+class OcpMemorySlave:
+    """A memory-mapped OCP slave: serves reads/writes from a dict."""
+
+    def __init__(self, adapter, latency_ns: float = 5.0):
+        self.adapter = adapter
+        self.sim: Simulator = adapter.sim
+        self.latency_ns = latency_ns
+        self.memory: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+        adapter.add_packet_handler(self._handle)
+
+    def _handle(self, packet: BePacket) -> bool:
+        try:
+            cmd, tag, src, rest = _parse(packet.words)
+        except OcpError:
+            return False
+        if cmd not in (CMD_WRITE, CMD_READ):
+            return False
+        self.sim.process(self._serve(cmd, tag, src, rest),
+                         name=f"ocp_slave:{self.adapter.coord}")
+        return True
+
+    def _serve(self, cmd: int, tag: int, src: Coord, rest: List[int]):
+        yield self.sim.timeout(self.latency_ns)
+        if not rest:
+            raise OcpError("OCP request without an address word")
+        addr = rest[0]
+        if cmd == CMD_WRITE:
+            for offset, word in enumerate(rest[1:]):
+                self.memory[addr + offset] = word
+            self.writes += 1
+            words = [_command_word(CMD_WRITE_RESP, tag, self.adapter.coord),
+                     addr]
+        else:
+            length = rest[1] if len(rest) > 1 else 1
+            data = [self.memory.get(addr + i, 0) for i in range(length)]
+            self.reads += 1
+            words = [_command_word(CMD_READ_RESP, tag, self.adapter.coord),
+                     addr] + data
+        yield from self.adapter.send_be(src, words)
+
+
+class OcpStreamWriter:
+    """OCP burst writes carried over a GS connection.
+
+    The paper's NAs offer OCP transactions "on the basis of primitive
+    services implemented by the network"; for throughput-critical bursts
+    the primitive service is a GS connection, not BE packets: header-less
+    flits, guaranteed bandwidth, inherent end-to-end flow control.  A
+    burst is framed as [address, data...], with the tail bit of the final
+    flit closing the message.
+    """
+
+    def __init__(self, connection):
+        self.connection = connection
+        self.bursts_sent = 0
+        self.words_sent = 0
+
+    def write_burst(self, addr: int, data: List[int]) -> None:
+        """Queue one burst write (address flit + data flits, tail-framed)."""
+        if not data:
+            raise OcpError("a burst write needs at least one data word")
+        self.connection.send(addr & 0xFFFFFFFF)
+        for index, word in enumerate(data):
+            self.connection.send(word & 0xFFFFFFFF,
+                                 last=(index == len(data) - 1))
+        self.bursts_sent += 1
+        self.words_sent += len(data)
+
+
+class OcpStreamReceiver:
+    """Destination side of :class:`OcpStreamWriter`: reassembles bursts
+    from the framed GS flit stream and commits them to a memory dict."""
+
+    def __init__(self, adapter, connection):
+        self.adapter = adapter
+        self.memory: Dict[int, int] = {}
+        self.bursts_received = 0
+        self._current: Optional[List[int]] = None
+        adapter.unbind_rx(connection.dst_iface)
+        adapter.bind_rx(connection.dst_iface, self._on_flit)
+
+    def _on_flit(self, flit, _now: float) -> None:
+        if self._current is None:
+            self._current = [flit.payload]  # address flit opens the burst
+            return
+        self._current.append(flit.payload)
+        if flit.last:
+            addr, *data = self._current
+            for offset, word in enumerate(data):
+                self.memory[addr + offset] = word
+            self.bursts_received += 1
+            self._current = None

@@ -1,0 +1,128 @@
+"""Source routing for the BE router (paper Section 5).
+
+A BE packet's header flit is a 32-bit word holding the route as 2-bit
+direction codes, most-significant first.  At each hop the router reads the
+two MSBs, rotates the header left by two bits, and forwards.  Choosing the
+direction the packet *came from* means "deliver to the local port", so a
+route is the list of moves followed by the opposite of the last move.  With
+32-bit flits a packet can make at most 15 hops.
+
+XY routing (x first, then y) is used to build routes; it is deadlock-free
+for wormhole switching in a mesh.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .topology import Coord, Direction
+
+__all__ = [
+    "MAX_HOPS",
+    "RouteError",
+    "xy_moves",
+    "encode_source_route",
+    "rotate_header",
+    "header_direction",
+    "walk_route",
+    "reverse_moves",
+    "route_for",
+]
+
+#: Maximum number of hops a 32-bit header supports (15 move codes + the
+#: final "turn back" delivery code = 16 two-bit fields).
+MAX_HOPS = 15
+
+_HEADER_MASK = 0xFFFFFFFF
+
+
+class RouteError(ValueError):
+    """Raised for unroutable or over-long paths."""
+
+
+def xy_moves(src: Coord, dst: Coord) -> List[Direction]:
+    """Dimension-ordered (X then Y) move list from ``src`` to ``dst``."""
+    if src == dst:
+        raise RouteError(
+            "same-tile BE traffic does not traverse the network; the "
+            "adapter loops it back locally (see DESIGN.md)")
+    moves: List[Direction] = []
+    x, y = src
+    step_x = Direction.EAST if dst.x > x else Direction.WEST
+    while x != dst.x:
+        moves.append(step_x)
+        x += step_x.delta[0]
+    step_y = Direction.SOUTH if dst.y > y else Direction.NORTH
+    while y != dst.y:
+        moves.append(step_y)
+        y += step_y.delta[1]
+    return moves
+
+
+def encode_source_route(moves: List[Direction]) -> int:
+    """Pack a move list into a 32-bit header.
+
+    The code after the last move is the opposite of the last move — the
+    "route back where you came from" convention that triggers local
+    delivery at the destination router.
+    """
+    if not moves:
+        raise RouteError("a source route needs at least one hop")
+    if len(moves) > MAX_HOPS:
+        raise RouteError(
+            f"route of {len(moves)} hops exceeds the {MAX_HOPS}-hop limit "
+            "of a 32-bit header")
+    for move in moves:
+        if not move.is_network:
+            raise RouteError("source routes contain network directions only")
+    header = 0
+    shift = 30
+    for move in moves:
+        header |= int(move) << shift
+        shift -= 2
+    header |= int(moves[-1].opposite) << shift
+    return header & _HEADER_MASK
+
+
+def rotate_header(header: int) -> int:
+    """Rotate the header left by two bits (done by each router)."""
+    header &= _HEADER_MASK
+    return ((header << 2) | (header >> 30)) & _HEADER_MASK
+
+
+def header_direction(header: int) -> Direction:
+    """The 2-bit direction code in the header MSBs."""
+    return Direction((header >> 30) & 0x3)
+
+
+def walk_route(src: Coord, header: int, max_hops: int = MAX_HOPS + 1
+               ) -> Tuple[Coord, int]:
+    """Simulate the header walk: (delivery tile, hops taken).
+
+    Mirrors the router logic: at each tile, if the header directs back the
+    way the packet came, it is delivered locally.
+    """
+    here = src
+    came_from = None  # direction code that would send it back
+    hops = 0
+    while True:
+        direction = header_direction(header)
+        if came_from is not None and direction == came_from:
+            return here, hops
+        if hops >= max_hops:
+            raise RouteError(f"route from {src} did not deliver within "
+                             f"{max_hops} hops")
+        here = here.step(direction)
+        came_from = direction.opposite
+        header = rotate_header(header)
+        hops += 1
+
+
+def reverse_moves(moves: List[Direction]) -> List[Direction]:
+    """The return path of a route (reversed, each move opposed)."""
+    return [move.opposite for move in reversed(moves)]
+
+
+def route_for(src: Coord, dst: Coord) -> int:
+    """Header for the XY route from ``src`` to ``dst``."""
+    return encode_source_route(xy_moves(src, dst))

@@ -1,0 +1,148 @@
+"""Grid topology for MANGO networks.
+
+Routers are connected by point-to-point links in a grid-type structure
+(paper Section 3), homogeneous or heterogeneous (per-link lengths and
+pipelining differ).  Coordinates are ``(x, y)`` with x growing east and y
+growing south; ``(0, 0)`` is the north-west corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+__all__ = ["Direction", "Coord", "Mesh", "NETWORK_DIRECTIONS"]
+
+
+class Direction(IntEnum):
+    """Router port directions; LOCAL is the port facing the tile's NA."""
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+    LOCAL = 4
+
+    @property
+    def opposite(self) -> "Direction":
+        if self is Direction.LOCAL:
+            raise ValueError("LOCAL has no opposite direction")
+        return Direction((self + 2) % 4)
+
+    @property
+    def delta(self) -> Tuple[int, int]:
+        return _DELTAS[self]
+
+    @property
+    def is_network(self) -> bool:
+        return self is not Direction.LOCAL
+
+
+_DELTAS = {
+    Direction.NORTH: (0, -1),
+    Direction.EAST: (1, 0),
+    Direction.SOUTH: (0, 1),
+    Direction.WEST: (-1, 0),
+    Direction.LOCAL: (0, 0),
+}
+
+#: The four network directions in code order (matches the 2-bit encoding).
+NETWORK_DIRECTIONS = (Direction.NORTH, Direction.EAST, Direction.SOUTH,
+                      Direction.WEST)
+
+
+class Coord(NamedTuple):
+    """Tile coordinate: x east, y south."""
+
+    x: int
+    y: int
+
+    def step(self, direction: Direction) -> "Coord":
+        dx, dy = direction.delta
+        return Coord(self.x + dx, self.y + dy)
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y})"
+
+
+@dataclass
+class LinkSpec:
+    """Physical description of one unidirectional link."""
+
+    src: Coord
+    direction: Direction
+    length_mm: float
+    stages: int = 1
+
+    @property
+    def dst(self) -> Coord:
+        return self.src.step(self.direction)
+
+
+@dataclass
+class Mesh:
+    """A cols x rows grid of tiles.
+
+    ``link_length_mm`` sets the default physical length of every link;
+    ``link_overrides`` allows heterogeneous grids (longer, pipelined links
+    between distant tiles).
+    """
+
+    cols: int
+    rows: int
+    link_length_mm: float = 1.5
+    link_stages: int = 1
+    link_overrides: Dict[Tuple[Coord, Direction], LinkSpec] = field(
+        default_factory=dict)
+
+    def __post_init__(self):
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        if self.link_length_mm <= 0:
+            raise ValueError("link length must be positive")
+
+    def __contains__(self, coord: Coord) -> bool:
+        return 0 <= coord.x < self.cols and 0 <= coord.y < self.rows
+
+    @property
+    def n_tiles(self) -> int:
+        return self.cols * self.rows
+
+    def tiles(self) -> Iterator[Coord]:
+        for y in range(self.rows):
+            for x in range(self.cols):
+                yield Coord(x, y)
+
+    def neighbor(self, coord: Coord, direction: Direction
+                 ) -> Optional[Coord]:
+        """The tile across ``direction``, or None at the mesh edge."""
+        if direction is Direction.LOCAL:
+            return None
+        nxt = coord.step(direction)
+        return nxt if nxt in self else None
+
+    def links(self) -> Iterator[LinkSpec]:
+        """All unidirectional links of the mesh."""
+        for coord in self.tiles():
+            for direction in NETWORK_DIRECTIONS:
+                if self.neighbor(coord, direction) is None:
+                    continue
+                override = self.link_overrides.get((coord, direction))
+                if override is not None:
+                    yield override
+                else:
+                    yield LinkSpec(coord, direction, self.link_length_mm,
+                                   self.link_stages)
+
+    def link_spec(self, coord: Coord, direction: Direction) -> LinkSpec:
+        if self.neighbor(coord, direction) is None:
+            raise ValueError(f"no link {direction.name} of {coord}")
+        override = self.link_overrides.get((coord, direction))
+        if override is not None:
+            return override
+        return LinkSpec(coord, direction, self.link_length_mm,
+                        self.link_stages)
+
+    def manhattan(self, a: Coord, b: Coord) -> int:
+        return abs(a.x - b.x) + abs(a.y - b.y)

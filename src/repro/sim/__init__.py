@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate (kernel, resources, handshakes)."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    SimulationError,
+    Timeout,
+)
+from .resources import Gate, Resource, Signal, Store
+from .handshake import HandshakeChannel, PipelineChain, PipelineStage
+from .tracing import NULL_TRACER, NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Gate",
+    "HandshakeChannel",
+    "Interrupt",
+    "NULL_TRACER",
+    "NullTracer",
+    "PipelineChain",
+    "PipelineStage",
+    "Process",
+    "Resource",
+    "Signal",
+    "Simulator",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

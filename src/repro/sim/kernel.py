@@ -1,0 +1,402 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate on which the clockless MANGO circuits are modelled.
+SimPy is not available in this offline environment, so the kernel is built
+from scratch with the same programming model: *processes* are Python
+generators that ``yield`` events; the :class:`Simulator` advances virtual
+time (in nanoseconds) by popping events off a heap in deterministic order.
+
+Determinism matters for reproducing the paper's guarantees: two events at
+the same timestamp are ordered by (priority, insertion sequence), so a run
+with fixed seeds is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+    "AnyOf",
+    "AllOf",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LATE",
+]
+
+# Scheduling priorities: lower value pops first at equal timestamps.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LATE = 2
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level protocol violations (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event is *triggered* once it has a value (success or failure) and
+    *processed* once its callbacks have run.  Processes wait on events by
+    yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        # A failed event is "defused" once some process has received its
+        # exception; an undefused failure crashes the simulation so that
+        # errors never pass silently.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully; callbacks run after ``delay``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback``; if already processed it fires immediately
+        on the next kernel step (same timestamp)."""
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+        else:
+            proxy = Event(self.sim)
+            proxy._ok = self._ok
+            proxy._value = self._value
+            proxy.callbacks = [callback]
+            self.sim._enqueue(proxy, 0.0, PRIORITY_URGENT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ns after its creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay)
+
+
+class _ConditionValue:
+    """Mapping of events to values for AnyOf/AllOf results."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: dict = {}
+
+    def __getitem__(self, event):
+        return self.events[event]
+
+    def __contains__(self, event):
+        return event in self.events
+
+    def __len__(self):
+        return len(self.events)
+
+    def todict(self) -> dict:
+        return dict(self.events)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        if not self._events:
+            self.succeed(_ConditionValue())
+            return
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> _ConditionValue:
+        result = _ConditionValue()
+        for event in self._events:
+            if event.triggered and event._ok:
+                result.events[event] = event._value
+        return result
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True  # the condition takes over the failure
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when any child event succeeds."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_Condition):
+    """Triggers when all child events have succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self._events)
+
+
+class Process(Event):
+    """A generator-based coroutine driven by the events it yields.
+
+    The process object itself is an event that triggers when the generator
+    returns (its value is the ``return`` value), so processes can wait on
+    each other.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks = [self._resume]
+        sim._enqueue(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        poke = Event(self.sim)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke.callbacks = [self._resume]
+        self.sim._enqueue(poke, 0.0, PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        # If we were waiting on another event, detach from it (relevant for
+        # interrupts arriving while blocked).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if not self.triggered:
+                    self.fail(exc)
+                else:  # pragma: no cover - defensive
+                    raise
+                return
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded {next_event!r}, "
+                    "which is not an Event")
+                try:
+                    self._generator.throw(error)
+                except StopIteration:
+                    pass
+                except SimulationError:
+                    pass
+                self.fail(error)
+                return
+
+            if next_event.callbacks is not None:
+                # Not yet processed: park until it fires.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                return
+            # Already processed: consume its value immediately.
+            event = next_event
+
+
+class Simulator:
+    """Event loop: a heap of (time, priority, sequence, event)."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq,
+                                    event))
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process one event (advance time to it, run its callbacks)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
+            # No process consumed the failure: surface it here rather
+            # than letting the error pass silently.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"until={until} is before now={self._now}")
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self._now = max(self._now, until)
+            return
+        while self._heap:
+            self.step()
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: run a process to completion and return its value."""
+        proc = self.process(generator, name=name)
+        # run_process observes the outcome itself, so a failure is not an
+        # "unhandled" one — it is re-raised below, at the call site.
+        proc._defused = True
+        while not proc.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {proc.name!r} never finished")
+            self.step()
+        if not proc._ok:
+            raise proc._value
+        return proc._value

@@ -1,0 +1,247 @@
+"""Blocking resources built on the kernel: stores, signals, gates, mutexes.
+
+These model the storage and wiring primitives of the clockless router:
+
+* :class:`Store` — a capacity-bounded FIFO (VC buffers, unshare latches,
+  BE queues are Stores of capacity 1..N).
+* :class:`Signal` — a re-armable pulse; models a transition-signalled wire
+  such as the per-VC *unlock* wire of the share-based VC control scheme.
+* :class:`Gate` — a level wire that processes can wait to see open.
+* :class:`Resource` — FIFO mutual exclusion (used in baseline routers where
+  a shared crossbar *is* arbitrated, unlike MANGO's non-blocking switch).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from .kernel import Event, Simulator, SimulationError
+
+__all__ = ["Store", "Signal", "Gate", "Resource"]
+
+
+class Store:
+    """Capacity-bounded FIFO with peek support.
+
+    ``put`` blocks while full, ``get`` blocks while empty.  ``when_any``
+    returns an event that fires as soon as the store is non-empty *without*
+    removing the item — the MANGO VC sender uses this to contend for the
+    link while the flit stays in the buffer (the buffer slot is only freed
+    when the flit actually departs).
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()  # (event, item)
+        self._peekers: deque = deque()
+        self._space_waiters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is in the store."""
+        event = Event(self.sim)
+        if len(self.items) < self.capacity and not self._putters:
+            self.items.append(item)
+            event.succeed()
+            self._wake_consumers()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when full."""
+        if len(self.items) >= self.capacity or self._putters:
+            return False
+        self.items.append(item)
+        self._wake_consumers()
+        return True
+
+    def get(self) -> Event:
+        """Return an event whose value is the item removed from the head."""
+        event = Event(self.sim)
+        if self.items and not self._getters:
+            item = self.items.popleft()
+            event.succeed(item)
+            self._admit_writers()
+            self._wake_space_waiters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty (or a waiter exists)."""
+        if not self.items or self._getters:
+            return None
+        item = self.items.popleft()
+        self._admit_writers()
+        self._wake_space_waiters()
+        return item
+
+    def when_space(self) -> Event:
+        """Event that fires once the store has a free slot (immediately if
+        one exists now).  Pure notification: nothing is reserved."""
+        event = Event(self.sim)
+        if len(self.items) < self.capacity:
+            event.succeed()
+        else:
+            self._space_waiters.append(event)
+        return event
+
+    def _wake_space_waiters(self) -> None:
+        while self._space_waiters and len(self.items) < self.capacity:
+            self._space_waiters.popleft().succeed()
+
+    def when_any(self) -> Event:
+        """Event that fires (with the head item, not removed) once the
+        store is non-empty."""
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items[0])
+        else:
+            self._peekers.append(event)
+        return event
+
+    def head(self) -> Any:
+        """The head item without removing it (None when empty)."""
+        return self.items[0] if self.items else None
+
+    def _wake_consumers(self) -> None:
+        while self._peekers and self.items:
+            self._peekers.popleft().succeed(self.items[0])
+        while self._getters and self.items:
+            item = self.items.popleft()
+            self._getters.popleft().succeed(item)
+            self._admit_writers()
+
+    def _admit_writers(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+            # Newly stored item may satisfy a waiting getter/peeker.
+            while self._peekers and self.items:
+                self._peekers.popleft().succeed(self.items[0])
+            while self._getters and self.items:
+                got = self.items.popleft()
+                self._getters.popleft().succeed(got)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Store {self.name!r} {len(self.items)}/{self.capacity} "
+                f"getters={len(self._getters)} putters={len(self._putters)}>")
+
+
+class Signal:
+    """A re-armable pulse: every ``pulse`` wakes all *current* waiters.
+
+    Models transition signalling on a single wire (e.g. the unlock wire of
+    the sharebox scheme): a waiter that subscribes after a pulse does not
+    see that pulse.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: list = []
+        self.pulse_count = 0
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def pulse(self, value: Any = None) -> None:
+        self.pulse_count += 1
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+
+
+class Gate:
+    """A level-sensitive wire: open or closed; waiters pass when open."""
+
+    def __init__(self, sim: Simulator, is_open: bool = False, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._open = is_open
+        self._waiters: list = []
+        self.open_count = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        if self._open:
+            return
+        self._open = True
+        self.open_count += 1
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def close(self) -> None:
+        self._open = False
+
+    def wait_open(self) -> Event:
+        event = Event(self.sim)
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+
+class Resource:
+    """FIFO mutual exclusion over ``capacity`` slots."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users = 0
+        self._queue: deque = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._users
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Event:
+        event = Event(self.sim)
+        if self._users < self.capacity and not self._queue:
+            self._users += 1
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._users <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            self._queue.popleft().succeed()
+        else:
+            self._users -= 1

@@ -1,0 +1,93 @@
+"""Structured event tracing for simulations.
+
+Routers, arbiters and adapters emit :class:`TraceRecord` entries through an
+attached :class:`Tracer`.  Tests assert on event sequences; examples render
+timelines.  Tracing is off (a no-op ``NULL_TRACER``) unless enabled, so the
+hot simulation path stays cheap.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: what happened, where, when."""
+
+    time: float
+    source: str
+    kind: str
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        info = " ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
+        return f"{self.time:12.3f} ns  {self.source:<28s} {self.kind:<18s} {info}"
+
+
+class Tracer:
+    """Collects trace records; supports filtering and CSV export."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, source: str, kind: str, **info: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, source, kind, info))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(self, source: Optional[str] = None, kind: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None
+               ) -> List[TraceRecord]:
+        out = []
+        for rec in self.records:
+            if source is not None and source != rec.source:
+                continue
+            if kind is not None and kind != rec.kind:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rec in self.records:
+            counts[rec.kind] = counts.get(rec.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        records = self.records if limit is None else self.records[:limit]
+        return "\n".join(rec.format() for rec in records)
+
+    def to_csv(self) -> str:
+        """Render all records as CSV (info dict flattened to key=value)."""
+        buf = io.StringIO()
+        buf.write("time,source,kind,info\n")
+        for rec in self.records:
+            info = ";".join(f"{k}={v}" for k, v in sorted(rec.info.items()))
+            buf.write(f"{rec.time},{rec.source},{rec.kind},{info}\n")
+        return buf.getvalue()
+
+
+class NullTracer(Tracer):
+    """Tracer that drops everything (the default)."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def emit(self, time: float, source: str, kind: str, **info: Any) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

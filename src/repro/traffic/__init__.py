@@ -1,0 +1,42 @@
+"""Workload substrate: generators, patterns, sinks, statistics."""
+
+from .generators import (
+    BernoulliBePackets,
+    BurstySource,
+    CbrSource,
+    PoissonBePackets,
+    SaturatingSource,
+)
+from .patterns import (
+    BitComplement,
+    Hotspot,
+    NearestNeighbor,
+    Pattern,
+    Transpose,
+    UniformRandom,
+)
+from .sinks import BeCollector, GsBandwidthProbe
+from .stats import Histogram, RateMeter, RunningStats, percentile, trim_warmup
+from .workload import UniformBeWorkload, run_until_processes_done
+
+__all__ = [
+    "BeCollector",
+    "BernoulliBePackets",
+    "BitComplement",
+    "BurstySource",
+    "CbrSource",
+    "GsBandwidthProbe",
+    "Histogram",
+    "Hotspot",
+    "NearestNeighbor",
+    "Pattern",
+    "PoissonBePackets",
+    "RateMeter",
+    "RunningStats",
+    "SaturatingSource",
+    "Transpose",
+    "UniformBeWorkload",
+    "UniformRandom",
+    "percentile",
+    "trim_warmup",
+]

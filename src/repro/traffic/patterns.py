@@ -1,0 +1,109 @@
+"""Spatial traffic patterns.
+
+Standard NoC evaluation patterns mapping each source tile to destination
+tiles: uniform random, transpose, bit-complement, nearest neighbour and
+hotspot.  Patterns return a destination per packet, letting generators
+drive any mixture.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..network.topology import Coord, Mesh, NETWORK_DIRECTIONS
+
+__all__ = [
+    "Pattern",
+    "UniformRandom",
+    "Transpose",
+    "BitComplement",
+    "NearestNeighbor",
+    "Hotspot",
+]
+
+
+class Pattern:
+    """Maps a source tile to destination tiles."""
+
+    def __init__(self, mesh: Mesh):
+        self.mesh = mesh
+
+    def destination(self, src: Coord) -> Coord:
+        raise NotImplementedError
+
+    def _other_tiles(self, src: Coord) -> List[Coord]:
+        return [tile for tile in self.mesh.tiles() if tile != src]
+
+
+class UniformRandom(Pattern):
+    """Each packet goes to a uniformly random other tile."""
+
+    def __init__(self, mesh: Mesh, seed: int = 0):
+        super().__init__(mesh)
+        self.rng = random.Random(seed)
+
+    def destination(self, src: Coord) -> Coord:
+        return self.rng.choice(self._other_tiles(src))
+
+
+class Transpose(Pattern):
+    """(x, y) -> (y, x); tiles on the diagonal fall back to uniform."""
+
+    def __init__(self, mesh: Mesh, seed: int = 0):
+        super().__init__(mesh)
+        self._fallback = UniformRandom(mesh, seed)
+
+    def destination(self, src: Coord) -> Coord:
+        dst = Coord(src.y, src.x)
+        if dst == src or dst not in self.mesh:
+            return self._fallback.destination(src)
+        return dst
+
+
+class BitComplement(Pattern):
+    """(x, y) -> (cols-1-x, rows-1-y); the centre falls back to uniform."""
+
+    def __init__(self, mesh: Mesh, seed: int = 0):
+        super().__init__(mesh)
+        self._fallback = UniformRandom(mesh, seed)
+
+    def destination(self, src: Coord) -> Coord:
+        dst = Coord(self.mesh.cols - 1 - src.x, self.mesh.rows - 1 - src.y)
+        if dst == src:
+            return self._fallback.destination(src)
+        return dst
+
+
+class NearestNeighbor(Pattern):
+    """Each packet goes to a random in-mesh neighbour tile."""
+
+    def __init__(self, mesh: Mesh, seed: int = 0):
+        super().__init__(mesh)
+        self.rng = random.Random(seed)
+
+    def destination(self, src: Coord) -> Coord:
+        neighbors = [src.step(direction) for direction in NETWORK_DIRECTIONS]
+        neighbors = [tile for tile in neighbors if tile in self.mesh]
+        return self.rng.choice(neighbors)
+
+
+class Hotspot(Pattern):
+    """A fraction of traffic goes to a hotspot tile, the rest uniform."""
+
+    def __init__(self, mesh: Mesh, hotspot: Coord, fraction: float = 0.5,
+                 seed: int = 0):
+        super().__init__(mesh)
+        if hotspot not in mesh:
+            raise ValueError(f"hotspot {hotspot} outside the mesh")
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be in [0, 1]")
+        self.hotspot = hotspot
+        self.fraction = fraction
+        self.rng = random.Random(seed)
+        self._uniform = UniformRandom(mesh, seed + 1)
+
+    def destination(self, src: Coord) -> Coord:
+        if src != self.hotspot and self.rng.random() < self.fraction:
+            return self.hotspot
+        return self._uniform.destination(src)

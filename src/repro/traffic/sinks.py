@@ -1,0 +1,75 @@
+"""Measurement sinks for BE traffic and link-level observation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..network.packet import BePacket
+from ..network.topology import Coord
+from ..sim.kernel import Simulator
+from .stats import RateMeter, RunningStats, percentile
+
+__all__ = ["BeCollector", "GsBandwidthProbe"]
+
+
+class BeCollector:
+    """Drains a tile's BE inbox and records packet latencies."""
+
+    def __init__(self, sim: Simulator, network, coord: Coord):
+        self.sim = sim
+        self.network = network
+        self.coord = coord
+        self.packets: List[BePacket] = []
+        self.latency = RunningStats()
+        self.arrivals = RateMeter()
+        self.process = sim.process(self._run(), name=f"collect:{coord}")
+
+    def _run(self):
+        inbox = self.network.adapters[self.coord].be_inbox
+        while True:
+            packet = yield inbox.get()
+            self.packets.append(packet)
+            if packet.inject_time >= 0:
+                self.latency.add(packet.arrive_time - packet.inject_time)
+            self.arrivals.record(packet.arrive_time)
+
+    @property
+    def count(self) -> int:
+        return len(self.packets)
+
+    def latency_percentile(self, q: float) -> float:
+        samples = [p.latency for p in self.packets if p.inject_time >= 0]
+        return percentile(samples, q)
+
+
+class GsBandwidthProbe:
+    """Periodically samples a GS sink's delivered-flit count, giving a
+    bandwidth-versus-time series (used to check guarantees hold in every
+    window, not just on average)."""
+
+    def __init__(self, sim: Simulator, sink, window_ns: float,
+                 n_windows: int):
+        if window_ns <= 0 or n_windows < 1:
+            raise ValueError("window and count must be positive")
+        self.sim = sim
+        self.sink = sink
+        self.window_ns = window_ns
+        self.samples: List[int] = []
+        self.process = sim.process(self._run(n_windows), name="bwprobe")
+
+    def _run(self, n_windows: int):
+        previous = self.sink.count
+        for _ in range(n_windows):
+            yield self.sim.timeout(self.window_ns)
+            current = self.sink.count
+            self.samples.append(current - previous)
+            previous = current
+
+    def min_rate(self) -> float:
+        """Lowest per-window delivery rate (flits/ns) observed."""
+        if not self.samples:
+            return 0.0
+        return min(self.samples) / self.window_ns
+
+    def rates(self) -> List[float]:
+        return [count / self.window_ns for count in self.samples]

@@ -1,0 +1,176 @@
+"""Statistics utilities for simulation measurements.
+
+Pure-python (no numpy dependency in the hot path) running statistics,
+percentiles, histograms and windowed rate measurement, with warm-up
+trimming for steady-state experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "RunningStats",
+    "percentile",
+    "Histogram",
+    "RateMeter",
+    "trim_warmup",
+]
+
+
+class RunningStats:
+    """Welford online mean/variance plus min/max."""
+
+    def __init__(self):
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = float("inf")
+        self.maximum = -float("inf")
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else float("nan")
+
+    @property
+    def variance(self) -> float:
+        if self.n < 2:
+            return 0.0 if self.n else float("nan")
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance) if self.n else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.n:
+            return "RunningStats(empty)"
+        return (f"RunningStats(n={self.n}, mean={self.mean:.3f}, "
+                f"min={self.minimum:.3f}, max={self.maximum:.3f})")
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not samples:
+        return float("nan")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high or ordered[low] == ordered[high]:
+        # Skipping interpolation between equal values avoids a 1-ulp
+        # rounding dip below the true percentile.
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+class Histogram:
+    """Fixed-bin histogram over [low, high); outliers counted separately."""
+
+    def __init__(self, low: float, high: float, bins: int):
+        if high <= low:
+            raise ValueError("high must exceed low")
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self._width = (high - low) / bins
+
+    def add(self, value: float) -> None:
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            self.counts[int((value - self.low) / self._width)] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def edges(self) -> List[float]:
+        return [self.low + i * self._width for i in range(self.bins + 1)]
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering for examples and reports."""
+        peak = max(self.counts) or 1
+        lines = []
+        for i, count in enumerate(self.counts):
+            bar = "#" * int(round(width * count / peak))
+            lo = self.low + i * self._width
+            lines.append(f"{lo:10.2f} |{bar:<{width}} {count}")
+        return "\n".join(lines)
+
+
+class RateMeter:
+    """Windowed event-rate measurement (events per ns)."""
+
+    def __init__(self):
+        self.timestamps: List[float] = []
+
+    def record(self, time: float) -> None:
+        if self.timestamps and time < self.timestamps[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        self.timestamps.append(time)
+
+    @property
+    def count(self) -> int:
+        return len(self.timestamps)
+
+    def rate(self, start: Optional[float] = None,
+             end: Optional[float] = None) -> float:
+        """Events per ns inside [start, end] (defaults: full span)."""
+        if len(self.timestamps) < 2:
+            return 0.0
+        start = self.timestamps[0] if start is None else start
+        end = self.timestamps[-1] if end is None else end
+        if end <= start:
+            return 0.0
+        lo = bisect_right(self.timestamps, start)
+        hi = bisect_right(self.timestamps, end)
+        return max(0, hi - lo) / (end - start)
+
+    def windows(self, window_ns: float) -> List[Tuple[float, int]]:
+        """(window start, events) tuples covering the measurement span."""
+        if not self.timestamps or window_ns <= 0:
+            return []
+        start = self.timestamps[0]
+        end = self.timestamps[-1]
+        result = []
+        t = start
+        index = 0
+        while t <= end:
+            hi = bisect_right(self.timestamps, t + window_ns)
+            result.append((t, hi - index))
+            index = hi
+            t += window_ns
+        return result
+
+
+def trim_warmup(samples: Sequence[Tuple[float, float]],
+                warmup_ns: float) -> List[float]:
+    """From (time, value) pairs keep values recorded after ``warmup_ns``."""
+    return [value for time, value in samples if time >= warmup_ns]

@@ -1,0 +1,72 @@
+"""Workload orchestration: bind generators to a network and run to done.
+
+Experiments in the benchmarks share this harness: build sources, run until
+all have finished plus a drain period, and collect results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..network.topology import Coord
+from .patterns import Pattern
+from .generators import BernoulliBePackets
+from .sinks import BeCollector
+
+__all__ = ["UniformBeWorkload", "run_until_processes_done"]
+
+
+def run_until_processes_done(network, processes, drain_ns: float = 2000.0,
+                             step_ns: float = 2000.0,
+                             max_ns: float = 5e6) -> float:
+    """Advance the simulation until every process has finished, then let
+    in-flight traffic drain.  Returns the finish time."""
+    while not all(proc.triggered for proc in processes):
+        if network.now > max_ns:
+            raise RuntimeError(
+                f"workload did not finish within {max_ns} ns "
+                "(possible deadlock or overload)")
+        network.run(until=network.now + step_ns)
+    finish = network.now
+    network.run(until=finish + drain_ns)
+    return finish
+
+
+class UniformBeWorkload:
+    """Every tile injects Bernoulli BE packets under a spatial pattern."""
+
+    def __init__(self, network, pattern: Pattern, slot_ns: float,
+                 probability: float, payload_words: int, n_slots: int,
+                 seed: int = 0):
+        self.network = network
+        self.sources: List[BernoulliBePackets] = []
+        self.collectors = {
+            coord: BeCollector(network.sim, network, coord)
+            for coord in network.mesh.tiles()
+        }
+        for index, coord in enumerate(network.mesh.tiles()):
+            self.sources.append(BernoulliBePackets(
+                network.sim, network, coord, pattern.destination,
+                slot_ns=slot_ns, probability=probability,
+                payload_words=payload_words, n_slots=n_slots,
+                seed=seed * 1000 + index))
+
+    def run(self, drain_ns: float = 4000.0) -> None:
+        run_until_processes_done(
+            self.network, [src.process for src in self.sources],
+            drain_ns=drain_ns)
+
+    @property
+    def sent(self) -> int:
+        return sum(src.sent for src in self.sources)
+
+    @property
+    def received(self) -> int:
+        return sum(col.count for col in self.collectors.values())
+
+    def latencies(self) -> List[float]:
+        samples: List[float] = []
+        for collector in self.collectors.values():
+            samples.extend(p.latency for p in collector.packets
+                           if p.inject_time >= 0)
+        return samples

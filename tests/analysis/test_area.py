@@ -1,0 +1,114 @@
+"""Tests for the area model — Table 1 reproduction and scaling laws."""
+
+import pytest
+
+from repro.analysis.area import (
+    AreaModel,
+    AreaReport,
+    CellLibrary,
+    TABLE1_PAPER_MM2,
+)
+from repro.core.config import RouterConfig
+
+
+class TestTable1Reproduction:
+    def test_every_module_matches_paper(self):
+        """The calibrated model reproduces every row of Table 1 within
+        2 %."""
+        report = AreaModel().report()
+        for name, value in report.modules.items():
+            paper = TABLE1_PAPER_MM2[name]
+            assert value == pytest.approx(paper, rel=0.02), name
+
+    def test_total_matches_paper(self):
+        """Paper Section 6: pre-layout area 0.188 mm²."""
+        assert AreaModel().report().total == pytest.approx(0.188, rel=0.02)
+
+    def test_switching_plus_buffers_over_half(self):
+        """Section 6: 'the switching module and the VC buffers together
+        account for more than half of the total area'."""
+        report = AreaModel().report()
+        big_two = (report.modules["switching_module"]
+                   + report.modules["vc_buffers"])
+        assert big_two > report.total / 2
+
+    def test_relative_error_report(self):
+        errors = AreaModel().report().relative_error(TABLE1_PAPER_MM2)
+        assert all(abs(err) < 0.02 for err in errors.values())
+
+    def test_rows_ordering(self):
+        rows = AreaModel().report().rows()
+        assert rows[0][0] == "connection_table"
+        assert rows[-1][0] == "total"
+
+
+class TestScalingLaws:
+    def test_switching_module_linear_in_vcs(self):
+        """Section 4.2: 'The switching module ... scales linearly with the
+        number of VCs'."""
+        areas = {}
+        for vcs in (4, 8):
+            model = AreaModel(RouterConfig(vcs_per_port=vcs))
+            areas[vcs] = model.raw_report().modules["switching_module"]
+        # Doubling VCs doubles the 4x4 switch population (the split stays);
+        # growth factor must sit between 1.5 and 2.
+        ratio = areas[8] / areas[4]
+        assert 1.4 < ratio < 2.0
+
+    def test_vc_buffers_linear_in_vcs(self):
+        areas = {vcs: AreaModel(RouterConfig(vcs_per_port=vcs))
+                 .raw_report().modules["vc_buffers"] for vcs in (2, 4, 8)}
+        # Slots = 4*V + locals: affine in V.
+        delta_1 = areas[4] - areas[2]
+        delta_2 = areas[8] - areas[4]
+        assert delta_2 == pytest.approx(2 * delta_1, rel=0.01)
+
+    def test_vc_buffers_grow_with_flit_width(self):
+        narrow = AreaModel(RouterConfig(flit_width=16)).raw_report()
+        wide = AreaModel(RouterConfig(flit_width=64)).raw_report()
+        assert wide.modules["vc_buffers"] > 1.5 * narrow.modules["vc_buffers"]
+
+    def test_credit_mode_costs_more_buffer_area(self):
+        """Section 4.3: credit-based control needs deeper buffers."""
+        share = AreaModel(RouterConfig()).raw_report()
+        credit = AreaModel(RouterConfig(flow_control="credit",
+                                        credit_window=4)).raw_report()
+        assert credit.modules["vc_buffers"] > 2 * share.modules["vc_buffers"]
+
+    def test_be_router_grows_with_buffer_depth(self):
+        shallow = AreaModel(RouterConfig(be_buffer_depth=2)).raw_report()
+        deep = AreaModel(RouterConfig(be_buffer_depth=8)).raw_report()
+        assert deep.modules["be_router"] > shallow.modules["be_router"]
+
+    def test_two_be_channels_cost(self):
+        one = AreaModel(RouterConfig(be_channels=1)).raw_report()
+        two = AreaModel(RouterConfig(be_channels=2)).raw_report()
+        assert two.modules["be_router"] > 1.5 * one.modules["be_router"]
+
+    def test_connection_table_smallest_module(self):
+        """Table 1 shape: the connection table is by far the smallest
+        entry — storing routes locally is cheap (the ÆTHEREAL contrast)."""
+        report = AreaModel().report()
+        table = report.modules["connection_table"]
+        assert all(table <= other for other in report.modules.values())
+
+
+class TestCellLibrary:
+    def test_mux_tree(self):
+        lib = CellLibrary()
+        assert lib.mux_tree(1) == 0.0
+        assert lib.mux_tree(2) == lib.mux2
+        assert lib.mux_tree(32) == 31 * lib.mux2
+
+    def test_mux_tree_validation(self):
+        with pytest.raises(ValueError):
+            CellLibrary().mux_tree(0)
+
+    def test_custom_library_scales_report(self):
+        small = CellLibrary()
+        import dataclasses
+        big = dataclasses.replace(small, latch=small.latch * 2)
+        report_small = AreaModel(library=small).raw_report()
+        report_big = AreaModel(library=big).raw_report()
+        assert report_big.modules["vc_buffers"] > \
+            1.8 * report_small.modules["vc_buffers"]

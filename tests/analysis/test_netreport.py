@@ -1,0 +1,67 @@
+"""Tests for the whole-network run report."""
+
+import pytest
+
+from repro import MangoNetwork, Coord
+from repro.analysis.netreport import build_run_report
+
+
+@pytest.fixture
+def loaded_net():
+    net = MangoNetwork(2, 2)
+    conn = net.open_connection_instant(Coord(0, 0), Coord(1, 1))
+    for value in range(30):
+        conn.send(value)
+    net.send_be(Coord(1, 0), Coord(0, 1), [1, 2, 3])
+    net.run(until=2000.0)
+    return net, conn
+
+
+class TestRunReport:
+    def test_report_renders(self, loaded_net):
+        net, _conn = loaded_net
+        report = build_run_report(net)
+        text = report.render()
+        assert "Link activity" in text
+        assert "GS connections" in text
+        assert "Network totals" in text
+        assert "Per-router power" in text
+
+    def test_connection_row_contents(self, loaded_net):
+        net, conn = loaded_net
+        report = build_run_report(net)
+        text = report.connection_table.render()
+        assert str(conn.connection_id) in text
+        assert "30" in text  # delivered count
+
+    def test_link_rows_cover_all_links(self, loaded_net):
+        net, _conn = loaded_net
+        report = build_run_report(net)
+        assert len(report.link_table.rows) == len(net.links)
+
+    def test_traffic_totals_match_counters(self, loaded_net):
+        net, _conn = loaded_net
+        report = build_run_report(net)
+        text = report.traffic_table.render()
+        counters = net.aggregate_counters()
+        assert str(counters["gs_flits_switched"]) in text
+
+    def test_rate_over_floor_above_one_for_uncontended(self, loaded_net):
+        """A lone connection runs far above its guaranteed floor."""
+        net, conn = loaded_net
+        report = build_run_report(net)
+        row = report.connection_table.rows[0]
+        assert float(row[-1]) > 1.0
+
+    def test_markdown_wrapper(self, loaded_net):
+        net, _conn = loaded_net
+        markdown = build_run_report(net).to_markdown()
+        assert markdown.startswith("```")
+        assert markdown.endswith("```")
+
+    def test_empty_network_report(self):
+        net = MangoNetwork(2, 1)
+        net.run(until=100.0)
+        report = build_run_report(net)
+        assert len(report.connection_table.rows) == 0
+        assert "0" in report.traffic_table.render()

@@ -1,0 +1,77 @@
+"""Tests for the power model — the zero-dynamic-idle-power claim."""
+
+import pytest
+
+from repro.analysis.area import AreaModel
+from repro.analysis.power import EnergyModel, power_report
+from repro.core.counters import ActivityCounters
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+@pytest.fixture
+def area():
+    return AreaModel().report().total
+
+
+class TestDynamicEnergy:
+    def test_idle_router_has_zero_dynamic_energy(self, model):
+        """Paper Section 1: clockless circuits 'have zero dynamic power
+        consumption when idle'."""
+        assert model.dynamic_energy_pj(ActivityCounters()) == 0.0
+
+    def test_energy_proportional_to_activity(self, model):
+        light = ActivityCounters()
+        heavy = ActivityCounters()
+        for counters, flits in ((light, 10), (heavy, 1000)):
+            counters.bump("gs_flits_switched", flits)
+            counters.bump("gs_link_flits", flits)
+        ratio = model.dynamic_energy_pj(heavy) / model.dynamic_energy_pj(light)
+        assert ratio == pytest.approx(100.0)
+
+    def test_be_and_config_contribute(self, model):
+        counters = ActivityCounters()
+        counters.bump("be_flits_accepted", 5)
+        counters.bump("config_commands", 2)
+        assert model.dynamic_energy_pj(counters) > 0
+
+
+class TestPower:
+    def test_interval_validation(self, model, area):
+        with pytest.raises(ValueError):
+            model.clockless_power_mw(ActivityCounters(), 0.0, area)
+
+    def test_idle_clockless_is_leakage_only(self, model, area):
+        power = model.clockless_power_mw(ActivityCounters(), 1000.0, area)
+        assert power == pytest.approx(model.leakage_mw_per_mm2 * area)
+
+    def test_idle_clocked_burns_clock_power(self, model, area):
+        """The clocked equivalent keeps its clock tree toggling."""
+        idle = ActivityCounters()
+        clockless = model.clockless_power_mw(idle, 1000.0, area)
+        clocked = model.clocked_power_mw(idle, 1000.0, area, clock_mhz=515.0)
+        assert clocked > 2 * clockless
+
+    def test_clock_power_scales_with_frequency(self, model, area):
+        idle = ActivityCounters()
+        slow = model.clocked_power_mw(idle, 1000.0, area, clock_mhz=100.0)
+        fast = model.clocked_power_mw(idle, 1000.0, area, clock_mhz=800.0)
+        assert fast > slow
+
+    def test_power_report_split(self, model, area):
+        counters = ActivityCounters()
+        counters.bump("gs_flits_switched", 100)
+        counters.bump("gs_link_flits", 100)
+        report = power_report(model, counters, 1000.0, area, clock_mhz=515.0)
+        assert report.dynamic_mw > 0
+        assert report.leakage_mw > 0
+        assert report.clock_mw > 0
+        assert report.total_mw == pytest.approx(
+            report.dynamic_mw + report.leakage_mw + report.clock_mw)
+
+    def test_report_without_clock(self, model, area):
+        report = power_report(model, ActivityCounters(), 1000.0, area)
+        assert report.clock_mw == 0.0

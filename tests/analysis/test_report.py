@@ -1,0 +1,52 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis.report import Table, format_value
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_float_precision(self):
+        assert format_value(3.14159, precision=2) == "3.14"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_value(1.5e9)
+        assert "e" in format_value(1.5e-7)
+
+    def test_string_passthrough(self):
+        assert format_value("text") == "text"
+
+
+class TestTable:
+    def test_row_width_validation(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row("x", 1.0)
+        table.add_row("longer", 123.456)
+        lines = table.render().splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+
+    def test_title(self):
+        table = Table(["a"], title="Table 1")
+        table.add_row(1)
+        assert table.render().splitlines()[0] == "Table 1"
+
+    def test_str(self):
+        table = Table(["a"])
+        table.add_row("v")
+        assert "v" in str(table)

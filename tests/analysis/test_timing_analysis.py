@@ -1,0 +1,80 @@
+"""Tests for the derived timing report and guarantee bounds."""
+
+import pytest
+
+from repro.analysis.timing_analysis import (
+    PAPER_PORT_SPEED_MHZ,
+    corner_comparison,
+    timing_report,
+)
+from repro.circuits.timing import TYPICAL, WORST_CASE
+
+
+class TestHeadlineNumbers:
+    def test_both_corners_match_paper(self):
+        reports = corner_comparison()
+        for corner, report in reports.items():
+            paper = PAPER_PORT_SPEED_MHZ[corner]
+            assert report.port_speed_mhz == pytest.approx(paper, rel=0.01)
+
+    def test_report_fields_consistent(self):
+        report = timing_report(WORST_CASE)
+        assert report.port_speed_mhz == pytest.approx(
+            1e3 / report.link_cycle_ns)
+        assert report.corner == "worst-case"
+
+
+class TestGuaranteeBounds:
+    def test_bandwidth_floor(self):
+        report = timing_report(vcs=8)
+        assert report.vc_bandwidth_floor == pytest.approx(1 / 8)
+
+    def test_fair_share_wait_bound(self):
+        report = timing_report(vcs=8)
+        assert report.fair_share_wait_bound_ns == pytest.approx(
+            8 * report.link_cycle_ns)
+
+    def test_alg_bound_grows_with_priority(self):
+        report = timing_report(vcs=8)
+        bounds = [report.alg_wait_bound_ns(p) for p in range(8)]
+        assert bounds == sorted(bounds)
+        assert bounds[0] < bounds[-1]
+
+    def test_alg_bound_validation(self):
+        with pytest.raises(ValueError):
+            timing_report().alg_wait_bound_ns(-1)
+
+    def test_fair_share_feasible_default(self):
+        assert timing_report().fair_share_feasible
+
+    def test_fair_share_infeasible_when_rt_too_long(self):
+        # A very long unpipelined link with few VCs breaks the bound.
+        report = timing_report(WORST_CASE, link_mm=20.0, vcs=2)
+        assert not report.fair_share_feasible
+
+    def test_single_vc_utilization_in_report(self):
+        report = timing_report()
+        assert 0 < report.single_vc_utilization < 1
+
+    def test_vcs_validation(self):
+        with pytest.raises(ValueError):
+            timing_report(vcs=0)
+
+    def test_rows_render(self):
+        rows = timing_report().rows()
+        assert any("port speed" in label for label, _ in rows)
+
+
+class TestCornerRelations:
+    def test_typical_faster_everywhere(self):
+        wc = timing_report(WORST_CASE)
+        typ = timing_report(TYPICAL)
+        assert typ.link_cycle_ns < wc.link_cycle_ns
+        assert typ.forward_latency_ns < wc.forward_latency_ns
+        assert typ.vc_round_trip_ns < wc.vc_round_trip_ns
+
+    def test_utilization_corner_independent(self):
+        """Single-VC utilization is a ratio of structural delays, so it is
+        the same at both corners."""
+        assert timing_report(WORST_CASE).single_vc_utilization == \
+            pytest.approx(timing_report(TYPICAL).single_vc_utilization)

@@ -1,0 +1,67 @@
+"""Tests for the priority-router and credit-control baselines."""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig
+from repro.baselines.credit_control import (
+    credit_router_config,
+    flow_control_cost_comparison,
+)
+from repro.baselines.priority_router import priority_router_config
+
+
+class TestPriorityConfig:
+    def test_config_swaps_arbiter_only(self):
+        base = RouterConfig()
+        config = priority_router_config(base)
+        assert config.arbiter == "static_priority"
+        assert config.vcs_per_port == base.vcs_per_port
+
+    def test_network_builds_and_routes(self):
+        net = MangoNetwork(2, 1, config=priority_router_config())
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        conn.send(1)
+        net.run(until=net.now + 500.0)
+        assert conn.sink.count == 1
+
+
+class TestCreditConfig:
+    def test_config(self):
+        config = credit_router_config(window=6)
+        assert config.flow_control == "credit"
+        assert config.credit_window == 6
+
+    def test_network_builds_and_routes(self):
+        net = MangoNetwork(2, 1, config=credit_router_config())
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        for value in range(10):
+            conn.send(value)
+        net.run(until=net.now + 1000.0)
+        assert conn.sink.payloads == list(range(10))
+
+
+class TestCostComparison:
+    def test_share_cheaper_than_credit(self):
+        """Section 4.3: share-based VC control 'is much cheaper, both area
+        and power wise, than the commonly used credit-based scheme'."""
+        costs = flow_control_cost_comparison()
+        assert costs["share"].area_um2 < costs["credit"].area_um2 / 2
+
+    def test_share_has_no_extra_buffers(self):
+        costs = flow_control_cost_comparison()
+        assert costs["share"].extra_buffer_bits == 0
+        assert costs["credit"].extra_buffer_bits > 0
+
+    def test_one_wire_per_vc_both(self):
+        costs = flow_control_cost_comparison()
+        assert costs["share"].reverse_wires_per_link == 8
+        assert costs["credit"].reverse_wires_per_link == 8
+
+    def test_cost_grows_with_window(self):
+        small = flow_control_cost_comparison(window=2)["credit"]
+        big = flow_control_cost_comparison(window=8)["credit"]
+        assert big.area_um2 > small.area_um2
+
+    def test_rows_render(self):
+        rows = flow_control_cost_comparison()["share"].rows()
+        assert rows[0] == ("scheme", "share")

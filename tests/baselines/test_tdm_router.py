@@ -1,0 +1,112 @@
+"""Tests for the ÆTHEREAL-style TDM baseline."""
+
+import pytest
+
+from repro.baselines.tdm_router import (
+    AETHEREAL_PUBLISHED,
+    TdmPathAllocator,
+    TdmSlotTable,
+    tdm_latency_bound_ns,
+)
+
+
+class TestPublishedFigures:
+    def test_section6_numbers(self):
+        """The figures the paper quotes for the 0.13 µm ÆTHEREAL."""
+        assert AETHEREAL_PUBLISHED["port_speed_mhz"] == 500.0
+        assert AETHEREAL_PUBLISHED["area_mm2"] == 0.175
+        assert AETHEREAL_PUBLISHED["max_connections"] == 256
+        assert not AETHEREAL_PUBLISHED["independently_buffered"]
+        assert AETHEREAL_PUBLISHED["needs_end_to_end_flow_control"]
+
+
+class TestSlotTable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TdmSlotTable(0)
+
+    def test_reserve_and_release(self):
+        table = TdmSlotTable(8)
+        table.reserve(3, connection_id=1)
+        assert 3 not in table.free_slots()
+        table.release(1)
+        assert 3 in table.free_slots()
+
+    def test_double_reserve_rejected(self):
+        table = TdmSlotTable(8)
+        table.reserve(0, 1)
+        with pytest.raises(ValueError):
+            table.reserve(0, 2)
+
+
+class TestPathAllocator:
+    def test_single_link_allocation(self):
+        alloc = TdmPathAllocator(n_links=1, table_size=8)
+        conn = alloc.allocate([0], n_slots=2)
+        assert conn is not None
+        assert conn.bandwidth_fraction(8) == pytest.approx(0.25)
+
+    def test_alignment_constraint(self):
+        """Slot s on link k continues as slot s+1 on link k+1 — a
+        reservation on the second link at the aligned position must block
+        the path."""
+        alloc = TdmPathAllocator(n_links=2, table_size=4)
+        # Block slot 1 on link 1: start slot 0 on link 0 becomes unusable.
+        alloc.tables[1].reserve(1, connection_id=99)
+        conn = alloc.allocate([0, 1], n_slots=3)
+        assert conn is not None
+        assert 0 not in conn.slots
+
+    def test_allocation_failure_when_fragmented(self):
+        """TDM allocation is a global alignment puzzle: free slots can
+        exist on every link yet no aligned train fits — a failure mode
+        MANGO's per-link VC allocation does not have."""
+        alloc = TdmPathAllocator(n_links=2, table_size=4)
+        for slot in (0, 2):
+            alloc.tables[0].reserve(slot, 50)
+        for slot in (0, 2):
+            alloc.tables[1].reserve(slot, 51)
+        # Link 0 has slots 1,3 free; link 1 has 1,3 free, but slot s on
+        # link 0 needs s+1 on link 1 (which is 2,0: taken).
+        assert alloc.allocate([0, 1], n_slots=1) is None
+        assert alloc.tables[0].free_slots() == [1, 3]
+        assert alloc.tables[1].free_slots() == [1, 3]
+
+    def test_release_restores(self):
+        alloc = TdmPathAllocator(n_links=3, table_size=8)
+        conn = alloc.allocate([0, 1, 2], n_slots=4)
+        alloc.release(conn)
+        for link in range(3):
+            assert alloc.utilization(link) == 0.0
+
+    def test_utilization(self):
+        alloc = TdmPathAllocator(n_links=1, table_size=8)
+        alloc.allocate([0], n_slots=4)
+        assert alloc.utilization(0) == pytest.approx(0.5)
+
+    def test_bandwidth_quantized_to_slot(self):
+        """TDM grants bandwidth in quanta of 1/S; MANGO's fair-share
+        grants 1/V per VC with V independent of the table size."""
+        alloc = TdmPathAllocator(n_links=1, table_size=16)
+        conn = alloc.allocate([0], n_slots=1)
+        assert conn.bandwidth_fraction(16) == pytest.approx(1 / 16)
+
+
+class TestLatencyBound:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tdm_latency_bound_ns([], 8, 2.0, 1)
+
+    def test_single_slot_worst_wait_is_revolution(self):
+        bound = tdm_latency_bound_ns([0], table_size=8, slot_ns=2.0, hops=1)
+        assert bound == pytest.approx(8 * 2.0 + 2.0)
+
+    def test_spread_slots_cut_worst_wait(self):
+        clustered = tdm_latency_bound_ns([0, 1], 8, 2.0, 1)
+        spread = tdm_latency_bound_ns([0, 4], 8, 2.0, 1)
+        assert spread < clustered
+
+    def test_hops_add_linearly(self):
+        one = tdm_latency_bound_ns([0], 8, 2.0, 1)
+        three = tdm_latency_bound_ns([0], 8, 2.0, 3)
+        assert three - one == pytest.approx(2 * 2.0)

@@ -1,0 +1,104 @@
+"""Tests for the 1-of-4 delay-insensitive link encoding (future work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.encoding import (
+    EncodingError,
+    bundled_data_model,
+    decode_one_of_four,
+    encode_one_of_four,
+    one_of_four_model,
+)
+
+
+class TestCodec:
+    def test_round_trip_simple(self):
+        word = 0b10_01_11_00
+        groups = encode_one_of_four(word, bits=8)
+        assert decode_one_of_four(groups, bits=8) == word
+
+    def test_exactly_one_wire_per_group(self):
+        groups = encode_one_of_four(0xDEADBEEF, bits=32)
+        for group in groups:
+            assert bin(group).count("1") == 1
+
+    def test_group_count(self):
+        assert len(encode_one_of_four(0, bits=34)) == 17
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_one_of_four(0, bits=33)
+
+    def test_word_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode_one_of_four(1 << 8, bits=8)
+
+    def test_invalid_codeword_rejected(self):
+        groups = list(encode_one_of_four(0, bits=8))
+        groups[1] = 0x3  # two wires high
+        with pytest.raises(EncodingError):
+            decode_one_of_four(groups, bits=8)
+
+    def test_empty_codeword_rejected(self):
+        groups = list(encode_one_of_four(0, bits=8))
+        groups[0] = 0
+        with pytest.raises(EncodingError):
+            decode_one_of_four(groups, bits=8)
+
+    def test_wrong_group_count_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_one_of_four([1, 1], bits=8)
+
+    @given(st.integers(min_value=0, max_value=(1 << 34) - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_property_round_trip_34_bits(self, word):
+        assert decode_one_of_four(encode_one_of_four(word)) == word
+
+    @given(st.integers(min_value=0, max_value=(1 << 34) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_property_constant_weight(self, word):
+        """1-of-4 is a constant-weight code: the transition count is
+        data-independent (the power property)."""
+        groups = encode_one_of_four(word)
+        assert sum(bin(g).count("1") for g in groups) == len(groups)
+
+
+class TestLinkModels:
+    def test_di_doubles_wires(self):
+        bundled = bundled_data_model()
+        di = one_of_four_model()
+        assert di.total_wires > 1.8 * bundled.total_wires
+
+    def test_di_skew_immune(self):
+        """The point of DI signalling: correctness under arbitrary wire
+        skew, where bundled data fails past its matched-delay margin."""
+        bundled = bundled_data_model(matched_delay_margin_tau=2.0)
+        di = one_of_four_model()
+        assert bundled.survives_skew(1.5)
+        assert not bundled.survives_skew(3.0)
+        assert di.survives_skew(3.0)
+        assert di.survives_skew(1000.0)
+
+    def test_transition_counts(self):
+        bundled = bundled_data_model(activity=0.5)
+        di = one_of_four_model()
+        # 39 wires x 0.5 + 4 = 23.5 vs 20 groups x 2 + 2 = 42.
+        assert bundled.transitions_per_flit == pytest.approx(23.5)
+        assert di.transitions_per_flit == pytest.approx(42.0)
+
+    def test_di_energy_data_independent_bundled_not(self):
+        quiet = bundled_data_model(activity=0.1)
+        noisy = bundled_data_model(activity=0.9)
+        assert noisy.energy_per_flit_pj() > 2 * quiet.energy_per_flit_pj()
+        # 1-of-4 has no activity knob at all: constant weight.
+        assert one_of_four_model().energy_per_flit_pj() > 0
+
+    def test_energy_scales_with_length(self):
+        di = one_of_four_model()
+        assert di.energy_per_flit_pj(length_mm=3.0) == pytest.approx(
+            2 * di.energy_per_flit_pj(length_mm=1.5))
+
+    def test_padding_to_group_boundary(self):
+        model = one_of_four_model(data_bits=33, steering_bits=0)
+        assert model.data_bits == 34

@@ -1,0 +1,78 @@
+"""Tests for timing-profile-driven link pipelines."""
+
+import pytest
+
+from repro.circuits.pipeline import (
+    build_link_pipeline,
+    link_stage_parameters,
+    stages_for_full_speed,
+)
+from repro.circuits.timing import WORST_CASE
+from repro.sim.kernel import Simulator
+
+
+class TestStageParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            link_stage_parameters(WORST_CASE, length_mm=1.0, stages=0)
+        with pytest.raises(ValueError):
+            link_stage_parameters(WORST_CASE, length_mm=0.0, stages=1)
+
+    def test_more_stages_shorter_cycle(self):
+        _, cycle1 = link_stage_parameters(WORST_CASE, 4.0, 1)
+        _, cycle2 = link_stage_parameters(WORST_CASE, 4.0, 2)
+        _, cycle4 = link_stage_parameters(WORST_CASE, 4.0, 4)
+        assert cycle1 > cycle2 > cycle4
+
+    def test_default_link_meets_router_speed_unpipelined(self):
+        """1.5 mm is chosen so a plain link does not throttle the port."""
+        _, cycle = link_stage_parameters(WORST_CASE, 1.5, 1)
+        assert cycle <= WORST_CASE.link_cycle_ns
+
+    def test_two_mm_link_throttles_unpipelined(self):
+        _, cycle = link_stage_parameters(WORST_CASE, 2.0, 1)
+        assert cycle > WORST_CASE.link_cycle_ns
+
+    def test_stages_for_full_speed(self):
+        assert stages_for_full_speed(WORST_CASE, 1.5) == 1
+        assert stages_for_full_speed(WORST_CASE, 2.0) == 2
+        assert stages_for_full_speed(WORST_CASE, 6.0) >= 3
+
+    def test_stages_monotonic_in_length(self):
+        stages = [stages_for_full_speed(WORST_CASE, mm)
+                  for mm in (1.0, 2.0, 4.0, 8.0)]
+        assert stages == sorted(stages)
+
+
+class TestBuiltPipeline:
+    def test_pipelined_link_throughput(self):
+        """A 6 mm link pipelined for full speed sustains the router rate."""
+        sim = Simulator()
+        stages = stages_for_full_speed(WORST_CASE, 6.0)
+        chain = build_link_pipeline(sim, WORST_CASE, 6.0, stages)
+        assert chain.min_cycle_time <= WORST_CASE.link_cycle_ns
+
+        arrivals = []
+        n = 10
+
+        def sender():
+            for index in range(n):
+                yield from chain.send(index)
+
+        def receiver():
+            for _ in range(n):
+                yield from chain.recv()
+                arrivals.append(sim.now)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        steady_gaps = [b - a for a, b in zip(arrivals[3:], arrivals[4:])]
+        for gap in steady_gaps:
+            assert gap <= WORST_CASE.link_cycle_ns + 1e-9
+
+    def test_latency_grows_with_stages(self):
+        sim = Simulator()
+        shallow = build_link_pipeline(sim, WORST_CASE, 4.0, 1, name="s")
+        deep = build_link_pipeline(sim, WORST_CASE, 4.0, 4, name="d")
+        assert deep.total_forward_latency > shallow.total_forward_latency

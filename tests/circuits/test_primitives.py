@@ -1,0 +1,159 @@
+"""Tests for the clockless gate primitives."""
+
+import pytest
+
+from repro.circuits.primitives import CElement, LatchStage, Mutex
+from repro.sim.kernel import SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCElement:
+    def test_needs_inputs(self, sim):
+        with pytest.raises(ValueError):
+            CElement(sim, n_inputs=0, delay=1.0)
+
+    def test_output_rises_when_all_inputs_high(self, sim):
+        c = CElement(sim, n_inputs=2, delay=1.0)
+        changes = []
+        c.on_change(lambda v: changes.append((sim.now, v)))
+        c.set_input(0, True)
+        sim.run()
+        assert changes == []  # consensus not reached
+        c.set_input(1, True)
+        sim.run()
+        assert changes == [(0.0 + 1.0, True)]
+
+    def test_output_falls_only_on_full_consensus(self, sim):
+        c = CElement(sim, n_inputs=2, delay=0.5)
+        c.set_input(0, True)
+        c.set_input(1, True)
+        sim.run()
+        assert c.output is True
+        c.set_input(0, False)
+        sim.run()
+        assert c.output is True  # holds state
+        c.set_input(1, False)
+        sim.run()
+        assert c.output is False
+
+    def test_glitch_during_delay_cancels(self, sim):
+        c = CElement(sim, n_inputs=2, delay=2.0)
+        c.set_input(0, True)
+        c.set_input(1, True)
+        # Before the delay elapses, consensus is broken again.
+        sim.run(until=1.0)
+        c.set_input(0, False)
+        sim.run()
+        assert c.output is False
+        assert c.transitions == 0
+
+    def test_transition_count(self, sim):
+        c = CElement(sim, n_inputs=1, delay=0.1)
+        for value in (True, False, True):
+            c.set_input(0, value)
+            sim.run()
+        assert c.transitions == 3
+
+
+class TestMutex:
+    def test_side_validation(self, sim):
+        mutex = Mutex(sim, delay=1.0)
+        with pytest.raises(ValueError):
+            mutex.request(2)
+
+    def test_single_grant(self, sim):
+        mutex = Mutex(sim, delay=1.0)
+        grants = []
+        mutex.request(0).add_callback(lambda e: grants.append((sim.now, 0)))
+        sim.run()
+        assert grants == [(1.0, 0)]
+        assert mutex.owner == 0
+
+    def test_mutual_exclusion(self, sim):
+        mutex = Mutex(sim, delay=1.0)
+        order = []
+        mutex.request(0).add_callback(lambda e: order.append(0))
+        mutex.request(1).add_callback(lambda e: order.append(1))
+        sim.run()
+        assert order == [0]  # side 1 waits for release
+        mutex.release(0)
+        sim.run()
+        assert order == [0, 1]
+
+    def test_release_by_non_owner_raises(self, sim):
+        mutex = Mutex(sim, delay=0.1)
+        mutex.request(0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            mutex.release(1)
+
+    def test_grant_counter(self, sim):
+        mutex = Mutex(sim, delay=0.1)
+        for _ in range(3):
+            mutex.request(0)
+            sim.run()
+            mutex.release(0)
+        assert mutex.grants == 3
+
+
+class TestLatchStage:
+    def test_cycle_covers_forward(self, sim):
+        with pytest.raises(ValueError):
+            LatchStage(sim, forward_delay=2.0, cycle_time=1.0)
+
+    def test_push_pop_roundtrip(self, sim):
+        latch = LatchStage(sim, forward_delay=1.0, cycle_time=2.0)
+
+        def proc():
+            yield from latch.push("token")
+            data = yield from latch.pop()
+            return (sim.now, data)
+
+        time, data = sim.run_process(proc())
+        assert data == "token"
+        assert time == pytest.approx(1.0)
+
+    def test_capacity_one_blocks_second_push(self, sim):
+        latch = LatchStage(sim, forward_delay=0.5, cycle_time=1.0)
+        log = []
+
+        def producer():
+            yield from latch.push(1)
+            log.append(("p1", sim.now))
+            yield from latch.push(2)
+            log.append(("p2", sim.now))
+
+        def consumer():
+            yield sim.timeout(10.0)
+            yield from latch.pop()
+            yield sim.timeout(10.0)
+            yield from latch.pop()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert log[0][1] == pytest.approx(0.5)
+        assert log[1][1] >= 10.0
+
+    def test_cycle_time_spacing(self, sim):
+        latch = LatchStage(sim, forward_delay=0.5, cycle_time=3.0)
+        captures = []
+
+        def producer():
+            for index in range(3):
+                yield from latch.push(index)
+                captures.append(sim.now)
+
+        def consumer():
+            for _ in range(3):
+                yield from latch.pop()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        gaps = [b - a for a, b in zip(captures, captures[1:])]
+        assert all(gap >= 3.0 - 1e-9 for gap in gaps)

@@ -1,0 +1,107 @@
+"""Tests for the timing model — including the paper's headline speeds."""
+
+import pytest
+
+from repro.circuits.timing import (
+    DEFAULT_LINK_MM,
+    StructuralDelays,
+    TimingProfile,
+    TYPICAL,
+    WORST_CASE,
+)
+
+
+class TestPaperCalibration:
+    def test_worst_case_port_speed_matches_paper(self):
+        """Paper Section 6: 515 MHz per port at 1.08 V / 125 C."""
+        assert WORST_CASE.port_speed_mhz == pytest.approx(515.0, rel=0.01)
+
+    def test_typical_port_speed_matches_paper(self):
+        """Paper Section 6: 795 MHz under typical conditions."""
+        assert TYPICAL.port_speed_mhz == pytest.approx(795.0, rel=0.01)
+
+    def test_corner_ratio_matches_speed_ratio(self):
+        ratio = TYPICAL.gate_delay_ns / WORST_CASE.gate_delay_ns
+        speed_ratio = WORST_CASE.port_speed_mhz / TYPICAL.port_speed_mhz
+        assert ratio == pytest.approx(speed_ratio, rel=1e-6)
+
+    def test_worst_case_corner_conditions(self):
+        assert WORST_CASE.voltage_v == 1.08
+        assert WORST_CASE.temperature_c == 125.0
+
+    def test_link_cycle_structure(self):
+        d = StructuralDelays()
+        assert d.link_cycle == pytest.approx(18.5)
+
+
+class TestStructuralDelays:
+    def test_forward_path_grows_with_length(self):
+        d = StructuralDelays()
+        assert d.forward_path(2.0) > d.forward_path(1.0)
+
+    def test_forward_path_components(self):
+        d = StructuralDelays()
+        expected = (d.merge_mux + d.steering_append + d.wire_per_mm * 1.0
+                    + d.split_stage + d.switch_stage + d.latch_capture)
+        assert d.forward_path(1.0) == pytest.approx(expected)
+
+    def test_round_trip_exceeds_link_cycle(self):
+        """Section 4.3: a single VC cannot utilise the full bandwidth —
+        only true because the unlock round trip exceeds the link cycle."""
+        d = StructuralDelays()
+        assert d.vc_round_trip(DEFAULT_LINK_MM) > d.link_cycle
+
+    def test_round_trip_monotonic_in_length(self):
+        d = StructuralDelays()
+        trips = [d.vc_round_trip(mm) for mm in (0.5, 1.0, 2.0, 4.0)]
+        assert trips == sorted(trips)
+
+    def test_arbitration_is_mutex_plus_grant(self):
+        d = StructuralDelays()
+        assert d.arbitration == pytest.approx(d.mutex + d.grant_logic)
+
+
+class TestTimingProfile:
+    def test_ns_conversion(self):
+        assert WORST_CASE.ns(10.0) == pytest.approx(1.05)
+
+    def test_single_vc_utilization_below_one(self):
+        for mm in (1.0, 1.5, 3.0):
+            assert 0 < WORST_CASE.single_vc_utilization(mm) < 1.0
+
+    def test_single_vc_utilization_capped_for_short_links(self):
+        assert WORST_CASE.single_vc_utilization(0.01) == 1.0
+
+    def test_single_vc_utilization_drops_with_length(self):
+        utils = [WORST_CASE.single_vc_utilization(mm)
+                 for mm in (0.5, 1.5, 3.0, 6.0)]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_fair_share_feasible_at_default(self):
+        """Paper Section 4.4: single-flit buffers are enough for the
+        fair-share scheme over a sequence of links."""
+        assert WORST_CASE.fair_share_feasible(vcs=8)
+
+    def test_fair_share_infeasible_for_tiny_vc_count_long_link(self):
+        # With one VC the round trip can never fit in one cycle.
+        assert not WORST_CASE.fair_share_feasible(vcs=1)
+
+    def test_scaled_profile(self):
+        half = WORST_CASE.scaled(0.5, name="fast")
+        assert half.gate_delay_ns == pytest.approx(
+            WORST_CASE.gate_delay_ns / 2)
+        assert half.port_speed_mhz == pytest.approx(
+            WORST_CASE.port_speed_mhz * 2)
+        assert half.name == "fast"
+
+    def test_corners_share_structure(self):
+        assert WORST_CASE.delays == TYPICAL.delays
+
+    def test_unlock_latency_positive(self):
+        assert WORST_CASE.unlock_latency_ns() > 0
+
+    def test_forward_plus_unlock_less_than_round_trip(self):
+        rt = WORST_CASE.vc_round_trip_ns()
+        parts = (WORST_CASE.forward_latency_ns()
+                 + WORST_CASE.unlock_latency_ns())
+        assert parts < rt

@@ -1,0 +1,95 @@
+"""Tests for router configuration validation and derived values."""
+
+import pytest
+
+from repro.circuits.timing import TYPICAL, WORST_CASE
+from repro.core.config import RouterConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        """Section 6: 8 VCs per network port, 4 GS + 1 BE local
+        interfaces, 32-bit flits."""
+        config = RouterConfig()
+        assert config.vcs_per_port == 8
+        assert config.flit_width == 32
+        assert config.local_gs_interfaces == 4
+        assert config.be_channels == 1
+
+    def test_32_connections_supported(self):
+        """Section 6: 32 independently buffered GS connections."""
+        assert RouterConfig().gs_connections_supported == 32
+
+    def test_vc_buffer_capacity_share(self):
+        """Single-flit buffer plus the unsharebox = 2."""
+        assert RouterConfig().vc_buffer_capacity == 2
+
+    def test_vc_buffer_capacity_credit(self):
+        config = RouterConfig(flow_control="credit", credit_window=4)
+        assert config.vc_buffer_capacity == 5
+
+    def test_link_requesters(self):
+        assert RouterConfig().link_requesters == 9
+        assert RouterConfig(be_channels=0).link_requesters == 8
+        assert RouterConfig(be_channels=2).link_requesters == 10
+
+
+class TestValidation:
+    def test_vc_limit(self):
+        with pytest.raises(ValueError):
+            RouterConfig(vcs_per_port=0)
+        with pytest.raises(ValueError):
+            RouterConfig(vcs_per_port=9)
+
+    def test_flit_width(self):
+        with pytest.raises(ValueError):
+            RouterConfig(flit_width=4)
+
+    def test_local_interfaces(self):
+        with pytest.raises(ValueError):
+            RouterConfig(local_gs_interfaces=0)
+        with pytest.raises(ValueError):
+            RouterConfig(local_gs_interfaces=5)
+
+    def test_be_channels(self):
+        with pytest.raises(ValueError):
+            RouterConfig(be_channels=3)
+
+    def test_arbiter_name(self):
+        with pytest.raises(ValueError):
+            RouterConfig(arbiter="weighted_lottery")
+
+    def test_flow_control_name(self):
+        with pytest.raises(ValueError):
+            RouterConfig(flow_control="wormhole")
+
+    def test_credit_window(self):
+        with pytest.raises(ValueError):
+            RouterConfig(credit_window=0)
+
+    def test_link_geometry(self):
+        with pytest.raises(ValueError):
+            RouterConfig(link_length_mm=0.0)
+        with pytest.raises(ValueError):
+            RouterConfig(link_stages=0)
+
+    def test_buffer_depths(self):
+        with pytest.raises(ValueError):
+            RouterConfig(be_buffer_depth=0)
+        with pytest.raises(ValueError):
+            RouterConfig(be_queue_depth=0)
+
+
+class TestDerivation:
+    def test_with_timing(self):
+        config = RouterConfig().with_timing(TYPICAL)
+        assert config.timing is TYPICAL
+        assert RouterConfig().timing is WORST_CASE
+
+    def test_with_arbiter(self):
+        config = RouterConfig().with_arbiter("alg")
+        assert config.arbiter == "alg"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RouterConfig().vcs_per_port = 4

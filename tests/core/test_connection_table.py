@@ -1,0 +1,105 @@
+"""Tests for the per-router connection table."""
+
+import pytest
+
+from repro.core.connection_table import ConnectionTable, TableEntry, TableError
+from repro.network.packet import Steering
+from repro.network.topology import Direction
+
+
+@pytest.fixture
+def table():
+    return ConnectionTable(vcs_per_port=8, local_gs_interfaces=4)
+
+
+def entry(conn_id=1, steering=Steering(0, 0), unlock_dir=Direction.WEST,
+          unlock_vc=2):
+    return TableEntry(conn_id, steering, unlock_dir, unlock_vc)
+
+
+class TestProgram:
+    def test_program_and_lookup(self, table):
+        table.program(Direction.EAST, 3, entry())
+        found = table.require(Direction.EAST, 3)
+        assert found.connection_id == 1
+        assert found.unlock_dir is Direction.WEST
+
+    def test_lookup_missing_returns_none(self, table):
+        assert table.lookup(Direction.EAST, 0) is None
+
+    def test_require_missing_raises(self, table):
+        with pytest.raises(TableError):
+            table.require(Direction.EAST, 0)
+
+    def test_vc_range_checked_network(self, table):
+        with pytest.raises(TableError):
+            table.program(Direction.EAST, 8, entry())
+
+    def test_vc_range_checked_local(self, table):
+        table.program(Direction.LOCAL, 3, entry())
+        with pytest.raises(TableError):
+            table.program(Direction.LOCAL, 4, entry())
+
+    def test_conflicting_reservation_rejected(self, table):
+        """A VC buffer is part of only one connection (Section 4.2)."""
+        table.program(Direction.EAST, 1, entry(conn_id=1))
+        with pytest.raises(TableError):
+            table.program(Direction.EAST, 1, entry(conn_id=2))
+
+    def test_reprogram_same_connection_allowed(self, table):
+        table.program(Direction.EAST, 1, entry(conn_id=1, unlock_vc=0))
+        table.program(Direction.EAST, 1, entry(conn_id=1, unlock_vc=5))
+        assert table.require(Direction.EAST, 1).unlock_vc == 5
+
+    def test_local_entry_without_steering(self, table):
+        """The final hop has no forward steering; the NA consumes."""
+        table.program(Direction.LOCAL, 0,
+                      TableEntry(9, None, Direction.NORTH, 7))
+        assert table.require(Direction.LOCAL, 0).steering is None
+
+
+class TestClear:
+    def test_clear_frees_entry(self, table):
+        table.program(Direction.WEST, 2, entry())
+        table.clear(Direction.WEST, 2)
+        assert table.is_free(Direction.WEST, 2)
+
+    def test_clear_unprogrammed_raises(self, table):
+        with pytest.raises(TableError):
+            table.clear(Direction.WEST, 2)
+
+    def test_counters(self, table):
+        table.program(Direction.WEST, 2, entry())
+        table.clear(Direction.WEST, 2)
+        assert table.writes == 1
+        assert table.clears == 1
+
+
+class TestIntrospection:
+    def test_len(self, table):
+        assert len(table) == 0
+        table.program(Direction.EAST, 0, entry())
+        table.program(Direction.WEST, 0, entry(conn_id=2))
+        assert len(table) == 2
+
+    def test_entries_sorted(self, table):
+        table.program(Direction.WEST, 1, entry(conn_id=2))
+        table.program(Direction.NORTH, 0, entry(conn_id=1))
+        listed = table.entries()
+        assert listed[0][0] is Direction.NORTH
+
+    def test_connections_distinct(self, table):
+        table.program(Direction.EAST, 0, entry(conn_id=5))
+        table.program(Direction.EAST, 1, entry(conn_id=5))
+        table.program(Direction.WEST, 0, entry(conn_id=7))
+        assert table.connections() == [5, 7]
+
+    def test_full_router_capacity(self, table):
+        """All 32 network VC buffers can hold distinct connections."""
+        for index, direction in enumerate(
+                (Direction.NORTH, Direction.EAST, Direction.SOUTH,
+                 Direction.WEST)):
+            for vc in range(8):
+                table.program(direction, vc,
+                              entry(conn_id=index * 8 + vc + 1))
+        assert len(table) == 32

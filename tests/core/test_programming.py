@@ -1,0 +1,181 @@
+"""Tests for the config-packet word format and programming interface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MangoNetwork, Coord
+from repro.core.programming import (
+    CONFIG_MAGIC,
+    ConfigFormatError,
+    OP_ACK,
+    OP_SETUP,
+    OP_TEARDOWN,
+    is_config_word,
+    is_router_command,
+    pack_command,
+    unpack_command,
+)
+from repro.network.packet import Steering
+from repro.network.topology import Direction
+
+
+class TestPackUnpack:
+    def test_setup_round_trip(self):
+        words = pack_command(
+            OP_SETUP, seq=17, out_port=Direction.EAST, out_vc=5,
+            steering=Steering(3, 2), unlock_dir=Direction.WEST,
+            unlock_vc=1, connection_id=321)
+        command = unpack_command(words)
+        assert command.opcode == OP_SETUP
+        assert command.seq == 17
+        assert command.out_port is Direction.EAST
+        assert command.out_vc == 5
+        assert command.steering == Steering(3, 2)
+        assert command.unlock_dir is Direction.WEST
+        assert command.unlock_vc == 1
+        assert command.connection_id == 321
+        assert not command.want_ack
+
+    def test_setup_with_ack_route(self):
+        words = pack_command(
+            OP_SETUP, seq=1, out_port=Direction.LOCAL, out_vc=2,
+            steering=None, unlock_dir=Direction.NORTH, unlock_vc=7,
+            connection_id=5, ack_route=0xDEADBEEF)
+        command = unpack_command(words)
+        assert command.want_ack
+        assert command.ack_route == 0xDEADBEEF
+        assert command.steering is None
+
+    def test_teardown_round_trip(self):
+        words = pack_command(OP_TEARDOWN, seq=9, out_port=Direction.SOUTH,
+                             out_vc=0, connection_id=44)
+        command = unpack_command(words)
+        assert command.opcode == OP_TEARDOWN
+        assert command.out_port is Direction.SOUTH
+
+    def test_ack_round_trip(self):
+        words = pack_command(OP_ACK, seq=200)
+        command = unpack_command(words)
+        assert command.opcode == OP_ACK
+        assert command.seq == 200
+
+    def test_all_words_are_32_bit(self):
+        words = pack_command(
+            OP_SETUP, seq=4095, out_port=Direction.WEST, out_vc=7,
+            steering=Steering(7, 3), unlock_dir=Direction.LOCAL,
+            unlock_vc=3, connection_id=4095, ack_route=0xFFFFFFFF)
+        assert all(0 <= word < 2 ** 32 for word in words)
+
+    @given(st.integers(0, 4095), st.sampled_from(list(Direction)),
+           st.integers(0, 7), st.integers(0, 4095))
+    @settings(max_examples=200, deadline=None)
+    def test_property_setup_round_trip(self, seq, unlock_dir, vc, conn_id):
+        words = pack_command(
+            OP_SETUP, seq=seq, out_port=Direction.NORTH, out_vc=vc,
+            steering=Steering(vc % 8, vc % 4), unlock_dir=unlock_dir,
+            unlock_vc=vc % 8, connection_id=conn_id)
+        command = unpack_command(words)
+        assert (command.seq, command.out_vc, command.connection_id) == \
+            (seq, vc, conn_id)
+        assert command.unlock_dir is unlock_dir
+
+
+class TestValidation:
+    def test_bad_opcode(self):
+        with pytest.raises(ConfigFormatError):
+            pack_command(9, seq=0, out_port=Direction.EAST)
+
+    def test_seq_overflow(self):
+        with pytest.raises(ConfigFormatError):
+            pack_command(OP_ACK, seq=4096)
+
+    def test_connection_id_overflow(self):
+        with pytest.raises(ConfigFormatError):
+            pack_command(OP_SETUP, seq=0, out_port=Direction.EAST,
+                         connection_id=4096)
+
+    def test_setup_needs_port(self):
+        with pytest.raises(ConfigFormatError):
+            pack_command(OP_SETUP, seq=0)
+
+    def test_unpack_empty(self):
+        with pytest.raises(ConfigFormatError):
+            unpack_command([])
+
+    def test_unpack_bad_magic(self):
+        with pytest.raises(ConfigFormatError):
+            unpack_command([0x12345678])
+
+    def test_unpack_truncated_setup(self):
+        words = pack_command(OP_SETUP, seq=0, out_port=Direction.EAST)
+        with pytest.raises(ConfigFormatError):
+            unpack_command(words[:1])
+
+    def test_unpack_missing_ack_route(self):
+        words = pack_command(OP_SETUP, seq=0, out_port=Direction.EAST,
+                             ack_route=1)
+        with pytest.raises(ConfigFormatError):
+            unpack_command(words[:2])
+
+
+class TestWordClassification:
+    def test_is_config_word(self):
+        words = pack_command(OP_ACK, seq=0)
+        assert is_config_word(words[0])
+        assert not is_config_word(0)
+
+    def test_router_consumes_setup_and_teardown_only(self):
+        setup = pack_command(OP_SETUP, seq=0, out_port=Direction.EAST)[0]
+        teardown = pack_command(OP_TEARDOWN, seq=0,
+                                out_port=Direction.EAST)[0]
+        ack = pack_command(OP_ACK, seq=0)[0]
+        assert is_router_command(setup)
+        assert is_router_command(teardown)
+        assert not is_router_command(ack)  # acks travel on to the NA
+
+
+class TestProgrammingViaNetwork:
+    def test_config_packet_programs_remote_router(self):
+        """A BE config packet routed to a router's local port writes its
+        connection table (paper Section 3: programming interface)."""
+        net = MangoNetwork(2, 1)
+        target = Coord(1, 0)
+        words = pack_command(
+            OP_SETUP, seq=3, out_port=Direction.LOCAL, out_vc=1,
+            steering=None, unlock_dir=Direction.WEST, unlock_vc=4,
+            connection_id=77)
+        net.send_be(Coord(0, 0), target, words)
+        net.run(until=200.0)
+        entry = net.routers[target].table.lookup(Direction.LOCAL, 1)
+        assert entry is not None
+        assert entry.connection_id == 77
+        assert net.routers[target].programming.commands_executed == 1
+
+    def test_teardown_via_packet(self):
+        net = MangoNetwork(2, 1)
+        target = Coord(1, 0)
+        setup = pack_command(OP_SETUP, seq=1, out_port=Direction.LOCAL,
+                             out_vc=0, unlock_dir=Direction.WEST,
+                             unlock_vc=0, connection_id=5)
+        net.send_be(Coord(0, 0), target, setup)
+        net.run(until=200.0)
+        teardown = pack_command(OP_TEARDOWN, seq=2, out_port=Direction.LOCAL,
+                                out_vc=0, connection_id=5)
+        net.send_be(Coord(0, 0), target, teardown)
+        net.run(until=400.0)
+        assert net.routers[target].table.lookup(Direction.LOCAL, 0) is None
+
+    def test_ack_returns_to_requester(self):
+        net = MangoNetwork(3, 1)
+        target = Coord(2, 0)
+        acks = []
+        net.adapters[Coord(0, 0)].on_config_ack(acks.append)
+        from repro.network.routing import route_for
+        words = pack_command(
+            OP_SETUP, seq=42, out_port=Direction.LOCAL, out_vc=2,
+            unlock_dir=Direction.WEST, unlock_vc=0, connection_id=9,
+            ack_route=route_for(target, Coord(0, 0)))
+        net.send_be(Coord(0, 0), target, words)
+        net.run(until=500.0)
+        assert acks == [42]
+        assert net.routers[target].programming.acks_sent == 1

@@ -1,0 +1,54 @@
+"""Tests for the VC control module (unlock routing)."""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig
+from repro.network.topology import Direction
+
+
+class TestStructure:
+    def test_mux_inventory_matches_paper(self):
+        """Section 4.3: '5*8 instantiations of a (5-1)*8-input
+        multiplexer' — here: 4*8 network + 4 local VC buffers, each with a
+        32-input unlock mux."""
+        net = MangoNetwork(2, 1)
+        vc_control = net.routers[Coord(0, 0)].vc_control
+        assert vc_control.mux_instances == 36
+        assert vc_control.mux_inputs == 32
+
+
+class TestUnlockRouting:
+    def test_unlocks_routed_per_flit(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        for value in range(20):
+            conn.send(value)
+        net.run(until=net.now + 1000.0)
+        # Every flit that left an unsharebox routed exactly one unlock.
+        src_vcc = net.routers[Coord(0, 0)].vc_control
+        dst_vcc = net.routers[Coord(1, 0)].vc_control
+        assert src_vcc.unlocks_routed == 20   # towards the source NA
+        assert dst_vcc.unlocks_routed == 20   # towards router (0,0)
+        assert src_vcc.orphan_unlocks == 0
+        assert dst_vcc.orphan_unlocks == 0
+
+    def test_unlock_reaches_upstream_sharebox(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        hop = conn.hops[0]
+        slot = net.routers[hop.coord].output_ports[hop.out_dir].slots[hop.vc]
+        conn.send(1)
+        net.run(until=net.now + 500.0)
+        # After delivery the sharebox must be unlocked again (flow.ready).
+        assert slot.flow.ready
+
+    def test_unlock_counts_scale_with_hops(self):
+        net = MangoNetwork(3, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        for value in range(10):
+            conn.send(value)
+        net.run(until=net.now + 1000.0)
+        total = sum(net.routers[Coord(x, 0)].vc_control.unlocks_routed
+                    for x in range(3))
+        # 3 routers on the path, each fires one unlock per flit.
+        assert total == 30

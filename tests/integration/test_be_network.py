@@ -1,0 +1,101 @@
+"""BE network integration: deadlock freedom, load behaviour, mixed traffic."""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig
+from repro.traffic.patterns import BitComplement, Transpose, UniformRandom
+from repro.traffic.stats import percentile
+from repro.traffic.workload import UniformBeWorkload
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize("pattern_cls", [UniformRandom, Transpose,
+                                             BitComplement])
+    def test_all_packets_delivered_under_pattern(self, pattern_cls):
+        """XY routing + credit flow control: every injected packet is
+        delivered, whatever the spatial pattern."""
+        net = MangoNetwork(4, 4)
+        workload = UniformBeWorkload(
+            net, pattern_cls(net.mesh, seed=11), slot_ns=25.0,
+            probability=0.35, payload_words=3, n_slots=60, seed=5)
+        workload.run()
+        assert workload.received == workload.sent
+        assert workload.sent > 100
+
+    def test_heavy_load_no_loss(self):
+        net = MangoNetwork(3, 3)
+        workload = UniformBeWorkload(
+            net, UniformRandom(net.mesh, seed=2), slot_ns=12.0,
+            probability=0.8, payload_words=4, n_slots=80, seed=3)
+        workload.run(drain_ns=20000.0)
+        assert workload.received == workload.sent
+
+    def test_latency_grows_with_load(self):
+        latencies = {}
+        for probability in (0.1, 0.7):
+            net = MangoNetwork(3, 3)
+            workload = UniformBeWorkload(
+                net, UniformRandom(net.mesh, seed=4), slot_ns=15.0,
+                probability=probability, payload_words=3, n_slots=60,
+                seed=8)
+            workload.run(drain_ns=15000.0)
+            latencies[probability] = percentile(workload.latencies(), 95)
+        assert latencies[0.7] > latencies[0.1]
+
+
+class TestMixedGsBe:
+    def test_simultaneous_gs_and_be_no_loss(self):
+        """Section 6: the router simultaneously supports connection-less
+        BE routing plus GS connections."""
+        net = MangoNetwork(3, 3)
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(2, 2)),
+                 net.open_connection_instant(Coord(2, 2), Coord(0, 0)),
+                 net.open_connection_instant(Coord(0, 2), Coord(2, 0))]
+        for conn in conns:
+            for value in range(100):
+                conn.send(value)
+        workload = UniformBeWorkload(
+            net, UniformRandom(net.mesh, seed=6), slot_ns=20.0,
+            probability=0.4, payload_words=3, n_slots=50, seed=9)
+        workload.run(drain_ns=15000.0)
+        assert workload.received == workload.sent
+        for conn in conns:
+            assert conn.sink.payloads == list(range(100))
+
+    def test_connection_setup_during_be_load(self):
+        """Programming packets share the BE network with user traffic and
+        still complete."""
+        net = MangoNetwork(3, 3)
+        workload = UniformBeWorkload(
+            net, UniformRandom(net.mesh, seed=1), slot_ns=25.0,
+            probability=0.5, payload_words=3, n_slots=40, seed=2)
+        conn = net.open_connection(Coord(0, 0), Coord(2, 2))
+        assert conn.state == "open"
+        conn.send(123)
+        workload.run(drain_ns=10000.0)
+        assert conn.sink.payloads == [123]
+
+
+class TestBePacketSizes:
+    @pytest.mark.parametrize("n_words", [0, 1, 7, 31])
+    def test_various_packet_lengths(self, n_words):
+        net = MangoNetwork(3, 1)
+        words = list(range(n_words))
+        net.send_be(Coord(0, 0), Coord(2, 0), words)
+        net.run(until=3000.0)
+        inbox = net.adapters[Coord(2, 0)].be_inbox
+        packet = inbox.try_get()
+        assert packet is not None
+        assert packet.words == words
+
+    def test_deep_be_buffers_improve_long_packet_latency(self):
+        """More BE buffering (credits) cuts serialization stalls."""
+        results = {}
+        for depth in (1, 8):
+            net = MangoNetwork(3, 1,
+                               config=RouterConfig(be_buffer_depth=depth))
+            net.send_be(Coord(0, 0), Coord(2, 0), list(range(24)))
+            net.run(until=5000.0)
+            packet = net.adapters[Coord(2, 0)].be_inbox.try_get()
+            results[depth] = packet.arrive_time - packet.inject_time
+        assert results[8] < results[1]

@@ -1,0 +1,229 @@
+"""End-to-end verification of the paper's service-guarantee claims.
+
+These are the integration tests behind the benchmark suite: fair-share
+bandwidth floors (G1), GS/BE isolation (G2), the single-VC ceiling and
+overlap (G3), constant switch latency (G4), and ALG latency ordering (A1).
+"""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig
+from repro.traffic.generators import CbrSource, SaturatingSource
+from repro.traffic.stats import percentile
+from repro.traffic.workload import run_until_processes_done
+
+
+def saturate(net, conns, flits_per_conn=2000):
+    sources = [SaturatingSource(net.sim, conn, flits_per_conn)
+               for conn in conns]
+    return [source.process for source in sources]
+
+
+class TestFairShareFloor:
+    def test_each_of_four_connections_gets_quarter(self):
+        """Backlogged connections sharing one link split it exactly."""
+        net = MangoNetwork(2, 1)
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                 for _ in range(4)]
+        procs = saturate(net, conns)
+        net.run(until=25000.0)
+        cycle = net.config.timing.link_cycle_ns
+        shares = [conn.sink.throughput_flits_per_ns() * cycle
+                  for conn in conns]
+        for share in shares:
+            assert share == pytest.approx(0.25, abs=0.01)
+
+    def test_floor_holds_with_be_interference(self):
+        """A GS connection keeps >= 1/9 of the link (8 VCs + 1 BE channel
+        fair-share requesters) under saturating BE traffic."""
+        net = MangoNetwork(2, 1)
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                 for _ in range(4)]
+        saturate(net, conns)
+        for index in range(120):
+            net.send_be(Coord(0, 0), Coord(1, 0), list(range(12)))
+        net.run(until=25000.0)
+        cycle = net.config.timing.link_cycle_ns
+        floor = 1.0 / net.config.link_requesters
+        for conn in conns:
+            share = conn.sink.throughput_flits_per_ns() * cycle
+            assert share >= floor - 0.01
+
+    def test_floor_holds_over_multi_hop_path(self):
+        """Section 4.4: single-flit buffers are enough for the fair-share
+        scheme to function over a *sequence* of links."""
+        net = MangoNetwork(4, 1)
+        through = [net.open_connection_instant(Coord(0, 0), Coord(3, 0))
+                   for _ in range(2)]
+        # Cross traffic loading the middle links.
+        cross = [net.open_connection_instant(Coord(1, 0), Coord(3, 0)),
+                 net.open_connection_instant(Coord(2, 0), Coord(3, 0)),
+                 net.open_connection_instant(Coord(1, 0), Coord(2, 0))]
+        saturate(net, through + cross)
+        net.run(until=40000.0)
+        cycle = net.config.timing.link_cycle_ns
+        # The hottest link (2,0)->(3,0) carries 4 connections: each of
+        # the through-connections must still see at least ~1/8 of a link.
+        for conn in through:
+            share = conn.sink.throughput_flits_per_ns() * cycle
+            assert share >= 1 / 8 - 0.01
+
+    def test_work_conservation_idle_bandwidth_reused(self):
+        """If a VC does not use its allocation, others take it over."""
+        net = MangoNetwork(2, 1)
+        hungry = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        trickle = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        SaturatingSource(net.sim, hungry, 3000)
+        CbrSource(net.sim, trickle, period_ns=100.0, n_flits=50)
+        net.run(until=15000.0)
+        cycle = net.config.timing.link_cycle_ns
+        hungry_share = hungry.sink.throughput_flits_per_ns() * cycle
+        # Far beyond its 1/9 floor — it absorbs the idle bandwidth (the
+        # ceiling is the single-VC round-trip limit, ~0.77).
+        assert hungry_share > 0.5
+
+
+class TestGsBeIsolation:
+    def test_gs_latency_flat_under_be_load(self):
+        """Claim G2: GS connections are logically independent of BE
+        traffic — latency jitter stays bounded by one arbitration round."""
+        results = {}
+        for load in ("idle", "storm"):
+            net = MangoNetwork(3, 1)
+            conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+            source = CbrSource(net.sim, conn, period_ns=30.0, n_flits=150)
+            if load == "storm":
+                for index in range(200):
+                    net.send_be(Coord(0, 0), Coord(2, 0), list(range(10)))
+                    net.send_be(Coord(2, 0), Coord(0, 0), list(range(10)))
+            run_until_processes_done(net, [source.process],
+                                     drain_ns=3000.0)
+            results[load] = conn.sink.latencies
+        idle_p99 = percentile(results["idle"], 99)
+        storm_p99 = percentile(results["storm"], 99)
+        cycle = MangoNetwork(2, 1).config.timing.link_cycle_ns
+        # Worst-case extra wait per hop is bounded by the fair-share
+        # round (V+1 cycles); with 2 links that is ~35 ns.  In practice a
+        # lone GS VC against one BE channel sees far less.
+        assert storm_p99 - idle_p99 < 3 * 9 * cycle
+        assert all(conn is not None for conn in results.values())
+
+    def test_gs_throughput_unaffected_by_gs_cross_traffic(self):
+        """Connections on disjoint VCs do not couple (the non-blocking
+        switch): a paced stream keeps its rate while others saturate."""
+        net = MangoNetwork(2, 1)
+        paced = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        greedy = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                  for _ in range(3)]
+        source = CbrSource(net.sim, paced, period_ns=20.0, n_flits=200)
+        saturate(net, greedy)
+        run_until_processes_done(net, [source.process], drain_ns=4000.0)
+        rate = paced.sink.throughput_flits_per_ns()
+        assert rate == pytest.approx(1 / 20.0, rel=0.05)
+
+    def test_be_still_progresses_under_gs_load(self):
+        """BE is a fair-share requester too: it keeps its 1/9 share."""
+        net = MangoNetwork(2, 1)
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                 for _ in range(4)]
+        saturate(net, conns)
+        for index in range(20):
+            net.send_be(Coord(0, 0), Coord(1, 0), [index])
+        net.run(until=20000.0)
+        inbox = net.adapters[Coord(1, 0)].be_inbox
+        assert len(inbox.items) == 20
+
+
+class TestSingleVcCeilingAndOverlap:
+    def test_single_vc_cannot_saturate_link(self):
+        """Claim 4.3: a single VC cannot utilise the full bandwidth."""
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        SaturatingSource(net.sim, conn, 3000)
+        net.run(until=12000.0)
+        cycle = net.config.timing.link_cycle_ns
+        share = conn.sink.throughput_flits_per_ns() * cycle
+        predicted = net.config.timing.single_vc_utilization(
+            net.config.link_length_mm)
+        assert share == pytest.approx(predicted, abs=0.02)
+        assert share < 0.85
+
+    def test_two_vcs_overlap_to_full_bandwidth(self):
+        """Claim 4.3: the unlock handshakes of different VCs overlap, so
+        the full link bandwidth is exploited."""
+        net = MangoNetwork(2, 1)
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                 for _ in range(2)]
+        saturate(net, conns, 4000)
+        net.run(until=20000.0)
+        cycle = net.config.timing.link_cycle_ns
+        total = sum(conn.sink.throughput_flits_per_ns() * cycle
+                    for conn in conns)
+        assert total == pytest.approx(1.0, abs=0.02)
+
+
+class TestNonBlockingSwitch:
+    def test_constant_forward_latency_under_orthogonal_traffic(self):
+        """Claim 4.1: the latency from link grant to the designated VC
+        buffer is constant — orthogonal flows through the same switching
+        module do not perturb it."""
+        net = MangoNetwork(3, 3)
+        # Observed flow west->east through the centre router.
+        observed = net.open_connection_instant(Coord(0, 1), Coord(2, 1))
+        # Orthogonal flow north->south through the same centre router.
+        cross = net.open_connection_instant(Coord(1, 0), Coord(1, 2))
+        source = CbrSource(net.sim, observed, period_ns=25.0, n_flits=100)
+        SaturatingSource(net.sim, cross, 3000)
+        run_until_processes_done(net, [source.process], drain_ns=4000.0)
+        latencies = observed.sink.latencies[5:]
+        spread = max(latencies) - min(latencies)
+        # A paced flow on otherwise-empty links: jitter bounded by at
+        # most one residual arbitration per hop.
+        cycle = net.config.timing.link_cycle_ns
+        assert spread <= 3 * cycle
+
+
+class TestAlgLatencyOrdering:
+    def _worst_latency_by_priority(self, arbiter):
+        net = MangoNetwork(2, 1, config=RouterConfig(arbiter=arbiter))
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                 for _ in range(4)]
+        saturate(net, conns, 1500)
+        net.run(until=30000.0)
+        # VC index == priority (lowest wins under alg/static_priority).
+        worst = {}
+        for conn in conns:
+            vc = conn.hops[0].vc
+            lat = conn.sink.latencies
+            worst[vc] = percentile(lat, 99) if lat else float("inf")
+        return worst, net
+
+    def test_alg_latency_grows_with_priority_but_bounded(self):
+        worst, net = self._worst_latency_by_priority("alg")
+        assert all(value < float("inf") for value in worst.values())
+        # High priority (VC 0) beats low priority (VC 3) under load.
+        assert worst[0] < worst[3]
+
+    def test_static_priority_starves_low_vcs(self):
+        """[9]-style prioritized VCs deliver no hard guarantee: under
+        saturation the lowest priority makes (almost) no progress."""
+        net = MangoNetwork(2, 1,
+                           config=RouterConfig(arbiter="static_priority"))
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                 for _ in range(4)]
+        # Enough backlog that no source drains within the horizon —
+        # starvation only shows while higher priorities stay busy.
+        saturate(net, conns, 20000)
+        net.run(until=20000.0)
+        counts = {conn.hops[0].vc: conn.sink.count for conn in conns}
+        assert counts[0] > 2000
+        assert counts[3] < counts[0] * 0.05
+
+    def test_alg_bandwidth_floor_kept(self):
+        """ALG keeps the 1/V floor (unlike static priority)."""
+        worst, net = self._worst_latency_by_priority("alg")
+        cycle = net.config.timing.link_cycle_ns
+        conns = list(net.connection_manager.connections.values())
+        for conn in conns:
+            share = conn.sink.throughput_flits_per_ns() * cycle
+            assert share >= 0.2  # 4 backlogged VCs -> ~0.25 each

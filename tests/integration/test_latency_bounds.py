@@ -1,0 +1,65 @@
+"""End-to-end hard latency bounds under full load.
+
+The predictability argument of Section 2: a GS flit's worst-case network
+latency is computable from the architecture alone (fair-share wait +
+constant forward path, per hop) and holds under any interfering traffic.
+"""
+
+import pytest
+
+from repro import MangoNetwork, Coord
+from repro.analysis.timing_analysis import timing_report
+from repro.traffic.generators import CbrSource, SaturatingSource
+from repro.traffic.workload import run_until_processes_done
+
+
+def probe_with_full_interference(hops):
+    """A paced probe over ``hops`` links while every link on its path is
+    saturated by three other connections plus BE storms."""
+    net = MangoNetwork(hops + 1, 1)
+    probe = net.open_connection_instant(Coord(0, 0), Coord(hops, 0))
+    # Saturating same-path connections (the probe's competitors).
+    for _ in range(3):
+        conn = net.open_connection_instant(Coord(0, 0), Coord(hops, 0))
+        SaturatingSource(net.sim, conn, 8000)
+    # BE storms on every tile pair along the row.
+    for x in range(hops):
+        for _ in range(10):
+            net.send_be(Coord(x, 0), Coord(x + 1, 0), list(range(8)))
+    # Pace the probe at its guaranteed floor (1/9 of the link).
+    cycle = net.config.timing.link_cycle_ns
+    source = CbrSource(net.sim, probe, period_ns=9.5 * cycle, n_flits=120)
+    run_until_processes_done(net, [source.process], drain_ns=5000.0,
+                             max_ns=2e6)
+    return probe.sink.latencies
+
+
+class TestEndToEndBounds:
+    @pytest.mark.parametrize("hops", [1, 2, 4])
+    def test_worst_observed_within_analytic_bound(self, hops):
+        report = timing_report(vcs=9)  # 8 GS VCs + 1 BE requester
+        bound = report.end_to_end_latency_bound_ns(hops)
+        injection_slack = 3 * report.link_cycle_ns  # NA injection cycle
+        latencies = probe_with_full_interference(hops)
+        assert latencies, "probe starved — guarantee broken"
+        assert max(latencies) <= bound + injection_slack, hops
+
+    def test_bound_linear_in_hops(self):
+        report = timing_report(vcs=9)
+        bounds = [report.end_to_end_latency_bound_ns(h) for h in (1, 2, 4)]
+        assert bounds[1] == pytest.approx(2 * bounds[0])
+        assert bounds[2] == pytest.approx(4 * bounds[0])
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            timing_report().end_to_end_latency_bound_ns(0)
+
+    def test_unloaded_latency_far_below_bound(self):
+        """The bound is a worst case; an unloaded network is much faster."""
+        net = MangoNetwork(3, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        conn.send(1)
+        net.run(until=1000.0)
+        report = timing_report(vcs=9)
+        assert conn.sink.max_latency < \
+            report.end_to_end_latency_bound_ns(2) / 3

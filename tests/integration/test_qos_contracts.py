@@ -1,0 +1,98 @@
+"""The QoS contract layer must be honoured by the simulated network."""
+
+import pytest
+
+from repro import MangoNetwork, Coord, RouterConfig
+from repro.analysis.qos import contract_for_connection, contract_for_path
+from repro.traffic.generators import CbrSource, SaturatingSource
+from repro.traffic.workload import run_until_processes_done
+
+
+class TestContractAlgebra:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contract_for_path(0)
+
+    def test_default_contract_numbers(self):
+        """Paper configuration: 9 requesters (8 VCs + BE) at 515 MHz ->
+        ~57 MHz guaranteed flit rate = ~229 MB/s per connection."""
+        contract = contract_for_path(1)
+        assert contract.min_bandwidth_flits_per_ns == pytest.approx(
+            1 / (9 * 1.9425), rel=1e-6)
+        assert contract.min_bandwidth_mbytes_per_s == pytest.approx(
+            228.8, rel=0.01)
+
+    def test_latency_linear_in_hops(self):
+        one = contract_for_path(1)
+        four = contract_for_path(4)
+        assert four.max_latency_ns == pytest.approx(4 * one.max_latency_ns)
+
+    def test_admits_rate(self):
+        contract = contract_for_path(2)
+        assert contract.admits_rate(contract.min_bandwidth_flits_per_ns)
+        assert not contract.admits_rate(
+            2 * contract.min_bandwidth_flits_per_ns)
+
+    def test_fewer_vcs_better_contract(self):
+        """Fewer VCs per port = bigger share per connection."""
+        small = contract_for_path(1, RouterConfig(vcs_per_port=2))
+        big = contract_for_path(1, RouterConfig(vcs_per_port=8))
+        assert small.min_bandwidth_flits_per_ns > \
+            big.min_bandwidth_flits_per_ns
+
+    def test_rows_render(self):
+        rows = contract_for_path(3).rows()
+        assert rows[0] == ("hops", 3)
+
+
+class TestContractHonoured:
+    def test_bandwidth_floor_under_worst_interference(self):
+        """A source pacing at the contract bandwidth loses nothing even
+        when every competitor saturates every hop."""
+        net = MangoNetwork(3, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        contract = contract_for_connection(conn)
+        # Fill the remaining 3 local interfaces with saturating rivals.
+        for _ in range(3):
+            rival = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+            SaturatingSource(net.sim, rival, 8000)
+        period = 1.0 / contract.min_bandwidth_flits_per_ns
+        source = CbrSource(net.sim, conn, period_ns=period * 1.02,
+                           n_flits=200)
+        run_until_processes_done(net, [source.process], drain_ns=5000.0,
+                                 max_ns=2e6)
+        assert conn.sink.count == 200
+        measured = conn.sink.throughput_flits_per_ns()
+        assert measured == pytest.approx(1 / (period * 1.02), rel=0.05)
+
+    def test_latency_within_contract(self):
+        net = MangoNetwork(3, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        contract = contract_for_connection(conn)
+        for _ in range(3):
+            rival = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+            SaturatingSource(net.sim, rival, 8000)
+        period = 1.0 / contract.min_bandwidth_flits_per_ns
+        source = CbrSource(net.sim, conn, period_ns=period * 1.05,
+                           n_flits=150)
+        run_until_processes_done(net, [source.process], drain_ns=5000.0,
+                                 max_ns=2e6)
+        # Injection adds one local-interface cycle of slack.
+        slack = 3 * contract.link_cycle_ns
+        assert max(conn.sink.latencies) <= contract.max_latency_ns + slack
+
+    def test_jitter_within_contract(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        contract = contract_for_connection(conn)
+        for _ in range(3):
+            rival = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+            SaturatingSource(net.sim, rival, 8000)
+        period = 1.0 / contract.min_bandwidth_flits_per_ns
+        source = CbrSource(net.sim, conn, period_ns=period * 1.05,
+                           n_flits=150)
+        run_until_processes_done(net, [source.process], drain_ns=5000.0,
+                                 max_ns=2e6)
+        latencies = conn.sink.latencies[2:]
+        jitter = max(latencies) - min(latencies)
+        assert jitter <= contract.jitter_bound_ns + contract.link_cycle_ns

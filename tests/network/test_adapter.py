@@ -1,0 +1,142 @@
+"""Tests for network adapters and the GALS clock boundary."""
+
+import pytest
+
+from repro import ClockDomain, MangoNetwork, Coord
+from repro.sim.kernel import Simulator
+
+
+class TestClockDomain:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockDomain(period_ns=0)
+        with pytest.raises(ValueError):
+            ClockDomain(period_ns=1.0, sync_cycles=0)
+
+    def test_frequency(self):
+        assert ClockDomain(period_ns=2.0).frequency_mhz == pytest.approx(500.0)
+
+    def test_next_edge_strictly_after_now(self):
+        sim = Simulator()
+        clock = ClockDomain(period_ns=3.0)
+
+        def proc():
+            yield clock.next_edge(sim)
+            first = sim.now
+            yield clock.next_edge(sim)
+            return first, sim.now
+
+        first, second = sim.run_process(proc())
+        assert first == pytest.approx(3.0)
+        assert second == pytest.approx(6.0)
+
+    def test_offset(self):
+        sim = Simulator()
+        clock = ClockDomain(period_ns=4.0, offset_ns=1.0)
+
+        def proc():
+            yield clock.next_edge(sim)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(1.0)
+
+    def test_sync_latency(self):
+        clock = ClockDomain(period_ns=2.5, sync_cycles=2)
+        assert clock.sync_latency_ns == pytest.approx(5.0)
+
+
+class TestEndpointBinding:
+    def test_double_tx_bind_rejected(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        na = net.adapters[Coord(0, 0)]
+        endpoint = na.tx_endpoints[conn.src_iface]
+        with pytest.raises(ValueError):
+            na.bind_tx(conn.src_iface, endpoint.steering, 99)
+
+    def test_send_on_unbound_interface_rejected(self):
+        net = MangoNetwork(2, 1)
+        from repro.network.packet import GsFlit
+        with pytest.raises(ValueError):
+            net.adapters[Coord(0, 0)].gs_send(0, GsFlit(1))
+
+    def test_double_rx_bind_rejected(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        with pytest.raises(ValueError):
+            net.adapters[Coord(1, 0)].bind_rx(conn.dst_iface, lambda f, t: None)
+
+
+class TestGalsBoundary:
+    def test_clocked_na_quantizes_injection(self):
+        """With a clocked core, flits enter the network on clock edges —
+        the NA performs the synchronization (paper Section 3)."""
+        period = 5.0
+        clocks = {Coord(0, 0): ClockDomain(period_ns=period)}
+        net = MangoNetwork(2, 1, clocks=clocks)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        src_na = net.adapters[Coord(0, 0)]
+        endpoint = src_na.tx_endpoints[conn.src_iface]
+        inject_times = []
+        original = src_na.local_link.transmit_inject
+
+        def spy(steering, flit):
+            inject_times.append(net.sim.now)
+            original(steering, flit)
+
+        src_na.local_link.transmit_inject = spy
+        for value in range(5):
+            conn.send(value)
+        net.run(until=net.now + 200.0)
+        assert len(inject_times) == 5
+        for time in inject_times:
+            assert time % period == pytest.approx(0.0, abs=1e-9)
+
+    def test_clocked_receiver_adds_sync_latency(self):
+        """The receive path pays the 2-cycle synchronizer."""
+        results = {}
+        for name, clocks in (("async", {}),
+                             ("clocked", {Coord(1, 0):
+                                          ClockDomain(period_ns=2.0)})):
+            net = MangoNetwork(2, 1, clocks=clocks)
+            conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+            conn.send(1)
+            net.run(until=net.now + 500.0)
+            results[name] = conn.sink.mean_latency
+        assert results["clocked"] >= results["async"] + 4.0
+
+    def test_clocked_na_still_delivers_everything(self):
+        clocks = {coord: ClockDomain(period_ns=3.0)
+                  for coord in (Coord(0, 0), Coord(1, 0))}
+        net = MangoNetwork(2, 1, clocks=clocks)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        for value in range(30):
+            conn.send(value)
+        net.run(until=net.now + 3000.0)
+        assert conn.sink.payloads == list(range(30))
+
+
+class TestBeDispatch:
+    def test_packet_handler_claims(self):
+        net = MangoNetwork(2, 1)
+        claimed = []
+        net.adapters[Coord(1, 0)].add_packet_handler(
+            lambda p: claimed.append(p) or True)
+        net.send_be(Coord(0, 0), Coord(1, 0), [1, 2])
+        net.run(until=200.0)
+        assert len(claimed) == 1
+        assert net.adapters[Coord(1, 0)].be_inbox.is_empty
+
+    def test_unclaimed_packets_reach_inbox(self):
+        net = MangoNetwork(2, 1)
+        net.adapters[Coord(1, 0)].add_packet_handler(lambda p: False)
+        net.send_be(Coord(0, 0), Coord(1, 0), [1])
+        net.run(until=200.0)
+        assert len(net.adapters[Coord(1, 0)].be_inbox.items) == 1
+
+    def test_counters(self):
+        net = MangoNetwork(2, 1)
+        net.send_be(Coord(0, 0), Coord(1, 0), [1])
+        net.run(until=200.0)
+        assert net.adapters[Coord(0, 0)].be_packets_sent == 1
+        assert net.adapters[Coord(1, 0)].be_packets_received == 1

@@ -1,0 +1,175 @@
+"""Tests for connection allocation, programming and lifecycle."""
+
+import pytest
+
+from repro import AdmissionError, MangoNetwork, Coord, RouterConfig
+from repro.network.topology import Direction
+
+
+@pytest.fixture
+def net():
+    return MangoNetwork(3, 3)
+
+
+class TestAllocation:
+    def test_hops_follow_xy_path(self, net):
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 1))
+        dirs = [hop.out_dir for hop in conn.hops]
+        assert dirs == [Direction.EAST, Direction.EAST, Direction.SOUTH]
+
+    def test_same_tile_rejected(self, net):
+        with pytest.raises(AdmissionError):
+            net.open_connection_instant(Coord(1, 1), Coord(1, 1))
+
+    def test_distinct_vcs_on_shared_link(self, net):
+        a = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        b = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        assert a.hops[0].vc != b.hops[0].vc
+
+    def test_admission_fails_when_vcs_exhausted(self):
+        config = RouterConfig(vcs_per_port=2)
+        net = MangoNetwork(2, 1, config=config)
+        net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        with pytest.raises(AdmissionError):
+            net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+
+    def test_admission_fails_when_local_interfaces_exhausted(self):
+        """A tile terminates at most 4 outgoing connections (4 GS local
+        interfaces)."""
+        net = MangoNetwork(3, 3)
+        for dst in (Coord(1, 0), Coord(2, 0), Coord(0, 1), Coord(1, 1)):
+            net.open_connection_instant(Coord(0, 0), dst)
+        with pytest.raises(AdmissionError):
+            net.open_connection_instant(Coord(0, 0), Coord(2, 2))
+
+    def test_failed_allocation_rolls_back_reservations(self):
+        config = RouterConfig(vcs_per_port=1)
+        net = MangoNetwork(3, 1, config=config)
+        net.open_connection_instant(Coord(1, 0), Coord(2, 0))
+        # (0,0) -> (2,0) fails at the second link; the first link's VC
+        # must be returned to the pool.
+        with pytest.raises(AdmissionError):
+            net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        assert conn.state == "open"
+
+
+class TestProgrammedSetup:
+    def test_setup_programs_all_routers(self, net):
+        conn = net.open_connection(Coord(0, 0), Coord(2, 2))
+        path_tiles = {hop.coord for hop in conn.hops} | {Coord(2, 2)}
+        for tile in path_tiles:
+            assert len(net.routers[tile].table) >= 1
+
+    def test_setup_takes_simulated_time(self, net):
+        before = net.now
+        net.open_connection(Coord(0, 0), Coord(2, 2))
+        assert net.now > before
+
+    def test_setup_without_ack(self, net):
+        conn = net.open_connection(Coord(0, 0), Coord(1, 0), want_ack=False)
+        net.run(until=net.now + 200.0)  # allow the writes to land
+        conn.send(5)
+        net.run(until=net.now + 500.0)
+        assert conn.sink.payloads == [5]
+
+    def test_instant_matches_programmed_tables(self):
+        """The BE-programmed path must produce exactly the same table
+        state as the instant path."""
+        net_a = MangoNetwork(3, 1)
+        net_b = MangoNetwork(3, 1)
+        conn_a = net_a.open_connection(Coord(0, 0), Coord(2, 0))
+        conn_b = net_b.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        for x in range(3):
+            entries_a = net_a.routers[Coord(x, 0)].table.entries()
+            entries_b = net_b.routers[Coord(x, 0)].table.entries()
+            stripped_a = [(p, v, e.steering, e.unlock_dir, e.unlock_vc)
+                          for p, v, e in entries_a]
+            stripped_b = [(p, v, e.steering, e.unlock_dir, e.unlock_vc)
+                          for p, v, e in entries_b]
+            assert stripped_a == stripped_b
+
+
+class TestDataTransfer:
+    def test_in_order_delivery(self, net):
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 2))
+        payloads = list(range(64))
+        for value in payloads:
+            conn.send(value)
+        net.run(until=net.now + 3000.0)
+        assert conn.sink.payloads == payloads
+
+    def test_no_loss_across_many_connections(self, net):
+        conns = []
+        pairs = [(Coord(0, 0), Coord(2, 2)), (Coord(2, 0), Coord(0, 2)),
+                 (Coord(0, 2), Coord(2, 0)), (Coord(2, 2), Coord(0, 0))]
+        for src, dst in pairs:
+            conns.append(net.open_connection_instant(src, dst))
+        for conn in conns:
+            for value in range(32):
+                conn.send(value)
+        net.run(until=net.now + 5000.0)
+        for conn in conns:
+            assert conn.sink.payloads == list(range(32))
+
+    def test_send_on_unopened_rejected(self, net):
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        conn.state = "closing"
+        with pytest.raises(RuntimeError):
+            conn.send(1)
+
+    def test_send_message_marks_tail(self, net):
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        conn.send_message([1, 2, 3])
+        net.run(until=net.now + 500.0)
+        assert conn.sink.count == 3
+
+
+class TestTeardown:
+    def test_close_frees_resources(self, net):
+        conn = net.open_connection(Coord(0, 0), Coord(1, 0))
+        net.close_connection(conn)
+        assert conn.state == "closed"
+        # All VCs are free again: we can re-open 8 times on that link.
+        for _ in range(4):  # limited by the 4 local interfaces
+            net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+
+    def test_close_clears_tables(self, net):
+        conn = net.open_connection(Coord(0, 0), Coord(2, 0))
+        net.run(until=net.now + 100.0)
+        net.close_connection(conn)
+        for x in range(3):
+            assert len(net.routers[Coord(x, 0)].table) == 0
+
+    def test_close_twice_rejected(self, net):
+        conn = net.open_connection(Coord(0, 0), Coord(1, 0))
+        net.close_connection(conn)
+        with pytest.raises(RuntimeError):
+            net.close_connection(conn)
+
+    def test_traffic_after_teardown_and_reopen(self, net):
+        conn = net.open_connection(Coord(0, 0), Coord(1, 0))
+        conn.send(1)
+        net.run(until=net.now + 500.0)
+        net.close_connection(conn)
+        fresh = net.open_connection(Coord(0, 0), Coord(1, 0))
+        fresh.send(2)
+        net.run(until=net.now + 500.0)
+        assert fresh.sink.payloads == [2]
+
+
+class TestSinkStats:
+    def test_latency_recorded(self, net):
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        conn.send(1)
+        net.run(until=net.now + 500.0)
+        assert conn.sink.mean_latency > 0
+        assert conn.sink.max_latency >= conn.sink.mean_latency
+
+    def test_throughput_measured(self, net):
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        for value in range(50):
+            conn.send(value)
+        net.run(until=net.now + 2000.0)
+        assert conn.sink.throughput_flits_per_ns() > 0

@@ -1,0 +1,132 @@
+"""Tests for the MangoNetwork facade and link wiring."""
+
+import pytest
+
+from repro import MangoNetwork, Coord, Mesh, RouterConfig
+from repro.network.topology import Direction, LinkSpec
+
+
+class TestConstruction:
+    def test_router_and_adapter_per_tile(self):
+        net = MangoNetwork(3, 2)
+        assert len(net.routers) == 6
+        assert len(net.adapters) == 6
+
+    def test_links_attached_both_ways(self):
+        net = MangoNetwork(2, 2)
+        router = net.routers[Coord(0, 0)]
+        assert router.output_ports[Direction.EAST].link is not None
+        assert router.output_ports[Direction.SOUTH].link is not None
+        assert Direction.EAST in router.input_links   # from (1,0)
+        assert Direction.SOUTH in router.input_links  # from (0,1)
+
+    def test_edge_ports_unattached(self):
+        net = MangoNetwork(2, 2)
+        router = net.routers[Coord(0, 0)]
+        assert router.output_ports[Direction.NORTH].link is None
+        assert router.output_ports[Direction.WEST].link is None
+
+    def test_mesh_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MangoNetwork(2, 2, mesh=Mesh(3, 3))
+
+    def test_heterogeneous_mesh_links(self):
+        key = (Coord(0, 0), Direction.EAST)
+        mesh = Mesh(2, 1, link_overrides={
+            key: LinkSpec(Coord(0, 0), Direction.EAST, length_mm=6.0,
+                          stages=4)})
+        net = MangoNetwork(2, 1, mesh=mesh)
+        long_link = net.links[key]
+        assert long_link.spec.length_mm == 6.0
+        assert long_link.spec.stages == 4
+        # The reverse link keeps the default geometry.
+        reverse = net.links[(Coord(1, 0), Direction.WEST)]
+        assert reverse.spec.length_mm == pytest.approx(1.5)
+
+    def test_pipelined_long_link_keeps_port_speed(self):
+        """Section 3: long links can be implemented as pipelines to keep
+        speed up."""
+        key = (Coord(0, 0), Direction.EAST)
+        slow = Mesh(2, 1, link_overrides={
+            key: LinkSpec(Coord(0, 0), Direction.EAST, 6.0, stages=1)})
+        fast = Mesh(2, 1, link_overrides={
+            key: LinkSpec(Coord(0, 0), Direction.EAST, 6.0, stages=4)})
+        net_slow = MangoNetwork(2, 1, mesh=slow)
+        net_fast = MangoNetwork(2, 1, mesh=fast)
+        cycle = net_slow.config.timing.link_cycle_ns
+        assert net_slow.links[key].media_cycle_ns > cycle
+        assert net_fast.links[key].media_cycle_ns == pytest.approx(cycle)
+
+
+class TestRunControl:
+    def test_run_advances_time(self):
+        net = MangoNetwork(2, 1)
+        net.run(until=123.0)
+        assert net.now == 123.0
+
+    def test_run_process_returns_value(self):
+        net = MangoNetwork(2, 1)
+
+        def proc():
+            yield net.sim.timeout(5.0)
+            return "ok"
+
+        assert net.run_process(proc()) == "ok"
+
+
+class TestStatistics:
+    def test_aggregate_counters(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        for value in range(10):
+            conn.send(value)
+        net.run(until=net.now + 1000.0)
+        counters = net.aggregate_counters()
+        assert counters["gs_flits_switched"] == 20  # 2 routers x 10 flits
+        assert counters["gs_link_flits"] == 10
+
+    def test_link_utilization_range(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        for value in range(100):
+            conn.send(value)
+        net.run(until=net.now + 1000.0)
+        utils = net.link_utilization()
+        for value in utils.values():
+            assert 0.0 <= value <= 1.0
+        # 100 flits x 1.94 ns cycle over the 1000 ns horizon ~ 0.19.
+        assert utils[(Coord(0, 0), Direction.EAST)] > 0.15
+
+    def test_gs_occupancy_drains_to_zero(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        for value in range(20):
+            conn.send(value)
+        net.run(until=net.now + 2000.0)
+        assert net.total_gs_occupancy() == 0
+        assert conn.sink.count == 20
+
+
+class TestLinkDelays:
+    def test_forward_latency_scales_with_length(self):
+        short = MangoNetwork(2, 1, config=RouterConfig(link_length_mm=0.5))
+        default = MangoNetwork(2, 1)
+        key = (Coord(0, 0), Direction.EAST)
+        assert short.links[key].forward_gs_ns < default.links[key].forward_gs_ns
+
+    def test_unlock_delay_positive(self):
+        net = MangoNetwork(2, 1)
+        link = net.links[(Coord(0, 0), Direction.EAST)]
+        assert link.unlock_ns > 0
+        assert link.credit_ns > 0
+
+    def test_flit_counters(self):
+        net = MangoNetwork(2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        conn.send(1)
+        net.send_be(Coord(0, 0), Coord(1, 0), [2])
+        net.run(until=net.now + 500.0)
+        link = net.links[(Coord(0, 0), Direction.EAST)]
+        assert link.gs_flits == 1
+        assert link.be_flits == 2  # header + payload
+        assert link.unlocks == 1

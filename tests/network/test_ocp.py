@@ -1,0 +1,110 @@
+"""Tests for the OCP transaction layer."""
+
+import pytest
+
+from repro import MangoNetwork, Coord
+from repro.network.ocp import OcpError, OcpMaster, OcpMemorySlave
+
+
+@pytest.fixture
+def net():
+    return MangoNetwork(2, 2)
+
+
+@pytest.fixture
+def endpoints(net):
+    master = OcpMaster(net.adapters[Coord(0, 0)])
+    slave = OcpMemorySlave(net.adapters[Coord(1, 1)])
+    return master, slave
+
+
+class TestTransactions:
+    def test_write_then_read(self, net, endpoints):
+        master, slave = endpoints
+
+        def txn():
+            yield from master.write(Coord(1, 1), 0x40, [0xCAFE])
+            response = yield from master.read(Coord(1, 1), 0x40)
+            return response.data
+
+        assert net.run_process(txn()) == [0xCAFE]
+        assert slave.writes == 1
+        assert slave.reads == 1
+
+    def test_burst_write_read(self, net, endpoints):
+        master, _slave = endpoints
+        data = [10, 20, 30, 40]
+
+        def txn():
+            yield from master.write(Coord(1, 1), 0x0, data)
+            response = yield from master.read(Coord(1, 1), 0x0, len(data))
+            return response.data
+
+        assert net.run_process(txn()) == data
+
+    def test_read_uninitialized_returns_zero(self, net, endpoints):
+        master, _slave = endpoints
+
+        def txn():
+            response = yield from master.read(Coord(1, 1), 0x999)
+            return response.data
+
+        assert net.run_process(txn()) == [0]
+
+    def test_interleaved_transactions_matched_by_tag(self, net, endpoints):
+        master, _slave = endpoints
+        results = {}
+
+        def writer(addr, value):
+            yield from master.write(Coord(1, 1), addr, [value])
+            response = yield from master.read(Coord(1, 1), addr)
+            results[addr] = response.data[0]
+
+        procs = [net.sim.process(writer(addr, addr * 7))
+                 for addr in (1, 2, 3, 4)]
+        net.run(until=net.now + 5000.0)
+        assert all(p.triggered for p in procs)
+        assert results == {1: 7, 2: 14, 3: 21, 4: 28}
+
+    def test_two_masters_one_slave(self, net):
+        slave = OcpMemorySlave(net.adapters[Coord(1, 1)])
+        masters = [OcpMaster(net.adapters[Coord(0, 0)]),
+                   OcpMaster(net.adapters[Coord(1, 0)])]
+        done = []
+
+        def txn(master, addr):
+            yield from master.write(Coord(1, 1), addr, [addr])
+            response = yield from master.read(Coord(1, 1), addr)
+            done.append(response.data[0])
+
+        for index, master in enumerate(masters):
+            net.sim.process(txn(master, 0x100 + index))
+        net.run(until=net.now + 5000.0)
+        assert sorted(done) == [0x100, 0x101]
+
+    def test_slave_latency_adds_to_round_trip(self, net):
+        master = OcpMaster(net.adapters[Coord(0, 0)])
+        OcpMemorySlave(net.adapters[Coord(1, 1)], latency_ns=100.0)
+
+        def txn():
+            start = net.sim.now
+            yield from master.write(Coord(1, 1), 0, [1])
+            return net.sim.now - start
+
+        assert net.run_process(txn()) >= 100.0
+
+
+class TestValidation:
+    def test_read_length_limits(self, net, endpoints):
+        master, _slave = endpoints
+        with pytest.raises(OcpError):
+            next(master.read(Coord(1, 1), 0, length=0))
+        with pytest.raises(OcpError):
+            next(master.read(Coord(1, 1), 0, length=17))
+
+    def test_non_ocp_packets_ignored(self, net, endpoints):
+        _master, _slave = endpoints
+        net.send_be(Coord(0, 0), Coord(1, 1), [0x12345678])
+        net.run(until=net.now + 300.0)
+        inbox = net.adapters[Coord(1, 1)].be_inbox
+        assert len(inbox.items) == 1  # fell through to the inbox

@@ -1,0 +1,86 @@
+"""Tests for OCP burst streaming over GS connections."""
+
+import pytest
+
+from repro import MangoNetwork, Coord
+from repro.network.ocp import OcpError, OcpStreamReceiver, OcpStreamWriter
+
+
+@pytest.fixture
+def net():
+    return MangoNetwork(3, 1)
+
+
+@pytest.fixture
+def stream(net):
+    conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+    writer = OcpStreamWriter(conn)
+    receiver = OcpStreamReceiver(net.adapters[Coord(2, 0)], conn)
+    return writer, receiver
+
+
+class TestStreaming:
+    def test_single_burst(self, net, stream):
+        writer, receiver = stream
+        writer.write_burst(0x100, [1, 2, 3])
+        net.run(until=net.now + 1000.0)
+        assert receiver.bursts_received == 1
+        assert receiver.memory == {0x100: 1, 0x101: 2, 0x102: 3}
+
+    def test_empty_burst_rejected(self, stream):
+        writer, _receiver = stream
+        with pytest.raises(OcpError):
+            writer.write_burst(0x0, [])
+
+    def test_many_bursts_framed_by_tail_bit(self, net, stream):
+        writer, receiver = stream
+        for burst in range(20):
+            writer.write_burst(burst * 0x10, [burst, burst + 1])
+        net.run(until=net.now + 5000.0)
+        assert receiver.bursts_received == 20
+        assert receiver.memory[0x00] == 0
+        assert receiver.memory[0x131] == 20
+
+    def test_variable_burst_lengths(self, net, stream):
+        writer, receiver = stream
+        writer.write_burst(0x0, [7])
+        writer.write_burst(0x10, list(range(16)))
+        writer.write_burst(0x40, [1, 2])
+        net.run(until=net.now + 3000.0)
+        assert receiver.bursts_received == 3
+        assert receiver.memory[0x1F] == 15
+
+    def test_counters(self, net, stream):
+        writer, _receiver = stream
+        writer.write_burst(0x0, [1, 2, 3, 4])
+        assert writer.bursts_sent == 1
+        assert writer.words_sent == 4
+
+    def test_throughput_beats_be_transactions(self, net):
+        """The point of GS bursts: streaming 64 words over a connection is
+        far faster than 64 individual BE write transactions."""
+        from repro.network.ocp import OcpMaster, OcpMemorySlave
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        writer = OcpStreamWriter(conn)
+        receiver = OcpStreamReceiver(net.adapters[Coord(2, 0)], conn)
+        start = net.now
+        for index in range(8):
+            writer.write_burst(0x1000 + 8 * index,
+                               list(range(8 * index, 8 * index + 8)))
+        while receiver.bursts_received < 8:
+            net.run(until=net.now + 20.0)  # fine steps: timing matters here
+        gs_time = net.now - start
+
+        master = OcpMaster(net.adapters[Coord(0, 0)])
+        OcpMemorySlave(net.adapters[Coord(2, 0)], latency_ns=0.0)
+
+        def be_writes():
+            for index in range(64):
+                yield from master.write(Coord(2, 0), 0x2000 + index,
+                                        [index])
+
+        start = net.now
+        net.run_process(be_writes())
+        be_time = net.now - start
+        assert gs_time < be_time / 3
+        assert receiver.memory[0x1000] == 0

@@ -1,0 +1,173 @@
+"""Tests for flit formats and steering-bit encoding (paper Figure 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.packet import (
+    BeFlit,
+    FLIT_BODY_BITS,
+    FLIT_DATA_BITS,
+    GsFlit,
+    LINK_FLIT_BITS,
+    Steering,
+    SteeringError,
+    allowed_output_ports,
+    decode_steering,
+    encode_steering,
+    make_be_packet,
+)
+from repro.network.topology import Direction, NETWORK_DIRECTIONS
+
+
+class TestBitBudget:
+    def test_paper_bit_widths(self):
+        """34 bits remain after the 3 split bits are stripped: 32 data +
+        last-flit control + BE-VC bit (paper Section 5)."""
+        assert FLIT_DATA_BITS == 32
+        assert FLIT_BODY_BITS == 34
+        assert LINK_FLIT_BITS == 39  # body + 5 steering bits
+
+
+class TestSteering:
+    def test_code_range_validation(self):
+        with pytest.raises(SteeringError):
+            Steering(8, 0)
+        with pytest.raises(SteeringError):
+            Steering(0, 4)
+
+    def test_raw_packing(self):
+        steering = Steering(split_code=0b101, switch_code=0b11)
+        assert steering.raw == 0b10111
+
+
+class TestAllowedPorts:
+    def test_network_input_excludes_own_direction(self):
+        """An input port needs only connect to four output ports, as it is
+        not useful to route flits back where they came from (Fig. 5)."""
+        for in_dir in NETWORK_DIRECTIONS:
+            ports = allowed_output_ports(in_dir)
+            assert len(ports) == 4
+            assert in_dir not in ports
+            assert Direction.LOCAL in ports
+
+    def test_local_input_reaches_all_network_ports(self):
+        ports = allowed_output_ports(Direction.LOCAL)
+        assert ports == NETWORK_DIRECTIONS
+
+
+class TestSteeringCodec:
+    def test_round_trip_simple(self):
+        steering = encode_steering(Direction.WEST, Direction.EAST, 5)
+        port, vc = decode_steering(Direction.WEST, steering)
+        assert port is Direction.EAST
+        assert vc == 5
+
+    def test_split_code_uses_three_bits_switch_two(self):
+        steering = encode_steering(Direction.NORTH, Direction.SOUTH, 7)
+        assert 0 <= steering.split_code < 8
+        assert 0 <= steering.switch_code < 4
+
+    def test_half_selection(self):
+        """VCs 0-3 live in one 4x4 switch, 4-7 in the other."""
+        low = encode_steering(Direction.NORTH, Direction.EAST, 1)
+        high = encode_steering(Direction.NORTH, Direction.EAST, 5)
+        assert high.split_code == low.split_code + 1
+        assert low.switch_code == high.switch_code == 1
+
+    def test_unreachable_port_rejected(self):
+        with pytest.raises(SteeringError):
+            encode_steering(Direction.NORTH, Direction.NORTH, 0)
+
+    def test_vc_range_rejected(self):
+        with pytest.raises(SteeringError):
+            encode_steering(Direction.NORTH, Direction.EAST, 8)
+
+    def test_local_interface_range(self):
+        encode_steering(Direction.NORTH, Direction.LOCAL, 3)
+        with pytest.raises(SteeringError):
+            encode_steering(Direction.NORTH, Direction.LOCAL, 4)
+
+    def test_decode_nonexistent_hardware_rejected(self):
+        # Local input has exactly 8 split targets (4 ports x 2 halves),
+        # but a local-port target from a network input at an over-range
+        # interface must fail.
+        steering = Steering(split_code=7, switch_code=3)  # LOCAL, vc 7
+        with pytest.raises(SteeringError):
+            decode_steering(Direction.NORTH, steering)
+
+    @given(st.sampled_from(list(Direction)),
+           st.sampled_from(list(NETWORK_DIRECTIONS) + [Direction.LOCAL]),
+           st.integers(0, 7))
+    @settings(max_examples=300, deadline=None)
+    def test_property_round_trip(self, in_dir, out_port, vc):
+        if out_port not in allowed_output_ports(in_dir):
+            return
+        limit = 4 if out_port is Direction.LOCAL else 8
+        if vc >= limit:
+            return
+        steering = encode_steering(in_dir, out_port, vc)
+        assert decode_steering(in_dir, steering) == (out_port, vc)
+
+    @given(st.sampled_from(list(Direction)), st.integers(0, 7),
+           st.integers(0, 3))
+    @settings(max_examples=300, deadline=None)
+    def test_property_decode_never_returns_input_port(self, in_dir, split,
+                                                      switch):
+        try:
+            port, _vc = decode_steering(in_dir, Steering(split, switch))
+        except SteeringError:
+            return
+        assert port is not in_dir or in_dir is Direction.LOCAL
+
+
+class TestGsFlit:
+    def test_payload_masked_to_32_bits(self):
+        flit = GsFlit(payload=0x1_FFFF_FFFF)
+        assert flit.payload == 0xFFFF_FFFF
+
+    def test_unique_ids(self):
+        a, b = GsFlit(1), GsFlit(2)
+        assert a.flit_id != b.flit_id
+
+    def test_defaults(self):
+        flit = GsFlit(7)
+        assert not flit.last
+        assert flit.connection_id == -1
+
+
+class TestBeFlit:
+    def test_word_masked(self):
+        assert BeFlit(word=2 ** 40).word == 0
+
+    def test_vc_bit_validation(self):
+        """The spare bit indicates one of two BE VCs (paper Section 5)."""
+        BeFlit(0, vc=1)
+        with pytest.raises(ValueError):
+            BeFlit(0, vc=2)
+
+
+class TestMakeBePacket:
+    def test_header_first_tail_last(self):
+        flits = make_be_packet(0xAB, [1, 2, 3])
+        assert flits[0].is_head
+        assert [f.is_tail for f in flits] == [False, False, False, True]
+        assert [f.word for f in flits] == [0xAB, 1, 2, 3]
+
+    def test_single_flit_packet(self):
+        """Variable length packets: a lone header is both head and tail."""
+        flits = make_be_packet(0xCD, [])
+        assert len(flits) == 1
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_shared_packet_id(self):
+        flits = make_be_packet(0, [1, 2])
+        assert len({f.packet_id for f in flits}) == 1
+
+    def test_distinct_packet_ids(self):
+        first = make_be_packet(0, [])[0].packet_id
+        second = make_be_packet(0, [])[0].packet_id
+        assert first != second
+
+    def test_vc_carried_on_all_flits(self):
+        flits = make_be_packet(0, [1, 2], vc=1)
+        assert all(f.vc == 1 for f in flits)

@@ -1,0 +1,167 @@
+"""Tests for BE source routing: XY moves, header packing, rotation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.routing import (
+    MAX_HOPS,
+    RouteError,
+    encode_source_route,
+    header_direction,
+    reverse_moves,
+    rotate_header,
+    route_for,
+    walk_route,
+    xy_moves,
+)
+from repro.network.topology import Coord, Direction
+
+
+class TestXyMoves:
+    def test_east_then_south(self):
+        moves = xy_moves(Coord(0, 0), Coord(2, 1))
+        assert moves == [Direction.EAST, Direction.EAST, Direction.SOUTH]
+
+    def test_west_then_north(self):
+        moves = xy_moves(Coord(3, 3), Coord(1, 2))
+        assert moves == [Direction.WEST, Direction.WEST, Direction.NORTH]
+
+    def test_x_always_before_y(self):
+        moves = xy_moves(Coord(0, 0), Coord(2, 2))
+        first_y = next(i for i, m in enumerate(moves)
+                       if m in (Direction.NORTH, Direction.SOUTH))
+        assert all(m in (Direction.EAST, Direction.WEST)
+                   for m in moves[:first_y])
+
+    def test_same_tile_rejected(self):
+        with pytest.raises(RouteError):
+            xy_moves(Coord(1, 1), Coord(1, 1))
+
+    def test_length_is_manhattan(self):
+        assert len(xy_moves(Coord(0, 0), Coord(3, 4))) == 7
+
+
+class TestHeaderEncoding:
+    def test_first_move_in_msbs(self):
+        header = encode_source_route([Direction.SOUTH])
+        assert header_direction(header) is Direction.SOUTH
+
+    def test_delivery_code_is_opposite_of_last_move(self):
+        """Paper Section 5: choosing the direction back where the packet
+        came from routes it to the local port."""
+        header = encode_source_route([Direction.EAST, Direction.SOUTH])
+        header = rotate_header(rotate_header(header))
+        assert header_direction(header) is Direction.NORTH  # back whence
+
+    def test_fifteen_hop_limit(self):
+        """Paper Section 5: with 32-bit flits a packet can make 15 hops."""
+        moves = [Direction.EAST] * MAX_HOPS
+        encode_source_route(moves)  # exactly 15 is fine
+        with pytest.raises(RouteError):
+            encode_source_route([Direction.EAST] * (MAX_HOPS + 1))
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(RouteError):
+            encode_source_route([])
+
+    def test_local_in_route_rejected(self):
+        with pytest.raises(RouteError):
+            encode_source_route([Direction.LOCAL])
+
+    def test_header_is_32_bit(self):
+        moves = [Direction.WEST] * MAX_HOPS
+        assert 0 <= encode_source_route(moves) < 2 ** 32
+
+
+class TestRotation:
+    def test_rotate_brings_next_code_to_msbs(self):
+        header = encode_source_route([Direction.EAST, Direction.SOUTH])
+        assert header_direction(rotate_header(header)) is Direction.SOUTH
+
+    def test_rotate_wraps_msbs_to_lsbs(self):
+        value = 0b11 << 30
+        assert rotate_header(value) == 0b11
+
+    def test_sixteen_rotations_identity(self):
+        header = encode_source_route(
+            [Direction.EAST, Direction.SOUTH, Direction.WEST])
+        rotated = header
+        for _ in range(16):
+            rotated = rotate_header(rotated)
+        assert rotated == header
+
+
+class TestWalkRoute:
+    def test_delivery_at_destination(self):
+        src, dst = Coord(0, 0), Coord(3, 2)
+        header = route_for(src, dst)
+        arrived, hops = walk_route(src, header)
+        assert arrived == dst
+        assert hops == 5
+
+    def test_single_hop(self):
+        header = route_for(Coord(0, 0), Coord(0, 1))
+        arrived, hops = walk_route(Coord(0, 0), header)
+        assert arrived == Coord(0, 1)
+        assert hops == 1
+
+    def test_undeliverable_route_detected(self):
+        # A header of all-EAST codes never turns back.
+        header = 0b01010101010101010101010101010101
+        with pytest.raises(RouteError):
+            walk_route(Coord(0, 0), header)
+
+    @given(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+           st.tuples(st.integers(0, 7), st.integers(0, 7)))
+    @settings(max_examples=200, deadline=None)
+    def test_property_xy_route_always_delivers(self, src_xy, dst_xy):
+        src, dst = Coord(*src_xy), Coord(*dst_xy)
+        if src == dst:
+            return
+        header = route_for(src, dst)
+        arrived, hops = walk_route(src, header)
+        assert arrived == dst
+        assert hops == abs(src.x - dst.x) + abs(src.y - dst.y)
+
+    @given(st.lists(st.sampled_from([Direction.NORTH, Direction.EAST,
+                                     Direction.SOUTH, Direction.WEST]),
+                    min_size=1, max_size=MAX_HOPS))
+    @settings(max_examples=200, deadline=None)
+    def test_property_any_route_delivers_at_walk_end(self, moves):
+        """Any legal move list (not only XY) delivers after len(moves)
+        hops — unless a move immediately doubles back, which the delivery
+        convention interprets as local delivery earlier."""
+        doubles_back = any(b is a.opposite for a, b in zip(moves, moves[1:]))
+        header = encode_source_route(moves)
+        arrived, hops = walk_route(Coord(0, 0), header)
+        if not doubles_back:
+            assert hops == len(moves)
+            x = sum(m.delta[0] for m in moves)
+            y = sum(m.delta[1] for m in moves)
+            assert arrived == Coord(x, y)
+        else:
+            assert hops <= len(moves)
+
+
+class TestReverseMoves:
+    def test_reverse_is_opposite_and_reversed(self):
+        moves = [Direction.EAST, Direction.EAST, Direction.SOUTH]
+        assert reverse_moves(moves) == [Direction.NORTH, Direction.WEST,
+                                        Direction.WEST]
+
+    def test_reverse_route_returns_home(self):
+        src, dst = Coord(1, 1), Coord(4, 3)
+        back = encode_source_route(reverse_moves(xy_moves(src, dst)))
+        arrived, _hops = walk_route(dst, back)
+        assert arrived == src
+
+    @given(st.tuples(st.integers(0, 6), st.integers(0, 6)),
+           st.tuples(st.integers(0, 6), st.integers(0, 6)))
+    @settings(max_examples=100, deadline=None)
+    def test_property_reverse_round_trip(self, src_xy, dst_xy):
+        src, dst = Coord(*src_xy), Coord(*dst_xy)
+        if src == dst:
+            return
+        moves = xy_moves(src, dst)
+        arrived, _ = walk_route(dst, encode_source_route(reverse_moves(moves)))
+        assert arrived == src

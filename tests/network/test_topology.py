@@ -1,0 +1,121 @@
+"""Tests for the grid topology."""
+
+import pytest
+
+from repro.network.topology import (
+    Coord,
+    Direction,
+    LinkSpec,
+    Mesh,
+    NETWORK_DIRECTIONS,
+)
+
+
+class TestDirection:
+    def test_opposites(self):
+        assert Direction.NORTH.opposite is Direction.SOUTH
+        assert Direction.EAST.opposite is Direction.WEST
+        assert Direction.SOUTH.opposite is Direction.NORTH
+        assert Direction.WEST.opposite is Direction.EAST
+
+    def test_local_has_no_opposite(self):
+        with pytest.raises(ValueError):
+            Direction.LOCAL.opposite
+
+    def test_deltas(self):
+        assert Direction.NORTH.delta == (0, -1)
+        assert Direction.SOUTH.delta == (0, 1)
+        assert Direction.EAST.delta == (1, 0)
+        assert Direction.WEST.delta == (-1, 0)
+        assert Direction.LOCAL.delta == (0, 0)
+
+    def test_is_network(self):
+        assert all(d.is_network for d in NETWORK_DIRECTIONS)
+        assert not Direction.LOCAL.is_network
+
+    def test_network_directions_code_order(self):
+        assert [int(d) for d in NETWORK_DIRECTIONS] == [0, 1, 2, 3]
+
+
+class TestCoord:
+    def test_step(self):
+        assert Coord(1, 1).step(Direction.EAST) == Coord(2, 1)
+        assert Coord(1, 1).step(Direction.NORTH) == Coord(1, 0)
+
+    def test_step_round_trip(self):
+        coord = Coord(3, 4)
+        for direction in NETWORK_DIRECTIONS:
+            assert coord.step(direction).step(direction.opposite) == coord
+
+    def test_str(self):
+        assert str(Coord(2, 5)) == "(2,5)"
+
+
+class TestMesh:
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 3)
+        with pytest.raises(ValueError):
+            Mesh(3, 3, link_length_mm=0.0)
+
+    def test_contains(self):
+        mesh = Mesh(3, 2)
+        assert Coord(0, 0) in mesh
+        assert Coord(2, 1) in mesh
+        assert Coord(3, 0) not in mesh
+        assert Coord(0, -1) not in mesh
+
+    def test_tile_count_and_order(self):
+        mesh = Mesh(3, 2)
+        tiles = list(mesh.tiles())
+        assert len(tiles) == mesh.n_tiles == 6
+        assert tiles[0] == Coord(0, 0)
+        assert tiles[-1] == Coord(2, 1)
+
+    def test_neighbor_inside(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(Coord(1, 1), Direction.EAST) == Coord(2, 1)
+
+    def test_neighbor_at_edge_is_none(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor(Coord(0, 0), Direction.NORTH) is None
+        assert mesh.neighbor(Coord(0, 0), Direction.WEST) is None
+        assert mesh.neighbor(Coord(2, 2), Direction.SOUTH) is None
+
+    def test_neighbor_local_is_none(self):
+        mesh = Mesh(2, 2)
+        assert mesh.neighbor(Coord(0, 0), Direction.LOCAL) is None
+
+    def test_link_count(self):
+        # cols x rows mesh: 2 * (2*cols*rows - cols - rows) directed links.
+        mesh = Mesh(4, 4)
+        assert len(list(mesh.links())) == 2 * (2 * 16 - 4 - 4)
+
+    def test_1x1_has_no_links(self):
+        assert list(Mesh(1, 1).links()) == []
+
+    def test_link_spec_defaults(self):
+        mesh = Mesh(2, 2, link_length_mm=1.2, link_stages=2)
+        spec = mesh.link_spec(Coord(0, 0), Direction.EAST)
+        assert spec.length_mm == 1.2
+        assert spec.stages == 2
+        assert spec.dst == Coord(1, 0)
+
+    def test_link_spec_override_heterogeneous(self):
+        key = (Coord(0, 0), Direction.EAST)
+        override = LinkSpec(Coord(0, 0), Direction.EAST, length_mm=6.0,
+                            stages=4)
+        mesh = Mesh(2, 1, link_overrides={key: override})
+        assert mesh.link_spec(*key).length_mm == 6.0
+        specs = {(s.src, s.direction): s for s in mesh.links()}
+        assert specs[key].stages == 4
+
+    def test_link_spec_missing_raises(self):
+        mesh = Mesh(2, 1)
+        with pytest.raises(ValueError):
+            mesh.link_spec(Coord(0, 0), Direction.NORTH)
+
+    def test_manhattan(self):
+        mesh = Mesh(5, 5)
+        assert mesh.manhattan(Coord(0, 0), Coord(3, 4)) == 7
+        assert mesh.manhattan(Coord(2, 2), Coord(2, 2)) == 0

@@ -1,0 +1,163 @@
+"""Tests for the 4-phase handshake channel and pipeline laws."""
+
+import pytest
+
+from repro.sim.handshake import HandshakeChannel, PipelineChain
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestHandshakeChannel:
+    def test_latency_validation(self, sim):
+        with pytest.raises(ValueError):
+            HandshakeChannel(sim, forward_latency=-1.0, cycle_time=1.0)
+        with pytest.raises(ValueError):
+            HandshakeChannel(sim, forward_latency=2.0, cycle_time=1.0)
+
+    def test_single_transfer_takes_forward_latency(self, sim):
+        channel = HandshakeChannel(sim, forward_latency=1.5, cycle_time=4.0)
+        log = []
+
+        def sender():
+            yield from channel.send("data")
+
+        def receiver():
+            data = yield from channel.recv()
+            log.append((sim.now, data))
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert log == [(1.5, "data")]
+
+    def test_cycle_time_limits_throughput(self, sim):
+        channel = HandshakeChannel(sim, forward_latency=1.0, cycle_time=5.0)
+        arrivals = []
+
+        def sender():
+            for index in range(4):
+                yield from channel.send(index)
+
+        def receiver():
+            for _ in range(4):
+                yield from channel.recv()
+                arrivals.append(sim.now)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(gap >= 5.0 - 1e-9 for gap in gaps)
+
+    def test_backpressure_blocks_sender(self, sim):
+        channel = HandshakeChannel(sim, forward_latency=1.0, cycle_time=1.0)
+        sent_times = []
+
+        def sender():
+            for index in range(3):
+                yield from channel.send(index)
+                sent_times.append(sim.now)
+
+        def slow_receiver():
+            for _ in range(3):
+                yield sim.timeout(10.0)
+                yield from channel.recv()
+
+        sim.process(sender())
+        sim.process(slow_receiver())
+        sim.run()
+        # The second send cannot complete until the receiver drains.
+        assert sent_times[1] >= 10.0
+
+    def test_counters(self, sim):
+        channel = HandshakeChannel(sim, forward_latency=0.5, cycle_time=1.0)
+
+        def pump():
+            for index in range(7):
+                yield from channel.send(index)
+
+        def drain():
+            for _ in range(7):
+                yield from channel.recv()
+
+        sim.process(pump())
+        sim.process(drain())
+        sim.run()
+        assert channel.sent == 7
+        assert channel.received == 7
+
+
+class TestPipelineChain:
+    def test_stage_count_validation(self, sim):
+        with pytest.raises(ValueError):
+            PipelineChain(sim, stages=0, forward_latency=1.0, cycle_time=2.0)
+
+    def test_forward_latency_adds_up(self, sim):
+        chain = PipelineChain(sim, stages=4, forward_latency=1.0,
+                              cycle_time=3.0)
+        log = []
+
+        def sender():
+            yield from chain.send("flit")
+
+        def receiver():
+            data = yield from chain.recv()
+            log.append((sim.now, data))
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        # 5 channels of 1.0 forward latency each.
+        assert log[0][0] == pytest.approx(5.0)
+        assert chain.total_forward_latency == pytest.approx(5.0)
+
+    def test_throughput_set_by_slowest_stage_not_depth(self, sim):
+        """The asynchronous pipeline law: rate = 1/max stage cycle."""
+        chain = PipelineChain(sim, stages=6, forward_latency=0.5,
+                              cycle_time=2.0)
+        arrivals = []
+        n = 12
+
+        def sender():
+            for index in range(n):
+                yield from chain.send(index)
+
+        def receiver():
+            for _ in range(n):
+                yield from chain.recv()
+                arrivals.append(sim.now)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        steady = arrivals[4:]
+        gaps = [b - a for a, b in zip(steady, steady[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(2.0, abs=1e-9)
+
+    def test_items_delivered_in_order(self, sim):
+        chain = PipelineChain(sim, stages=3, forward_latency=1.0,
+                              cycle_time=2.0)
+        received = []
+
+        def sender():
+            for index in range(10):
+                yield from chain.send(index)
+
+        def receiver():
+            for _ in range(10):
+                received.append((yield from chain.recv()))
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert received == list(range(10))
+
+    def test_min_cycle_time_property(self, sim):
+        chain = PipelineChain(sim, stages=2, forward_latency=1.0,
+                              cycle_time=4.5)
+        assert chain.min_cycle_time == 4.5

@@ -1,0 +1,358 @@
+"""Unit tests for stores, signals, gates and resources."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.resources import Gate, Resource, Signal, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestStoreBasics:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_put_get_roundtrip(self, sim):
+        store = Store(sim)
+
+        def proc():
+            yield store.put("x")
+            item = yield store.get()
+            return item
+
+        assert sim.run_process(proc()) == "x"
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+
+        def proc():
+            for index in range(5):
+                yield store.put(index)
+            out = []
+            for _ in range(5):
+                out.append((yield store.get()))
+            return out
+
+        assert sim.run_process(proc()) == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        log = []
+
+        def consumer():
+            item = yield store.get()
+            log.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(4.0)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert log == [(4.0, "late")]
+
+    def test_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put(1)
+            log.append(("put1", sim.now))
+            yield store.put(2)
+            log.append(("put2", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert log == [("put1", 0.0), ("put2", 5.0)]
+
+    def test_try_put_respects_capacity(self, sim):
+        store = Store(sim, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        assert len(store) == 2
+
+    def test_try_get_empty_returns_none(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+
+    def test_try_get_returns_head(self, sim):
+        store = Store(sim)
+        store.try_put("a")
+        store.try_put("b")
+        assert store.try_get() == "a"
+
+    def test_head_peeks_without_removing(self, sim):
+        store = Store(sim)
+        store.try_put("only")
+        assert store.head() == "only"
+        assert len(store) == 1
+
+    def test_is_full_and_empty(self, sim):
+        store = Store(sim, capacity=1)
+        assert store.is_empty
+        store.try_put(0)
+        assert store.is_full
+
+
+class TestStorePeekAndSpace:
+    def test_when_any_immediate_when_occupied(self, sim):
+        store = Store(sim)
+        store.try_put("x")
+
+        def proc():
+            head = yield store.when_any()
+            return head
+
+        assert sim.run_process(proc()) == "x"
+
+    def test_when_any_waits_for_item(self, sim):
+        store = Store(sim)
+        log = []
+
+        def watcher():
+            head = yield store.when_any()
+            log.append((sim.now, head))
+
+        def producer():
+            yield sim.timeout(2.0)
+            yield store.put("later")
+
+        sim.process(watcher())
+        sim.process(producer())
+        sim.run()
+        assert log == [(2.0, "later")]
+
+    def test_when_any_does_not_remove(self, sim):
+        store = Store(sim)
+
+        def proc():
+            yield store.put(1)
+            yield store.when_any()
+            return len(store)
+
+        assert sim.run_process(proc()) == 1
+
+    def test_when_space_immediate_when_free(self, sim):
+        store = Store(sim, capacity=1)
+
+        def proc():
+            yield store.when_space()
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_when_space_waits_for_get(self, sim):
+        store = Store(sim, capacity=1)
+        store.try_put("block")
+        log = []
+
+        def watcher():
+            yield store.when_space()
+            log.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(3.0)
+            yield store.get()
+
+        sim.process(watcher())
+        sim.process(consumer())
+        sim.run()
+        assert log == [3.0]
+
+    def test_when_space_woken_by_try_get(self, sim):
+        store = Store(sim, capacity=1)
+        store.try_put("x")
+        log = []
+
+        def watcher():
+            yield store.when_space()
+            log.append(sim.now)
+
+        sim.process(watcher())
+        sim.run()
+        assert log == []
+        store.try_get()
+        sim.run()
+        assert log == [0.0]
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fifo_preserved_through_capacity(self, items, capacity):
+        sim = Simulator()
+        store = Store(sim, capacity=capacity)
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                received.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == items
+
+
+class TestSignal:
+    def test_pulse_wakes_current_waiters(self, sim):
+        signal = Signal(sim)
+        log = []
+
+        def waiter(tag):
+            value = yield signal.wait()
+            log.append((tag, value))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.run()
+        signal.pulse("go")
+        sim.run()
+        assert sorted(log) == [("a", "go"), ("b", "go")]
+
+    def test_late_waiter_misses_pulse(self, sim):
+        signal = Signal(sim)
+        signal.pulse()
+        log = []
+
+        def waiter():
+            yield signal.wait()
+            log.append("woke")
+
+        sim.process(waiter())
+        sim.run()
+        assert log == []
+        assert signal.pulse_count == 1
+
+    def test_repeated_pulses(self, sim):
+        signal = Signal(sim)
+        log = []
+
+        def waiter():
+            for _ in range(3):
+                yield signal.wait()
+                log.append(sim.now)
+
+        def pulser():
+            for _ in range(3):
+                yield sim.timeout(1.0)
+                signal.pulse()
+
+        sim.process(waiter())
+        sim.process(pulser())
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+
+class TestGate:
+    def test_wait_open_immediate_when_open(self, sim):
+        gate = Gate(sim, is_open=True)
+
+        def proc():
+            yield gate.wait_open()
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_wait_open_blocks_until_open(self, sim):
+        gate = Gate(sim)
+        log = []
+
+        def waiter():
+            yield gate.wait_open()
+            log.append(sim.now)
+
+        def opener():
+            yield sim.timeout(7.0)
+            gate.open()
+
+        sim.process(waiter())
+        sim.process(opener())
+        sim.run()
+        assert log == [7.0]
+
+    def test_close_then_reopen(self, sim):
+        gate = Gate(sim, is_open=True)
+        gate.close()
+        assert not gate.is_open
+        gate.open()
+        assert gate.is_open
+
+    def test_double_open_counts_once(self, sim):
+        gate = Gate(sim)
+        gate.open()
+        gate.open()
+        assert gate.open_count == 1
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_exclusive_access(self, sim):
+        resource = Resource(sim)
+        log = []
+
+        def user(tag, hold):
+            yield resource.request()
+            log.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+            log.append((tag, "out", sim.now))
+            resource.release()
+
+        sim.process(user("a", 5.0))
+        sim.process(user("b", 1.0))
+        sim.run()
+        assert log == [("a", "in", 0.0), ("a", "out", 5.0),
+                       ("b", "in", 5.0), ("b", "out", 6.0)]
+
+    def test_fifo_grant_order(self, sim):
+        resource = Resource(sim)
+        order = []
+
+        def user(tag):
+            yield resource.request()
+            order.append(tag)
+            yield sim.timeout(1.0)
+            resource.release()
+
+        for tag in range(5):
+            sim.process(user(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_release_idle_raises(self, sim):
+        resource = Resource(sim)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_multi_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        concurrent = []
+
+        def user():
+            yield resource.request()
+            concurrent.append(resource.in_use)
+            yield sim.timeout(1.0)
+            resource.release()
+
+        for _ in range(4):
+            sim.process(user())
+        sim.run()
+        assert max(concurrent) == 2

@@ -1,0 +1,69 @@
+"""Tests for the tracing utilities."""
+
+from repro.sim.tracing import NULL_TRACER, NullTracer, TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_emit_collects_records(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "router", "grant", vc=3)
+        tracer.emit(2.0, "router", "unlock", vc=3)
+        assert len(tracer) == 2
+        assert tracer.records[0].kind == "grant"
+
+    def test_filter_by_source(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "x")
+        tracer.emit(2.0, "b", "x")
+        assert len(tracer.filter(source="a")) == 1
+
+    def test_filter_by_kind(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "grant")
+        tracer.emit(2.0, "a", "unlock")
+        assert [r.time for r in tracer.filter(kind="unlock")] == [2.0]
+
+    def test_filter_by_predicate(self):
+        tracer = Tracer()
+        for t in range(5):
+            tracer.emit(float(t), "a", "tick", index=t)
+        late = tracer.filter(predicate=lambda r: r.info["index"] >= 3)
+        assert len(late) == 2
+
+    def test_kinds_histogram(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "a", "x")
+        tracer.emit(0.0, "a", "x")
+        tracer.emit(0.0, "a", "y")
+        assert tracer.kinds() == {"x": 2, "y": 1}
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "a", "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_dump_and_format(self):
+        tracer = Tracer()
+        tracer.emit(1.5, "router", "grant", vc=2)
+        text = tracer.dump()
+        assert "router" in text
+        assert "grant" in text
+        assert "vc=2" in text
+
+    def test_csv_export(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "x", foo=1, bar=2)
+        csv = tracer.to_csv()
+        assert csv.splitlines()[0] == "time,source,kind,info"
+        assert "bar=2;foo=1" in csv
+
+    def test_disabled_tracer_drops(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(0.0, "a", "x")
+        assert len(tracer) == 0
+
+    def test_null_tracer_is_silent(self):
+        NULL_TRACER.emit(0.0, "a", "x")
+        assert len(NULL_TRACER) == 0
+        assert isinstance(NULL_TRACER, NullTracer)

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "0.188" in out
+        assert "port speed" in out
+
+    def test_contract_default(self, capsys):
+        assert main(["contract"]) == 0
+        out = capsys.readouterr().out
+        assert "3-hop" in out
+        assert "guaranteed bandwidth" in out
+
+    def test_contract_hops(self, capsys):
+        assert main(["contract", "--hops", "5"]) == 0
+        assert "5-hop" in capsys.readouterr().out
+
+    def test_simulate_small(self, capsys):
+        assert main(["simulate", "--cols", "2", "--rows", "2",
+                     "--flits", "20", "--horizon", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "20/20 flits" in out
+        assert "Link activity" in out
+        assert "GS connections" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,100 @@
+"""Tests for spatial traffic patterns."""
+
+import pytest
+
+from repro.network.topology import Coord, Mesh
+from repro.traffic.patterns import (
+    BitComplement,
+    Hotspot,
+    NearestNeighbor,
+    Transpose,
+    UniformRandom,
+)
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(4, 4)
+
+
+class TestUniformRandom:
+    def test_never_self(self, mesh):
+        pattern = UniformRandom(mesh, seed=3)
+        src = Coord(1, 1)
+        for _ in range(200):
+            assert pattern.destination(src) != src
+
+    def test_covers_all_tiles(self, mesh):
+        pattern = UniformRandom(mesh, seed=3)
+        seen = {pattern.destination(Coord(0, 0)) for _ in range(500)}
+        assert len(seen) == mesh.n_tiles - 1
+
+    def test_deterministic_with_seed(self, mesh):
+        a = UniformRandom(mesh, seed=5)
+        b = UniformRandom(mesh, seed=5)
+        assert [a.destination(Coord(0, 0)) for _ in range(20)] == \
+            [b.destination(Coord(0, 0)) for _ in range(20)]
+
+
+class TestTranspose:
+    def test_swaps_coordinates(self, mesh):
+        assert Transpose(mesh).destination(Coord(1, 3)) == Coord(3, 1)
+
+    def test_diagonal_falls_back(self, mesh):
+        pattern = Transpose(mesh, seed=1)
+        dst = pattern.destination(Coord(2, 2))
+        assert dst != Coord(2, 2)
+        assert dst in mesh
+
+    def test_non_square_mesh_fallback(self):
+        mesh = Mesh(4, 2)
+        pattern = Transpose(mesh, seed=1)
+        # (3, 0) -> (0, 3) is outside a 4x2 mesh: must fall back.
+        dst = pattern.destination(Coord(3, 0))
+        assert dst in mesh
+
+
+class TestBitComplement:
+    def test_mirrors(self, mesh):
+        assert BitComplement(mesh).destination(Coord(0, 0)) == Coord(3, 3)
+        assert BitComplement(mesh).destination(Coord(1, 2)) == Coord(2, 1)
+
+    def test_centre_of_odd_mesh_falls_back(self):
+        mesh = Mesh(3, 3)
+        dst = BitComplement(mesh, seed=1).destination(Coord(1, 1))
+        assert dst != Coord(1, 1)
+
+
+class TestNearestNeighbor:
+    def test_destination_is_adjacent(self, mesh):
+        pattern = NearestNeighbor(mesh, seed=2)
+        src = Coord(1, 1)
+        for _ in range(50):
+            dst = pattern.destination(src)
+            assert mesh.manhattan(src, dst) == 1
+
+    def test_corner_has_two_neighbors(self, mesh):
+        pattern = NearestNeighbor(mesh, seed=2)
+        seen = {pattern.destination(Coord(0, 0)) for _ in range(100)}
+        assert seen == {Coord(1, 0), Coord(0, 1)}
+
+
+class TestHotspot:
+    def test_validation(self, mesh):
+        with pytest.raises(ValueError):
+            Hotspot(mesh, Coord(9, 9))
+        with pytest.raises(ValueError):
+            Hotspot(mesh, Coord(0, 0), fraction=1.5)
+
+    def test_hotspot_receives_fraction(self, mesh):
+        hotspot = Coord(2, 2)
+        pattern = Hotspot(mesh, hotspot, fraction=0.8, seed=4)
+        hits = sum(pattern.destination(Coord(0, 0)) == hotspot
+                   for _ in range(1000))
+        assert 700 < hits < 900
+
+    def test_hotspot_itself_sends_uniform(self, mesh):
+        hotspot = Coord(2, 2)
+        pattern = Hotspot(mesh, hotspot, fraction=1.0, seed=4)
+        for _ in range(50):
+            assert pattern.destination(hotspot) != hotspot

@@ -1,0 +1,109 @@
+"""Tests for sinks, counters and the workload runner's edge cases."""
+
+import pytest
+
+from repro import MangoNetwork, Coord
+from repro.core.counters import ActivityCounters
+from repro.network.connection import GsSink
+from repro.network.packet import GsFlit
+from repro.traffic.sinks import GsBandwidthProbe
+from repro.traffic.workload import run_until_processes_done
+
+
+class TestGsSink:
+    def test_empty_sink_stats(self):
+        sink = GsSink()
+        assert sink.count == 0
+        assert sink.mean_latency != sink.mean_latency  # NaN
+        assert sink.throughput_flits_per_ns() == 0.0
+
+    def test_record_accumulates(self):
+        sink = GsSink()
+        flit = GsFlit(7)
+        flit.inject_time = 1.0
+        sink.record(flit, 5.0)
+        assert sink.count == 1
+        assert sink.latencies == [4.0]
+        assert sink.payloads == [7]
+
+    def test_unstamped_flit_skips_latency(self):
+        sink = GsSink()
+        sink.record(GsFlit(1), 5.0)
+        assert sink.count == 1
+        assert sink.latencies == []
+
+    def test_throughput_needs_two_arrivals(self):
+        sink = GsSink()
+        flit = GsFlit(1)
+        flit.inject_time = 0.0
+        sink.record(flit, 1.0)
+        assert sink.throughput_flits_per_ns() == 0.0
+        sink.record(flit, 3.0)
+        assert sink.throughput_flits_per_ns() == pytest.approx(0.5)
+
+
+class TestActivityCounters:
+    def test_bump_and_get(self):
+        counters = ActivityCounters()
+        counters.bump("x")
+        counters.bump("x", 4)
+        assert counters["x"] == 5
+        assert counters["missing"] == 0
+
+    def test_merge(self):
+        a = ActivityCounters()
+        b = ActivityCounters()
+        a.bump("x", 2)
+        b.bump("x", 3)
+        b.bump("y", 1)
+        a.merge(b)
+        assert a["x"] == 5
+        assert a["y"] == 1
+
+    def test_total_and_dict(self):
+        counters = ActivityCounters()
+        counters.bump("a", 2)
+        counters.bump("b", 3)
+        assert counters.total() == 5
+        assert counters.as_dict() == {"a": 2, "b": 3}
+
+
+class TestWorkloadRunner:
+    def test_timeout_detected(self):
+        """A workload that never finishes raises instead of spinning."""
+        net = MangoNetwork(2, 1)
+
+        def forever():
+            while True:
+                yield net.sim.timeout(100.0)
+
+        proc = net.sim.process(forever())
+        with pytest.raises(RuntimeError, match="did not finish"):
+            run_until_processes_done(net, [proc], max_ns=5000.0)
+
+    def test_returns_finish_time(self):
+        net = MangoNetwork(2, 1)
+
+        def quick():
+            yield net.sim.timeout(100.0)
+
+        proc = net.sim.process(quick())
+        finish = run_until_processes_done(net, [proc], drain_ns=500.0)
+        assert finish >= 100.0
+        assert net.now >= finish + 500.0
+
+
+class TestBandwidthProbe:
+    def test_validation(self):
+        net = MangoNetwork(2, 1)
+        sink = GsSink()
+        with pytest.raises(ValueError):
+            GsBandwidthProbe(net.sim, sink, window_ns=0.0, n_windows=1)
+
+    def test_empty_probe_min_rate_zero(self):
+        net = MangoNetwork(2, 1)
+        sink = GsSink()
+        probe = GsBandwidthProbe(net.sim, sink, window_ns=10.0, n_windows=3)
+        net.run(until=100.0)
+        assert probe.min_rate() == 0.0
+        assert probe.rates() == [0.0, 0.0, 0.0]

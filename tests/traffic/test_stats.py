@@ -1,0 +1,161 @@
+"""Tests for the statistics utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic.stats import (
+    Histogram,
+    RateMeter,
+    RunningStats,
+    percentile,
+    trim_warmup,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.n == 0
+        assert math.isnan(stats.mean)
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == stats.maximum == 5.0
+
+    def test_known_values(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stdev == pytest.approx(2.138, rel=1e-3)
+
+    def test_min_max(self):
+        stats = RunningStats()
+        stats.extend([3.0, -1.0, 10.0])
+        assert stats.minimum == -1.0
+        assert stats.maximum == 10.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_batch_formulas(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.variance == pytest.approx(var, rel=1e-6, abs=1e-3)
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                              allow_nan=False, allow_subnormal=False),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_property_within_range_and_monotone(self, values, q):
+        result = percentile(values, q)
+        tolerance = 1e-12 * max(values)
+        assert min(values) - tolerance <= result <= max(values) + tolerance
+        assert percentile(values, 0) <= result <= percentile(values, 100)
+
+
+class TestHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+    def test_binning(self):
+        hist = Histogram(0.0, 10.0, 5)
+        for value in (0.5, 2.5, 2.6, 9.9):
+            hist.add(value)
+        assert hist.counts == [1, 2, 0, 0, 1]
+
+    def test_outliers(self):
+        hist = Histogram(0.0, 1.0, 2)
+        hist.add(-5.0)
+        hist.add(2.0)
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.total == 2
+
+    def test_boundary_goes_up(self):
+        hist = Histogram(0.0, 10.0, 10)
+        hist.add(10.0)
+        assert hist.overflow == 1
+
+    def test_edges(self):
+        hist = Histogram(0.0, 4.0, 4)
+        assert hist.edges() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_render(self):
+        hist = Histogram(0.0, 2.0, 2)
+        hist.add(0.5)
+        text = hist.render(width=10)
+        assert "#" in text
+
+
+class TestRateMeter:
+    def test_monotonic_required(self):
+        meter = RateMeter()
+        meter.record(1.0)
+        with pytest.raises(ValueError):
+            meter.record(0.5)
+
+    def test_rate_over_span(self):
+        meter = RateMeter()
+        for t in range(11):
+            meter.record(float(t))
+        assert meter.rate() == pytest.approx(1.0)
+
+    def test_rate_in_window(self):
+        meter = RateMeter()
+        for t in (0.0, 1.0, 2.0, 10.0, 11.0):
+            meter.record(t)
+        assert meter.rate(start=0.0, end=2.0) == pytest.approx(1.0)
+
+    def test_too_few_events(self):
+        meter = RateMeter()
+        meter.record(1.0)
+        assert meter.rate() == 0.0
+
+    def test_windows_cover_span(self):
+        meter = RateMeter()
+        for t in range(10):
+            meter.record(float(t))
+        windows = meter.windows(3.0)
+        assert sum(count for _, count in windows) == 10 - 1 or \
+            sum(count for _, count in windows) == 10
+
+
+class TestTrimWarmup:
+    def test_trims_before_threshold(self):
+        samples = [(0.0, 1.0), (5.0, 2.0), (10.0, 3.0)]
+        assert trim_warmup(samples, 5.0) == [2.0, 3.0]
+
+    def test_empty(self):
+        assert trim_warmup([], 10.0) == []
