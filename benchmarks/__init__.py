@@ -1,0 +1,3 @@
+"""Benchmark suite: each module regenerates one table/figure/claim of the
+paper.  A package so `python -m pytest benchmarks` resolves the relative
+imports of the bench modules (`from .common import record`)."""

@@ -1,10 +1,24 @@
-"""Benchmark session setup: start a fresh results file."""
+"""Benchmark session setup: start a fresh results file.
+
+The package ``__init__.py`` gives this conftest a package context, so
+the relative import is preferred; the absolute-import path shim is the
+fallback for a conftest imported by bare file path (no package
+context), which is what broke whole-repo collection in the seed.
+Appended, not prepended, so ``common`` cannot shadow another module.
+"""
 
 import os
+import sys
 
 import pytest
 
-from .common import RESULTS_PATH
+try:
+    from .common import RESULTS_PATH
+except ImportError:  # pragma: no cover - no package context
+    _HERE = os.path.dirname(__file__)
+    if _HERE not in sys.path:
+        sys.path.append(_HERE)
+    from common import RESULTS_PATH  # noqa: E402
 
 
 @pytest.fixture(scope="session", autouse=True)

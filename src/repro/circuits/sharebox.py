@@ -100,7 +100,13 @@ class Unsharebox:
         """Event yielding the flit; completing it *is* the departure, so
         the unlock toggle fires."""
         event = self.latch.get()
-        event.add_callback(self._departed)
+        if event.processed:
+            # The latch had the flit and get() completed inline: the
+            # departure is now, before the taker resumes (the same order
+            # the callback list used to guarantee).
+            self._departed(event)
+        else:
+            event.add_callback(self._departed)
         return event
 
     def _departed(self, _event: Event) -> None:

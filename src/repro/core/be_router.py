@@ -46,6 +46,12 @@ class BeRouter:
                                    name=f"{name}.in.{direction.name}.{vc}")
             for direction in _INPUT_KEYS for vc in range(vcs)
         }
+        # Per-direction VC list view of the same stores: accept() runs per
+        # flit per hop, and a list index beats a tuple-keyed dict lookup.
+        self._inputs_by_dir: Dict[Direction, List[Store]] = {
+            direction: [self.inputs[(direction, vc)] for vc in range(vcs)]
+            for direction in _INPUT_KEYS
+        }
         # Output locks give wormhole packet coherency; FIFO grant order is
         # the fair arbitration of the paper (no input starves).
         self.output_locks: Dict[Tuple[Direction, int], Resource] = {
@@ -67,7 +73,7 @@ class BeRouter:
         Credits guarantee space; overflow is a protocol violation.
         """
         vc = flit.vc if flit.vc < self.vcs else 0
-        store = self.inputs[(in_dir, vc)]
+        store = self._inputs_by_dir[in_dir][vc]
         if not store.try_put(flit):
             raise RuntimeError(
                 f"{self.name}: BE input buffer {in_dir.name}/{vc} overflow "
@@ -81,57 +87,66 @@ class BeRouter:
             return Direction.LOCAL
         return direction
 
-    def _return_credit(self, in_dir: Direction, vc: int) -> None:
+    def _credit_fn(self, in_dir: Direction):
+        """Per-flit credit-return callable, resolved once per input
+        process after the network is wired (links attach post-init)."""
         if in_dir is Direction.LOCAL:
-            self.router.local_link.return_be_credit(vc)
-        else:
-            link = self.router.input_links.get(in_dir)
-            if link is not None:
-                link.return_be_credit(vc)
+            return self.router.local_link.return_be_credit
+        link = self.router.input_links.get(in_dir)
+        if link is not None:
+            return link.return_be_credit
+        return None
+
+    def _out_queue(self, out_dir: Direction, vc: int) -> Store:
+        """The store one packet's flits stream into (fixed per packet)."""
+        if out_dir is Direction.LOCAL:
+            return self.local_out
+        port = self.router.output_ports[out_dir]
+        if not port.be_tx:
+            raise RuntimeError(
+                f"{self.name}: BE flit towards {out_dir.name} but the "
+                "router has no BE channels configured")
+        return port.be_tx[min(vc, len(port.be_tx) - 1)].queue
 
     def _input_process(self, in_dir: Direction, vc: int):
         buf = self.inputs[(in_dir, vc)]
         timing = self.config.timing
         decode_ns = timing.ns(timing.delays.be_route_decode)
         stage_ns = timing.ns(timing.delays.be_buffer_stage)
+        timeout = self.sim.timeout
+        credit = None
         while True:
             head = yield buf.get()
+            if credit is None:
+                # Links attach after construction, so the credit wire is
+                # resolved on first traffic and reused for every flit.
+                credit = self._credit_fn(in_dir) or (lambda _vc: None)
             if not head.is_head:
                 raise RuntimeError(
                     f"{self.name}: body flit at packet boundary on "
                     f"{in_dir.name}/{vc} (wormhole coherency broken)")
             out_dir = self._route(in_dir, head.word)
-            yield self.sim.timeout(decode_ns)
+            yield timeout(decode_ns)
             lock = self.output_locks[(out_dir, vc)]
             yield lock.request()
             try:
+                # The output queue is fixed for the whole wormhole packet.
+                out_queue = self._out_queue(out_dir, vc)
                 rotated = BeFlit(rotate_header(head.word), is_head=True,
                                  is_tail=head.is_tail, vc=head.vc,
                                  packet_id=head.packet_id,
                                  inject_time=head.inject_time)
-                yield from self._deliver(out_dir, vc, rotated)
-                self._return_credit(in_dir, vc)
+                yield out_queue.put(rotated)
+                credit(vc)
                 self.flits_routed += 1
                 tail_seen = head.is_tail
                 while not tail_seen:
                     flit = yield buf.get()
-                    yield self.sim.timeout(stage_ns)
-                    yield from self._deliver(out_dir, vc, flit)
-                    self._return_credit(in_dir, vc)
+                    yield timeout(stage_ns)
+                    yield out_queue.put(flit)
+                    credit(vc)
                     self.flits_routed += 1
                     tail_seen = flit.is_tail
                 self.packets_routed += 1
             finally:
                 lock.release()
-
-    def _deliver(self, out_dir: Direction, vc: int, flit: BeFlit):
-        if out_dir is Direction.LOCAL:
-            yield self.local_out.put(flit)
-        else:
-            port = self.router.output_ports[out_dir]
-            if not port.be_tx:
-                raise RuntimeError(
-                    f"{self.name}: BE flit towards {out_dir.name} but the "
-                    "router has no BE channels configured")
-            chan = port.be_tx[min(vc, len(port.be_tx) - 1)]
-            yield chan.queue.put(flit)

@@ -9,6 +9,7 @@ no dynamic energy.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict
 
 __all__ = ["ActivityCounters"]
@@ -18,10 +19,10 @@ class ActivityCounters:
     """A named bag of monotonically increasing counters."""
 
     def __init__(self):
-        self._counts: Dict[str, int] = {}
+        self._counts: Dict[str, int] = defaultdict(int)
 
     def bump(self, name: str, amount: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        self._counts[name] += amount
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)

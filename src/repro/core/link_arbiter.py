@@ -29,11 +29,11 @@ schemes, equal peers under fair-share).
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-from ..sim.kernel import Event, Simulator, SimulationError
-from ..sim.resources import Signal
+from ..sim.kernel import Event, Simulator, SimulationError, fire
 
 __all__ = [
     "ArbiterPolicy",
@@ -50,8 +50,14 @@ class ArbiterPolicy:
 
     name = "abstract"
 
-    def select(self, pending: Dict[int, float]) -> int:
-        """Pick one id from ``pending`` (id -> request time)."""
+    def select(self, pending: Mapping[int, Any]) -> int:
+        """Pick one id from ``pending``.
+
+        ``pending`` is a mapping whose keys are the contending requester
+        ids; policies must only inspect the keys (the arbiter passes its
+        internal rid -> (event, request time) table straight through to
+        avoid rebuilding a dict per grant), so the values are opaque.
+        """
         raise NotImplementedError
 
     def granted(self, rid: int) -> None:
@@ -74,9 +80,17 @@ class FairSharePolicy(ArbiterPolicy):
         self.n_requesters = n_requesters
         self._next = 0
 
-    def select(self, pending: Dict[int, float]) -> int:
-        for offset in range(self.n_requesters):
-            rid = (self._next + offset) % self.n_requesters
+    def select(self, pending: Mapping[int, Any]) -> int:
+        if len(pending) == 1:  # uncontended link: nothing to rotate over
+            for rid in pending:
+                if rid < self.n_requesters:
+                    return rid
+            raise SimulationError("select() with unknown requester id")
+        nxt = self._next
+        for rid in range(nxt, self.n_requesters):
+            if rid in pending:
+                return rid
+        for rid in range(nxt):
             if rid in pending:
                 return rid
         raise SimulationError("select() with no pending requests")
@@ -90,7 +104,7 @@ class StaticPriorityPolicy(ArbiterPolicy):
 
     name = "static_priority"
 
-    def select(self, pending: Dict[int, float]) -> int:
+    def select(self, pending: Mapping[int, Any]) -> int:
         return min(pending)
 
 
@@ -126,7 +140,7 @@ class AlgPolicy(ArbiterPolicy):
         else:
             self._round_of[rid] = self.round_no
 
-    def select(self, pending: Dict[int, float]) -> int:
+    def select(self, pending: Mapping[int, Any]) -> int:
         if not pending:
             raise SimulationError("select() with no pending requests")
         best = min(pending, key=lambda rid: (self._round_of[rid], rid))
@@ -156,7 +170,7 @@ def make_policy(name: str, n_requesters: int) -> ArbiterPolicy:
 
 @dataclass
 class ArbiterStats:
-    grants: Dict[int, int] = field(default_factory=dict)
+    grants: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     busy_ns: float = 0.0
     first_grant: float = float("inf")
     last_release: float = 0.0
@@ -175,6 +189,12 @@ class LinkArbiter:
     link is idle pays the ``arbitration_ns`` mutex+grant latency; requests
     queued while the link is busy overlap their arbitration with the
     ongoing transfer and are granted back-to-back.
+
+    The engine is callback-driven: a grant decision is a deferred call
+    scheduled for the exact moment the link can next be allocated, not a
+    dispatcher process that sleeps and polls.  Grant times are identical
+    to the process formulation — ``max(selection time, request time +
+    arbitration, link busy-until)`` — at a fraction of the kernel events.
     """
 
     def __init__(self, sim: Simulator, policy: ArbiterPolicy,
@@ -187,50 +207,78 @@ class LinkArbiter:
         self.arbitration_ns = arbitration_ns
         self.name = name
         self._pending: Dict[int, tuple] = {}  # rid -> (event, req_time)
-        self._wake = Signal(sim, name=f"{name}.wake")
         self._busy_until = -float("inf")
+        #: Time the queued dispatch fires at, or None when idle.  The
+        #: schedule time never decreases, so one deferred call suffices.
+        self._dispatch_at: Optional[float] = None
         self.stats = ArbiterStats()
-        self._proc = sim.process(self._run(), name=f"{name}.dispatch")
+        # Per-request hook some policies need; prebound so the hot
+        # request path skips an isinstance check per flit.
+        self._enqueued_hook = getattr(policy, "enqueued", None)
 
     def request(self, rid: int) -> Event:
         """Contend for the link; the returned event fires at grant time."""
-        if rid in self._pending:
+        pending = self._pending
+        if rid in pending:
             raise SimulationError(
                 f"{self.name}: requester {rid} already pending (the share "
                 "scheme allows one outstanding flit per VC)")
-        event = Event(self.sim)
-        self._pending[rid] = (event, self.sim.now)
-        if isinstance(self.policy, AlgPolicy):
-            self.policy.enqueued(rid)
-        self._wake.pulse()
+        sim = self.sim
+        event = Event(sim)
+        now = sim._now
+        pending[rid] = (event, now)
+        if self._enqueued_hook is not None:
+            self._enqueued_hook(rid)
+        when = self._busy_until
+        if when < now:
+            when = now
+        self._schedule_dispatch(when)
         return event
 
     @property
     def pending_count(self) -> int:
         return len(self._pending)
 
-    def _run(self):
-        while True:
-            if not self._pending:
-                yield self._wake.wait()
-                continue
-            now = self.sim.now
-            if now < self._busy_until:
-                yield self.sim.timeout(self._busy_until - now)
-                continue
-            rid = self.policy.select(
-                {r: t for r, (_, t) in self._pending.items()})
-            event, req_time = self._pending.pop(rid)
-            grant_time = max(now, req_time + self.arbitration_ns,
-                             self._busy_until)
-            self.policy.granted(rid)
-            self.stats.grants[rid] = self.stats.grants.get(rid, 0) + 1
-            self.stats.busy_ns += self.cycle_ns
-            self.stats.first_grant = min(self.stats.first_grant, grant_time)
-            self._busy_until = grant_time + self.cycle_ns
-            self.stats.last_release = self._busy_until
-            if grant_time > self.sim.now:
-                yield self.sim.timeout(grant_time - self.sim.now)
-            event.succeed(grant_time)
-            # Wait out the media cycle before the next grant.
-            yield self.sim.timeout(self._busy_until - self.sim.now)
+    def _schedule_dispatch(self, when: float) -> None:
+        at = self._dispatch_at
+        if at is not None and at <= when:
+            return  # a dispatch at or before `when` is already queued
+        self._dispatch_at = when
+        sim = self.sim
+        sim.defer(when - sim._now, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_at = None
+        pending = self._pending
+        if not pending:
+            return
+        now = self.sim._now
+        if now < self._busy_until:  # pragma: no cover - defensive
+            self._schedule_dispatch(self._busy_until)
+            return
+        # Policies only look at the keys, so the internal table is
+        # handed over as-is (no per-grant dict rebuild).
+        rid = self.policy.select(pending)
+        event, req_time = pending.pop(rid)
+        grant_time = req_time + self.arbitration_ns
+        if grant_time < now:
+            grant_time = now
+        self.policy.granted(rid)
+        stats = self.stats
+        stats.grants[rid] += 1
+        stats.busy_ns += self.cycle_ns
+        if grant_time < stats.first_grant:
+            stats.first_grant = grant_time
+        self._busy_until = busy_until = grant_time + self.cycle_ns
+        stats.last_release = busy_until
+        if grant_time > now:
+            # succeed(delay=...) fires the grant callbacks at grant_time
+            # with a single heap entry (no deferred re-enqueue two-step).
+            event.succeed(grant_time, delay=grant_time - now)
+        else:
+            # Backlogged link: the grant is due right now — run the
+            # sender's continuation synchronously.
+            fire(event, grant_time)
+        if pending:
+            # The media cycle must elapse before the next grant.
+            self._schedule_dispatch(busy_until)

@@ -21,7 +21,7 @@ from ..circuits.sharebox import Sharebox, ShareProtocolError, Unsharebox
 from ..network.packet import BeFlit, GsFlit
 from ..network.topology import Direction
 from ..sim.kernel import Event, Simulator
-from ..sim.resources import Gate, Signal, Store
+from ..sim.resources import Gate, Store
 from .config import RouterConfig
 from .link_arbiter import LinkArbiter
 
@@ -147,12 +147,16 @@ class VcSlot:
     def _move(self):
         """Unsharebox -> buffer; the departure fires the unlock."""
         transfer_ns = self.config.timing.unshare_transfer_ns()
+        latch_when_any = self.unsharebox.latch.when_any
+        buffer = self.buffer
+        timeout = self.sim.timeout
+        take = self.unsharebox.take
         while True:
-            yield self.unsharebox.latch.when_any()
-            yield self.buffer.when_space()
-            yield self.sim.timeout(transfer_ns)
-            flit = yield self.unsharebox.take()
-            if not self.buffer.try_put(flit):
+            yield latch_when_any()
+            yield buffer.when_space()
+            yield timeout(transfer_ns)
+            flit = yield take()
+            if not buffer.try_put(flit):
                 raise ShareProtocolError(
                     f"{self.name}: buffer stolen during unshare transfer")
             self.flits_through += 1
@@ -251,37 +255,53 @@ class NetworkOutputPort:
                              name=f"{chan.name}.sender")
 
     def _gs_sender(self, slot: VcSlot):
-        """Contend for the link whenever the slot head flit may advance."""
+        """Contend for the link whenever the slot head flit may advance.
+
+        The loop runs once per flit on this VC, so its collaborators are
+        bound once up front (they are fixed for the port's lifetime).
+        """
+        buffer = slot.buffer
+        flow = slot.flow
+        vc = slot.vc
+        request = self.arbiter.request
+        require = self.router.table.require
+        bump = self.router.counters.bump
+        transmit = self.link.transmit_gs
+        direction = self.direction
         while True:
-            yield slot.buffer.when_any()
-            while not slot.flow.ready:
-                yield slot.flow.wait_ready()
-            yield self.arbiter.request(slot.vc)
-            flit = slot.buffer.try_get()
+            yield buffer.when_any()
+            while not flow.ready:
+                yield flow.wait_ready()
+            yield request(vc)
+            flit = buffer.try_get()
             if flit is None:  # pragma: no cover - single consumer
                 raise ShareProtocolError(f"{slot.name}: buffer raced empty")
-            slot.flow.admit()
-            entry = self.router.table.require(self.direction, slot.vc)
+            flow.admit()
+            entry = require(direction, vc)
             if entry.steering is None:
                 raise ShareProtocolError(
                     f"{slot.name}: network VC without forward steering")
-            self.router.counters.bump("gs_link_flits")
-            self.link.transmit_gs(flit, entry.steering)
+            bump("gs_link_flits")
+            transmit(flit, entry.steering)
 
     def _be_sender(self, chan: BeTxChannel):
         be_rid = self.config.vcs_per_port + chan.vc
+        queue = chan.queue
+        request = self.arbiter.request
+        bump = self.router.counters.bump
+        transmit = self.link.transmit_be
         while True:
-            yield chan.queue.when_any()
+            yield queue.when_any()
             while chan.credits <= 0:
                 yield chan.wait_credit()
-            yield self.arbiter.request(be_rid)
-            flit = chan.queue.try_get()
+            yield request(be_rid)
+            flit = queue.try_get()
             if flit is None:  # pragma: no cover - single consumer
                 raise ShareProtocolError(f"{chan.name}: queue raced empty")
             chan.consume_credit()
             chan.flits_sent += 1
-            self.router.counters.bump("be_link_flits")
-            self.link.transmit_be(flit)
+            bump("be_link_flits")
+            transmit(flit)
 
     def sharebox_release(self, vc: int) -> None:
         """Unlock/credit return arriving over the link's reverse wires."""

@@ -99,9 +99,10 @@ class MangoRouter:
         else:
             slot = self.output_ports[out_port].slots[out_vc]
         slot.accept(flit)
-        self.tracer.emit(self.sim.now, self.name, "gs_switch",
-                         flit=flit.flit_id, inp=in_dir.name,
-                         out=out_port.name, vc=out_vc)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.name, "gs_switch",
+                             flit=flit.flit_id, inp=in_dir.name,
+                             out=out_port.name, vc=out_vc)
 
     def accept_be_flit(self, in_dir: Direction, flit: BeFlit) -> None:
         """A BE flit after the split stage: into the BE router."""
@@ -133,11 +134,16 @@ class MangoRouter:
     def _inject_local_be_flits(self, flits: List[BeFlit]) -> Generator:
         """Flit injection proper; caller must hold the local BE port."""
         cycle_ns = self.config.timing.link_cycle_ns
+        be_router = self.be_router
+        local_inputs = be_router._inputs_by_dir[Direction.LOCAL]
+        vcs = be_router.vcs
+        bump = self.counters.bump
+        timeout = self.sim.timeout
         for flit in flits:
-            vc = flit.vc if flit.vc < self.be_router.vcs else 0
-            yield self.be_router.inputs[(Direction.LOCAL, vc)].put(flit)
-            self.counters.bump("be_local_injected")
-            yield self.sim.timeout(cycle_ns)
+            vc = flit.vc if flit.vc < vcs else 0
+            yield local_inputs[vc].put(flit)
+            bump("be_local_injected")
+            yield timeout(cycle_ns)
 
     def _local_be_assembler(self):
         """Assemble flits delivered to the local port into packets; config
@@ -165,16 +171,18 @@ class MangoRouter:
         words = [flit.word for flit in flits[1:]]
         self.counters.bump("be_packets_delivered")
         if words and is_router_command(words[0]):
-            self.tracer.emit(self.sim.now, self.name, "config_packet",
-                             words=len(words))
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, self.name, "config_packet",
+                                 words=len(words))
             self.programming.execute(words)
             return
         packet = BePacket(header=header, words=words,
                           packet_id=flits[0].packet_id,
                           inject_time=flits[0].inject_time,
                           arrive_time=self.sim.now)
-        self.tracer.emit(self.sim.now, self.name, "be_delivered",
-                         packet=packet.packet_id, flits=packet.n_flits)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.name, "be_delivered",
+                             packet=packet.packet_id, flits=packet.n_flits)
         if not self.local_be_rx.try_put(packet):  # pragma: no cover
             raise RuntimeError("unbounded store refused a put")
 

@@ -54,6 +54,11 @@ class SwitchingModule:
         self.flits_routed = 0
         self.routes_by_port: Dict[Direction, int] = {
             d: 0 for d in Direction}
+        # Steering bits are static per connection per hop, so the decode
+        # (which rebuilds the reachable-port tuple every call) is cached;
+        # the Figure 5 structure is validated on the first flit of each
+        # (input, steering) pair and the counters still count every flit.
+        self._decode_cache: Dict[tuple, Tuple[Direction, int]] = {}
 
     def route(self, in_dir: Direction, steering: Steering
               ) -> Tuple[Direction, int]:
@@ -63,9 +68,14 @@ class SwitchingModule:
         deliver to.  Raises :class:`SteeringError` for codes that address
         hardware that does not exist.
         """
-        out_port, out_vc = decode_steering(
-            in_dir, steering, vcs_per_port=self.config.vcs_per_port,
-            local_interfaces=self.config.local_gs_interfaces)
+        key = (in_dir, steering)
+        decoded = self._decode_cache.get(key)
+        if decoded is None:
+            decoded = decode_steering(
+                in_dir, steering, vcs_per_port=self.config.vcs_per_port,
+                local_interfaces=self.config.local_gs_interfaces)
+            self._decode_cache[key] = decoded
+        out_port, out_vc = decoded
         self.flits_routed += 1
         self.routes_by_port[out_port] += 1
         return out_port, out_vc

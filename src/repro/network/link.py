@@ -10,7 +10,7 @@ the pipeline stage cycle.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from ..circuits.pipeline import link_stage_parameters
 from ..circuits.timing import TimingProfile
@@ -22,13 +22,6 @@ __all__ = ["Link", "LocalLink", "LOCAL_LINK_MM"]
 
 #: Wire length between a router and its tile's network adapter.
 LOCAL_LINK_MM = 0.3
-
-
-def _after(sim: Simulator, delay: float, action: Callable[[], None]) -> None:
-    """Schedule ``action()`` after ``delay`` ns."""
-    event = sim.event()
-    event.succeed(delay=delay)
-    event.add_callback(lambda _ev: action())
 
 
 class Link:
@@ -68,9 +61,16 @@ class Link:
         self.be_flits = 0
         self.unlocks = 0
 
+        # Every flit crosses a link (forward) and toggles a reverse wire,
+        # so these handlers are prebound once instead of looked up (and
+        # wrapped in a closure) per transfer.
+        self._deliver_gs = dst_router.accept_gs_flit
+        self._deliver_be = dst_router.accept_be_flit
+        self._src_port = src_router.output_ports[spec.direction]
+
     @property
     def src_port(self):
-        return self.src_router.output_ports[self.direction]
+        return self._src_port
 
     # -- forward wires -------------------------------------------------------
 
@@ -78,14 +78,13 @@ class Link:
         """Carry a granted GS flit (with appended steering bits) to the
         next router's switching module."""
         self.gs_flits += 1
-        _after(self.sim, self.forward_gs_ns,
-               lambda: self.dst_router.accept_gs_flit(self.in_dir, steering,
-                                                      flit))
+        self.sim.defer(self.forward_gs_ns, self._deliver_gs, self.in_dir,
+                       steering, flit)
 
     def transmit_be(self, flit: BeFlit) -> None:
         self.be_flits += 1
-        _after(self.sim, self.forward_be_ns,
-               lambda: self.dst_router.accept_be_flit(self.in_dir, flit))
+        self.sim.defer(self.forward_be_ns, self._deliver_be, self.in_dir,
+                       flit)
 
     # -- reverse wires -------------------------------------------------------
 
@@ -93,12 +92,10 @@ class Link:
         """Unlock toggle from the downstream VC control module back to the
         sharebox of VC ``vc`` at the upstream output port."""
         self.unlocks += 1
-        _after(self.sim, self.unlock_ns,
-               lambda: self.src_port.sharebox_release(vc))
+        self.sim.defer(self.unlock_ns, self._src_port.sharebox_release, vc)
 
     def return_be_credit(self, vc: int) -> None:
-        _after(self.sim, self.credit_ns,
-               lambda: self.src_port.be_credit_return(vc))
+        self.sim.defer(self.credit_ns, self._src_port.be_credit_return, vc)
 
 
 class LocalLink:
@@ -131,9 +128,8 @@ class LocalLink:
         """NA -> router: a GS flit enters the switching module on the
         LOCAL input."""
         self.gs_flits += 1
-        _after(self.sim, self.forward_gs_ns,
-               lambda: self.router.accept_gs_flit(Direction.LOCAL, steering,
-                                                  flit))
+        self.sim.defer(self.forward_gs_ns, self.router.accept_gs_flit,
+                       Direction.LOCAL, steering, flit)
 
     def send_gs_unlock(self, iface: int) -> None:
         """Router -> NA: unlock the source endpoint's sharebox."""
@@ -141,8 +137,7 @@ class LocalLink:
             raise RuntimeError(
                 f"{self.router.name}: GS unlock for the local port but no "
                 "adapter attached")
-        _after(self.sim, self.unlock_ns,
-               lambda: self.adapter.release_tx(iface))
+        self.sim.defer(self.unlock_ns, self.adapter.release_tx, iface)
 
     def return_be_credit(self, vc: int) -> None:
         """Local BE credits are implicit in the blocking injection path."""

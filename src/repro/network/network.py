@@ -81,6 +81,22 @@ class MangoNetwork:
         """Advance simulated time to ``until`` (nanoseconds)."""
         self.sim.run(until=until)
 
+    def run_batch(self, until: Optional[float] = None,
+                  max_events: Optional[int] = None) -> int:
+        """Dispatch up to ``max_events`` kernel events due by ``until``;
+        returns how many ran (0 when idle).  Lets callers pump the
+        simulation in slices and interleave host-side work::
+
+            while net.run_batch(deadline, max_events=50_000):
+                progress_bar.update(net.now)
+        """
+        return self.sim.run_batch(until=until, max_events=max_events)
+
+    @property
+    def events_processed(self) -> int:
+        """Kernel events dispatched so far (throughput benchmarking)."""
+        return self.sim.events_processed
+
     def run_process(self, generator: Generator, name: str = ""):
         return self.sim.run_process(generator, name=name)
 

@@ -128,7 +128,7 @@ def decode_steering(in_dir: Direction, steering: Steering,
 _flit_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class GsFlit:
     """A flit on a GS connection: header-less 32-bit payload.
 
@@ -148,7 +148,7 @@ class GsFlit:
         self.payload &= _DATA_MASK
 
 
-@dataclass
+@dataclass(slots=True)
 class BeFlit:
     """A flit of a connection-less BE packet."""
 
@@ -169,7 +169,7 @@ class BeFlit:
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class BePacket:
     """An assembled BE packet: header word plus payload words."""
 

@@ -9,11 +9,28 @@ time (in nanoseconds) by popping events off a heap in deterministic order.
 Determinism matters for reproducing the paper's guarantees: two events at
 the same timestamp are ordered by (priority, insertion sequence), so a run
 with fixed seeds is bit-reproducible.
+
+Hot-path design notes (the kernel dominates large-mesh runtime):
+
+* ``Event.callbacks`` is stored lazily: ``None`` while no callback is
+  attached, a bare callable for the common single-waiter case, a list only
+  when several waiters pile up, and the ``_PROCESSED`` sentinel once the
+  event has been dispatched.  This avoids a list allocation per event and
+  an append per yield.
+* :class:`Timeout` construction and :meth:`Event.succeed` push onto the
+  heap directly instead of going through :meth:`Simulator._enqueue`.
+* :meth:`Simulator.defer` schedules a plain ``fn(*args)`` with no
+  :class:`Event` allocation at all — links use it for flit delivery and
+  unlock/credit wires, the highest-volume scheduling in the system.
+* The drive loops (:meth:`Simulator.run`, :meth:`Simulator.run_batch`,
+  :meth:`Simulator.run_until_triggered`, :meth:`Simulator.run_process`)
+  share one tight inner loop, :meth:`Simulator._drain`, rather than
+  calling :meth:`Simulator.step` per event.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -36,6 +53,39 @@ PRIORITY_NORMAL = 1
 PRIORITY_LATE = 2
 
 _PENDING = object()
+
+#: Sentinel stored in ``Event.callbacks`` once the event has been
+#: dispatched by the event loop.
+_PROCESSED = object()
+
+_INF = float("inf")
+
+
+def fire(event: "Event", value: Any = None) -> None:
+    """Succeed ``event`` and run its callbacks *synchronously*, skipping
+    the heap entirely.
+
+    Only valid for success at the current simulated time, from code that
+    is itself running inside the event loop (a callback or a resumed
+    process): the woken continuations execute immediately, nested in the
+    caller's dispatch, instead of at a later same-timestamp heap slot.
+    Resources use this for waiter wake-ups, where the waiter's next step
+    is always either another wait or a time-consuming operation.
+    """
+    if event._value is not _PENDING:
+        # Without this guard a double trigger would run callbacks twice
+        # and leave a stale heap entry that crashes far from the cause.
+        raise SimulationError("event already triggered")
+    event._ok = True
+    event._value = value
+    cbs = event.callbacks
+    event.callbacks = _PROCESSED
+    if cbs is not None:
+        if type(cbs) is list:
+            for callback in cbs:
+                callback(event)
+        else:
+            cbs(event)
 
 
 class SimulationError(Exception):
@@ -62,7 +112,9 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list] = []
+        # None -> no callbacks yet; callable -> exactly one; list -> many;
+        # _PROCESSED -> the event loop has dispatched this event.
+        self.callbacks: Any = None
         self._value: Any = _PENDING
         self._ok = True
         # A failed event is "defused" once some process has received its
@@ -76,11 +128,11 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        return self.callbacks is None
+        return self.callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._ok
 
@@ -93,55 +145,102 @@ class Event:
     def succeed(self, value: Any = None, delay: float = 0.0,
                 priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event successfully; callbacks run after ``delay``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, delay, priority)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, priority, seq, self))
         return self
 
-    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
-        """Trigger the event as failed; waiters get ``exception`` thrown."""
-        if self.triggered:
+    def fail(self, exception: BaseException, delay: float = 0.0,
+             priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown.
+
+        Accepts the same ``priority`` as :meth:`succeed`, so failure
+        callbacks can be ordered against urgent interrupts at the same
+        timestamp.
+        """
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self, delay)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, priority, seq, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Attach ``callback``; if already processed it fires immediately
         on the next kernel step (same timestamp)."""
-        if self.callbacks is not None:
-            self.callbacks.append(callback)
-        else:
+        cbs = self.callbacks
+        if cbs is None:
+            self.callbacks = callback
+        elif cbs is _PROCESSED:
             proxy = Event(self.sim)
             proxy._ok = self._ok
             proxy._value = self._value
-            proxy.callbacks = [callback]
+            # Carry the defused state: attaching a benign callback to an
+            # already-consumed failure must not re-raise it from the loop.
+            proxy._defused = self._defused
+            proxy.callbacks = callback
             self.sim._enqueue(proxy, 0.0, PRIORITY_URGENT)
+        elif type(cbs) is list:
+            cbs.append(callback)
+        else:
+            self.callbacks = [cbs, callback]
+
+    @classmethod
+    def completed(cls, sim: "Simulator", value: Any = None) -> "Event":
+        """A successfully *processed* event, never touching the heap.
+
+        Yielding it resumes the process inline (see
+        :meth:`Process._do_resume`'s already-processed fast path), so
+        resources whose wait condition is already satisfied — a non-empty
+        store, an open gate, a free mutex — cost no heap traffic at all.
+        """
+        event = cls.__new__(cls)
+        event.sim = sim
+        event.callbacks = _PROCESSED
+        event._value = value
+        event._ok = True
+        event._defused = False
+        return event
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
-        if self.triggered:
+        if self._value is not _PENDING:
             state = "ok" if self._ok else "failed"
         return f"<{type(self).__name__} {state} at t={self.sim.now:.3f}>"
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` ns after its creation."""
+    """An event that fires ``delay`` ns after its creation.
+
+    Construction is the single hottest allocation in the system (every
+    ``yield sim.timeout(...)`` makes one), so it writes its slots and
+    pushes onto the heap directly, bypassing the generic init chain.
+    """
 
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self._ok = True
+        self.sim = sim
+        self.callbacks = None
         self._value = value
-        sim._enqueue(self, delay)
+        self._ok = True
+        self._defused = False
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, PRIORITY_NORMAL, seq, self))
 
 
 class _ConditionValue:
@@ -186,12 +285,12 @@ class _Condition(Event):
     def _collect(self) -> _ConditionValue:
         result = _ConditionValue()
         for event in self._events:
-            if event.triggered and event._ok:
+            if event._value is not _PENDING and event._ok:
                 result.events[event] = event._value
         return result
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event._defused = True  # the condition takes over the failure
@@ -231,7 +330,7 @@ class Process(Event):
     each other.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_resume", "name")
 
     def __init__(self, sim: "Simulator",
                  generator: Generator[Event, Any, Any],
@@ -241,62 +340,76 @@ class Process(Event):
             raise TypeError("Process requires a generator")
         self._generator = generator
         self._target: Optional[Event] = None
+        # One bound method reused for every park/notify instead of a fresh
+        # bound-method object per yield.
+        self._resume = self._do_resume
         self.name = name or getattr(generator, "__name__", "process")
-        bootstrap = Event(sim)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap.callbacks = [self._resume]
-        sim._enqueue(bootstrap, 0.0)
+        # First resume rides a shared pre-completed event: a 16x16 mesh
+        # boots >20k processes, so the per-process bootstrap Event is
+        # replaced by one deferred call against a singleton.
+        sim.defer(0.0, self._resume, sim._boot_event)
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("cannot interrupt a finished process")
         poke = Event(self.sim)
         poke._ok = False
         poke._value = Interrupt(cause)
-        poke.callbacks = [self._resume]
+        poke.callbacks = self._resume
         self.sim._enqueue(poke, 0.0, PRIORITY_URGENT)
 
-    def _resume(self, event: Event) -> None:
+    def _do_resume(self, event: Event) -> None:
         # If we were waiting on another event, detach from it (relevant for
         # interrupts arriving while blocked).
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._target = None
+        resume = self._resume
+        target = self._target
+        if target is not None:
+            cbs = target.callbacks
+            if cbs is resume:
+                target.callbacks = None
+            elif type(cbs) is list:
+                try:
+                    cbs.remove(resume)
+                except ValueError:
+                    pass
+            self._target = None
 
+        generator = self._generator
+        send = generator.send
+        throw = generator.throw
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = throw(event._value)
             except StopIteration as stop:
-                if not self.triggered:
+                if self._value is _PENDING:
                     self.succeed(stop.value)
                 return
             except BaseException as exc:
-                if not self.triggered:
+                if self._value is _PENDING:
                     self.fail(exc)
                 else:  # pragma: no cover - defensive
                     raise
                 return
 
-            if not isinstance(next_event, Event):
+            try:
+                cbs = next_event.callbacks
+            except AttributeError:
+                # EAFP stand-in for isinstance(next_event, Event): only
+                # kernel events carry a callbacks slot.
                 error = SimulationError(
                     f"process {self.name!r} yielded {next_event!r}, "
                     "which is not an Event")
                 try:
-                    self._generator.throw(error)
+                    throw(error)
                 except StopIteration:
                     pass
                 except SimulationError:
@@ -304,9 +417,14 @@ class Process(Event):
                 self.fail(error)
                 return
 
-            if next_event.callbacks is not None:
+            if cbs is not _PROCESSED:
                 # Not yet processed: park until it fires.
-                next_event.callbacks.append(self._resume)
+                if cbs is None:
+                    next_event.callbacks = resume
+                elif type(cbs) is list:
+                    cbs.append(resume)
+                else:
+                    next_event.callbacks = [cbs, resume]
                 self._target = next_event
                 return
             # Already processed: consume its value immediately.
@@ -314,12 +432,22 @@ class Process(Event):
 
 
 class Simulator:
-    """Event loop: a heap of (time, priority, sequence, event)."""
+    """Event loop: a heap of (time, priority, sequence, event).
+
+    Deferred plain calls (see :meth:`defer`) ride the same heap as
+    ``(time, priority, sequence, None, fn, args)`` entries — the first
+    three elements alone order the heap, so entry widths may mix.
+    """
 
     def __init__(self):
         self._heap: list = []
         self._seq = 0
         self._now = 0.0
+        #: Heap entries dispatched so far (events + deferred calls);
+        #: benchmarks report simulated events per wall-clock second.
+        self.events_processed = 0
+        # Shared ok/None event handed to every process's first resume.
+        self._boot_event = Event.completed(self)
 
     @property
     def now(self) -> float:
@@ -349,42 +477,126 @@ class Simulator:
                  priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq,
-                                    event))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, priority, seq, event))
+
+    def defer(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run after ``delay`` ns.
+
+        The cheapest way to model a wire: no :class:`Event` is allocated
+        and nothing can wait on the result.  Links use this for flit
+        delivery and for the reverse unlock/credit wires.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        self._seq = seq = self._seq + 1
+        heappush(self._heap,
+                 (self._now + delay, PRIORITY_NORMAL, seq, None, fn, args))
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the heap is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._heap[0][0] if self._heap else _INF
+
+    # -- the event loop ----------------------------------------------------
+
+    def _drain(self, until: float, max_entries: Optional[int],
+               stop_event: Optional[Event]) -> int:
+        """Dispatch heap entries with time <= ``until``.
+
+        Stops early after ``max_entries`` dispatches or once
+        ``stop_event`` has triggered.  Returns the number dispatched.
+        This single tight loop backs every public drive method.
+        """
+        heap = self._heap
+        pop = heappop
+        count = 0
+        bounded = max_entries is not None or stop_event is not None
+        try:
+            while heap and heap[0][0] <= until:
+                if bounded:
+                    if count == max_entries:
+                        break
+                    if stop_event is not None and \
+                            stop_event._value is not _PENDING:
+                        break
+                entry = pop(heap)
+                self._now = entry[0]
+                count += 1
+                event = entry[3]
+                if event is None:
+                    entry[4](*entry[5])
+                    continue
+                cbs = event.callbacks
+                event.callbacks = _PROCESSED
+                if cbs is not None:
+                    if type(cbs) is list:
+                        for callback in cbs:
+                            callback(event)
+                    else:
+                        cbs(event)
+                if not event._ok and not event._defused:
+                    # No process consumed the failure: surface it here
+                    # rather than letting the error pass silently.
+                    raise event._value
+        finally:
+            self.events_processed += count
+        return count
 
     def step(self) -> None:
         """Process one event (advance time to it, run its callbacks)."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        when, _priority, _seq, event = heapq.heappop(self._heap)
-        self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        if callbacks:
-            for callback in callbacks:
-                callback(event)
-        if not event._ok and not event._defused:
-            # No process consumed the failure: surface it here rather
-            # than letting the error pass silently.
-            raise event._value
+        self._drain(_INF, 1, None)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or simulated time reaches ``until``."""
-        if until is not None:
-            if until < self._now:
-                raise SimulationError(
-                    f"until={until} is before now={self._now}")
-            while self._heap and self._heap[0][0] <= until:
-                self.step()
-            self._now = max(self._now, until)
+        if until is None:
+            self._drain(_INF, None, None)
             return
-        while self._heap:
-            self.step()
+        if until < self._now:
+            raise SimulationError(f"until={until} is before now={self._now}")
+        self._drain(until, None, None)
+        if self._now < until:
+            self._now = until
+
+    def run_batch(self, until: Optional[float] = None,
+                  max_events: Optional[int] = None) -> int:
+        """Deadline-driven stepping: dispatch up to ``max_events`` entries
+        with time <= ``until`` and return how many ran.
+
+        The clock only advances to ``until`` once everything due by then
+        has been dispatched, so callers can pump the loop in slices::
+
+            while sim.run_batch(deadline, max_events=10_000):
+                ...  # interleave host-side work per batch
+
+        Returns 0 when nothing is left before the deadline.
+        """
+        limit = _INF if until is None else until
+        if limit < self._now:
+            raise SimulationError(f"until={until} is before now={self._now}")
+        count = self._drain(limit, max_events, None)
+        heap = self._heap
+        if until is not None and (not heap or heap[0][0] > until):
+            if self._now < until:
+                self._now = until
+        return count
+
+    def run_until_triggered(self, event: Event,
+                            max_ns: Optional[float] = None) -> bool:
+        """Run until ``event`` triggers (or time passes ``max_ns`` / the
+        heap drains).  Returns whether the event triggered.
+
+        This replaces poll-every-N-ns driving: traffic harnesses wait on
+        an :class:`AllOf` over their source processes instead of waking
+        up per flit slot to check them.
+        """
+        limit = _INF if max_ns is None else max_ns
+        if limit < self._now:
+            raise SimulationError(
+                f"max_ns={max_ns} is before now={self._now}")
+        self._drain(limit, None, event)
+        return event._value is not _PENDING
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: run a process to completion and return its value."""
@@ -392,11 +604,10 @@ class Simulator:
         # run_process observes the outcome itself, so a failure is not an
         # "unhandled" one — it is re-raised below, at the call site.
         proc._defused = True
-        while not proc.triggered:
-            if not self._heap:
-                raise SimulationError(
-                    f"deadlock: process {proc.name!r} never finished")
-            self.step()
+        self._drain(_INF, None, proc)
+        if proc._value is _PENDING:
+            raise SimulationError(
+                f"deadlock: process {proc.name!r} never finished")
         if not proc._ok:
             raise proc._value
         return proc._value

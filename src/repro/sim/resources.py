@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional
 
-from .kernel import Event, Simulator, SimulationError
+from .kernel import Event, Simulator, SimulationError, fire
 
 __all__ = ["Store", "Signal", "Gate", "Resource"]
 
@@ -39,10 +39,12 @@ class Store:
         self.capacity = capacity
         self.name = name
         self.items: deque = deque()
-        self._getters: deque = deque()
-        self._putters: deque = deque()  # (event, item)
-        self._peekers: deque = deque()
-        self._space_waiters: deque = deque()
+        # Waiter queues are created on first use: a large mesh allocates
+        # tens of thousands of stores and most never see contention.
+        self._getters: Optional[deque] = None
+        self._putters: Optional[deque] = None  # (event, item)
+        self._peekers: Optional[deque] = None
+        self._space_waiters: Optional[deque] = None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -56,14 +58,20 @@ class Store:
         return not self.items
 
     def put(self, item: Any) -> Event:
-        """Return an event that fires once ``item`` is in the store."""
-        event = Event(self.sim)
+        """Return an event that fires once ``item`` is in the store.
+
+        When space is free the returned event is already processed, so a
+        yielding process continues inline with no heap round-trip.
+        """
         if len(self.items) < self.capacity and not self._putters:
             self.items.append(item)
-            event.succeed()
-            self._wake_consumers()
-        else:
-            self._putters.append((event, item))
+            if self._peekers or self._getters:
+                self._wake_consumers()
+            return Event.completed(self.sim)
+        event = Event(self.sim)
+        if self._putters is None:
+            self._putters = deque()
+        self._putters.append((event, item))
         return event
 
     def try_put(self, item: Any) -> bool:
@@ -71,19 +79,26 @@ class Store:
         if len(self.items) >= self.capacity or self._putters:
             return False
         self.items.append(item)
-        self._wake_consumers()
+        if self._peekers or self._getters:
+            self._wake_consumers()
         return True
 
     def get(self) -> Event:
-        """Return an event whose value is the item removed from the head."""
-        event = Event(self.sim)
+        """Return an event whose value is the item removed from the head.
+
+        Already processed (inline resume) when an item is waiting.
+        """
         if self.items and not self._getters:
             item = self.items.popleft()
-            event.succeed(item)
-            self._admit_writers()
-            self._wake_space_waiters()
-        else:
-            self._getters.append(event)
+            if self._putters:
+                self._admit_writers()
+            if self._space_waiters:
+                self._wake_space_waiters()
+            return Event.completed(self.sim, item)
+        event = Event(self.sim)
+        if self._getters is None:
+            self._getters = deque()
+        self._getters.append(event)
         return event
 
     def try_get(self) -> Any:
@@ -91,32 +106,36 @@ class Store:
         if not self.items or self._getters:
             return None
         item = self.items.popleft()
-        self._admit_writers()
-        self._wake_space_waiters()
+        if self._putters:
+            self._admit_writers()
+        if self._space_waiters:
+            self._wake_space_waiters()
         return item
 
     def when_space(self) -> Event:
         """Event that fires once the store has a free slot (immediately if
         one exists now).  Pure notification: nothing is reserved."""
-        event = Event(self.sim)
         if len(self.items) < self.capacity:
-            event.succeed()
-        else:
-            self._space_waiters.append(event)
+            return Event.completed(self.sim)
+        event = Event(self.sim)
+        if self._space_waiters is None:
+            self._space_waiters = deque()
+        self._space_waiters.append(event)
         return event
 
     def _wake_space_waiters(self) -> None:
         while self._space_waiters and len(self.items) < self.capacity:
-            self._space_waiters.popleft().succeed()
+            fire(self._space_waiters.popleft())
 
     def when_any(self) -> Event:
         """Event that fires (with the head item, not removed) once the
         store is non-empty."""
-        event = Event(self.sim)
         if self.items:
-            event.succeed(self.items[0])
-        else:
-            self._peekers.append(event)
+            return Event.completed(self.sim, self.items[0])
+        event = Event(self.sim)
+        if self._peekers is None:
+            self._peekers = deque()
+        self._peekers.append(event)
         return event
 
     def head(self) -> Any:
@@ -125,27 +144,29 @@ class Store:
 
     def _wake_consumers(self) -> None:
         while self._peekers and self.items:
-            self._peekers.popleft().succeed(self.items[0])
+            fire(self._peekers.popleft(), self.items[0])
         while self._getters and self.items:
             item = self.items.popleft()
-            self._getters.popleft().succeed(item)
-            self._admit_writers()
+            fire(self._getters.popleft(), item)
+            if self._putters:
+                self._admit_writers()
 
     def _admit_writers(self) -> None:
         while self._putters and len(self.items) < self.capacity:
             event, item = self._putters.popleft()
             self.items.append(item)
-            event.succeed()
+            fire(event)
             # Newly stored item may satisfy a waiting getter/peeker.
             while self._peekers and self.items:
-                self._peekers.popleft().succeed(self.items[0])
+                fire(self._peekers.popleft(), self.items[0])
             while self._getters and self.items:
                 got = self.items.popleft()
-                self._getters.popleft().succeed(got)
+                fire(self._getters.popleft(), got)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Store {self.name!r} {len(self.items)}/{self.capacity} "
-                f"getters={len(self._getters)} putters={len(self._putters)}>")
+                f"getters={len(self._getters or ())} "
+                f"putters={len(self._putters or ())}>")
 
 
 class Signal:
@@ -193,19 +214,19 @@ class Gate:
             return
         self._open = True
         self.open_count += 1
-        waiters, self._waiters = self._waiters, []
-        for event in waiters:
-            event.succeed()
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                fire(event)
 
     def close(self) -> None:
         self._open = False
 
     def wait_open(self) -> Event:
-        event = Event(self.sim)
         if self._open:
-            event.succeed()
-        else:
-            self._waiters.append(event)
+            return Event.completed(self.sim)
+        event = Event(self.sim)
+        self._waiters.append(event)
         return event
 
 
@@ -230,18 +251,17 @@ class Resource:
         return len(self._queue)
 
     def request(self) -> Event:
-        event = Event(self.sim)
         if self._users < self.capacity and not self._queue:
             self._users += 1
-            event.succeed()
-        else:
-            self._queue.append(event)
+            return Event.completed(self.sim)
+        event = Event(self.sim)
+        self._queue.append(event)
         return event
 
     def release(self) -> None:
         if self._users <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._queue:
-            self._queue.popleft().succeed()
+            fire(self._queue.popleft())
         else:
             self._users -= 1

@@ -12,11 +12,13 @@ from .patterns import (
     Hotspot,
     NearestNeighbor,
     Pattern,
+    LocalUniform,
     Transpose,
     UniformRandom,
 )
 from .sinks import BeCollector, GsBandwidthProbe
-from .stats import Histogram, RateMeter, RunningStats, percentile, trim_warmup
+from .stats import (Histogram, P2Quantile, RateMeter, RunningStats,
+                    WindowedRate, percentile, trim_warmup)
 from .workload import UniformBeWorkload, run_until_processes_done
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "Histogram",
     "Hotspot",
     "NearestNeighbor",
+    "LocalUniform",
+    "P2Quantile",
     "Pattern",
     "PoissonBePackets",
     "RateMeter",
@@ -37,6 +41,7 @@ __all__ = [
     "Transpose",
     "UniformBeWorkload",
     "UniformRandom",
+    "WindowedRate",
     "percentile",
     "trim_warmup",
 ]

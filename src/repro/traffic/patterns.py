@@ -16,6 +16,7 @@ from ..network.topology import Coord, Mesh, NETWORK_DIRECTIONS
 __all__ = [
     "Pattern",
     "UniformRandom",
+    "LocalUniform",
     "Transpose",
     "BitComplement",
     "NearestNeighbor",
@@ -28,12 +29,23 @@ class Pattern:
 
     def __init__(self, mesh: Mesh):
         self.mesh = mesh
+        self._others_cache: dict = {}
 
     def destination(self, src: Coord) -> Coord:
         raise NotImplementedError
 
-    def _other_tiles(self, src: Coord) -> List[Coord]:
+    def _candidates(self, src: Coord) -> List[Coord]:
+        """Candidate destinations for ``src``; subclass hook."""
         return [tile for tile in self.mesh.tiles() if tile != src]
+
+    def _other_tiles(self, src: Coord) -> List[Coord]:
+        # The mesh is static, so the per-source candidate list is built
+        # once — patterns draw a destination per packet.
+        others = self._others_cache.get(src)
+        if others is None:
+            others = self._candidates(src)
+            self._others_cache[src] = others
+        return others
 
 
 class UniformRandom(Pattern):
@@ -42,6 +54,32 @@ class UniformRandom(Pattern):
     def __init__(self, mesh: Mesh, seed: int = 0):
         super().__init__(mesh)
         self.rng = random.Random(seed)
+
+    def destination(self, src: Coord) -> Coord:
+        return self.rng.choice(self._other_tiles(src))
+
+
+class LocalUniform(Pattern):
+    """Uniform over the other tiles within Manhattan distance ``radius``.
+
+    On meshes larger than 8x8 plain uniform-random draws routes beyond
+    the 15-hop source-route limit of MANGO's 32-bit BE header; bounding
+    the hop distance keeps every packet addressable while still spreading
+    load in all directions (the standard workaround for large meshes).
+    """
+
+    def __init__(self, mesh: Mesh, radius: int = 14, seed: int = 0):
+        super().__init__(mesh)
+        if radius < 1:
+            raise ValueError("radius must be at least one hop")
+        self.radius = radius
+        self.rng = random.Random(seed)
+
+    def _candidates(self, src: Coord) -> List[Coord]:
+        radius = self.radius
+        return [tile for tile in self.mesh.tiles()
+                if tile != src
+                and abs(tile.x - src.x) + abs(tile.y - src.y) <= radius]
 
     def destination(self, src: Coord) -> Coord:
         return self.rng.choice(self._other_tiles(src))

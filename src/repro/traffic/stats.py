@@ -3,6 +3,12 @@
 Pure-python (no numpy dependency in the hot path) running statistics,
 percentiles, histograms and windowed rate measurement, with warm-up
 trimming for steady-state experiments.
+
+Million-flit runs must not hold per-sample lists, so the accumulating
+classes come in streaming form: :class:`RunningStats` (Welford moments),
+:class:`P2Quantile` (the P² streaming percentile estimator) and
+:class:`WindowedRate` (O(simulated time / window) arrival-rate series).
+:class:`RateMeter` keeps the exact-timestamp API for small runs.
 """
 
 from __future__ import annotations
@@ -14,8 +20,10 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "RunningStats",
     "percentile",
+    "P2Quantile",
     "Histogram",
     "RateMeter",
+    "WindowedRate",
     "trim_warmup",
 ]
 
@@ -56,11 +64,109 @@ class RunningStats:
     def stdev(self) -> float:
         return math.sqrt(self.variance) if self.n else float("nan")
 
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator in (parallel Welford combination);
+        lets per-sink statistics aggregate without sample lists."""
+        if not other.n:
+            return
+        if not self.n:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / total
+        self._mean += delta * other.n / total
+        self.n = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if not self.n:
             return "RunningStats(empty)"
         return (f"RunningStats(n={self.n}, mean={self.mean:.3f}, "
                 f"min={self.minimum:.3f}, max={self.maximum:.3f})")
+
+
+class P2Quantile:
+    """Streaming quantile estimation (Jain & Chlamtac's P² algorithm).
+
+    Tracks one quantile ``q`` (in [0, 100]) with five markers — O(1)
+    memory however many samples arrive, the companion to
+    :class:`RunningStats` for latency tails on million-flit runs.  Exact
+    for the first five samples; a piecewise-parabolic estimate after.
+    """
+
+    def __init__(self, q: float):
+        if not 0 <= q <= 100:
+            raise ValueError(f"quantile {q} outside [0, 100]")
+        self.q = q
+        self._p = q / 100.0
+        self._heights: List[float] = []
+        self._positions = [1, 2, 3, 4, 5]
+        p = self._p
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p,
+                         3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.n = 0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # Locate the cell and bump the extreme markers.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three middle markers towards their desired positions.
+        for i in (1, 2, 3):
+            d = self._desired[i] - positions[i]
+            if (d >= 1 and positions[i + 1] - positions[i] > 1) or \
+                    (d <= -1 and positions[i - 1] - positions[i] < -1):
+                step = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # fall back to linear interpolation
+                    heights[i] += step * (
+                        (heights[i + step] - heights[i])
+                        / (positions[i + step] - positions[i]))
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step) * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step) * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1]))
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any sample)."""
+        if not self._heights:
+            return float("nan")
+        if self.n <= 5:
+            return percentile(self._heights, self.q)
+        return self._heights[2]
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -168,6 +274,70 @@ class RateMeter:
             index = hi
             t += window_ns
         return result
+
+
+class WindowedRate:
+    """Streaming arrival-rate series over fixed windows.
+
+    Unlike :class:`RateMeter` it never stores timestamps: memory grows
+    with *simulated time / window*, not with the number of events, so a
+    million-flit sink costs a few hundred window counters.
+    """
+
+    def __init__(self, window_ns: float):
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        self.window_ns = window_ns
+        self.count = 0
+        self.first: Optional[float] = None
+        self.last: Optional[float] = None
+        self._counts: List[int] = []
+        # Events recorded at exactly the first timestamp; RateMeter's
+        # span rate excludes all of them, so parity needs the tally.
+        self._first_ties = 0
+
+    def record(self, time: float) -> None:
+        if self.last is not None and time < self.last:
+            raise ValueError("timestamps must be non-decreasing")
+        if self.first is None:
+            self.first = time
+        if time == self.first:
+            self._first_ties += 1
+        index = int((time - self.first) / self.window_ns)
+        counts = self._counts
+        if index >= len(counts):
+            counts.extend([0] * (index + 1 - len(counts)))
+        counts[index] += 1
+        self.count += 1
+        self.last = time
+
+    def rate(self) -> float:
+        """Mean events per ns over the observed span.
+
+        Matches :meth:`RateMeter.rate` on identical data (all events at
+        the span's start timestamp are excluded, as ``bisect_right``
+        does there), so collectors report the same number in either
+        mode.
+        """
+        if self.count < 2 or self.last == self.first:
+            return 0.0
+        return (self.count - self._first_ties) / (self.last - self.first)
+
+    def windows(self) -> List[Tuple[float, int]]:
+        """(window start, events) tuples covering the measurement span."""
+        if self.first is None:
+            return []
+        return [(self.first + i * self.window_ns, c)
+                for i, c in enumerate(self._counts)]
+
+    def min_rate(self) -> float:
+        """Lowest per-window rate (events/ns) over complete windows;
+        falls back to the overall mean rate when the whole measurement
+        fits inside a single (incomplete) window."""
+        complete = self._counts[:-1]
+        if not complete:
+            return self.rate()
+        return min(complete) / self.window_ns
 
 
 def trim_warmup(samples: Sequence[Tuple[float, float]],

@@ -12,6 +12,7 @@ from ..network.topology import Coord
 from .patterns import Pattern
 from .generators import BernoulliBePackets
 from .sinks import BeCollector
+from .stats import RunningStats
 
 __all__ = ["UniformBeWorkload", "run_until_processes_done"]
 
@@ -20,28 +21,42 @@ def run_until_processes_done(network, processes, drain_ns: float = 2000.0,
                              step_ns: float = 2000.0,
                              max_ns: float = 5e6) -> float:
     """Advance the simulation until every process has finished, then let
-    in-flight traffic drain.  Returns the finish time."""
-    while not all(proc.triggered for proc in processes):
-        if network.now > max_ns:
-            raise RuntimeError(
-                f"workload did not finish within {max_ns} ns "
-                "(possible deadlock or overload)")
-        network.run(until=network.now + step_ns)
+    in-flight traffic drain.  Returns the finish time.
+
+    Driving is event-based: the kernel runs flat out until an ``AllOf``
+    over the source processes triggers, instead of waking up every
+    ``step_ns`` to poll them (``step_ns`` is kept for API compatibility
+    but no longer paces anything).
+    """
+    sim = network.sim
+    done = sim.all_of(processes)
+    if not sim.run_until_triggered(done, max_ns=max_ns):
+        raise RuntimeError(
+            f"workload did not finish within {max_ns} ns "
+            "(possible deadlock or overload)")
     finish = network.now
     network.run(until=finish + drain_ns)
     return finish
 
 
 class UniformBeWorkload:
-    """Every tile injects Bernoulli BE packets under a spatial pattern."""
+    """Every tile injects Bernoulli BE packets under a spatial pattern.
+
+    ``retain_packets=False`` switches every collector to streaming
+    accumulation (Welford moments + P² quantiles) so workload memory
+    stays constant on million-flit runs; :meth:`latencies` is then
+    unavailable but :attr:`latency_stats` aggregates all sinks.
+    """
 
     def __init__(self, network, pattern: Pattern, slot_ns: float,
                  probability: float, payload_words: int, n_slots: int,
-                 seed: int = 0):
+                 seed: int = 0, retain_packets: bool = True):
         self.network = network
+        self.retain_packets = retain_packets
         self.sources: List[BernoulliBePackets] = []
         self.collectors = {
-            coord: BeCollector(network.sim, network, coord)
+            coord: BeCollector(network.sim, network, coord,
+                               retain_packets=retain_packets)
             for coord in network.mesh.tiles()
         }
         for index, coord in enumerate(network.mesh.tiles()):
@@ -64,7 +79,20 @@ class UniformBeWorkload:
     def received(self) -> int:
         return sum(col.count for col in self.collectors.values())
 
+    @property
+    def latency_stats(self) -> RunningStats:
+        """Aggregate latency moments over every sink (streaming-safe)."""
+        total = RunningStats()
+        for collector in self.collectors.values():
+            total.merge(collector.latency)
+        return total
+
     def latencies(self) -> List[float]:
+        if not self.retain_packets:
+            raise RuntimeError(
+                "per-sample latencies need retain_packets=True; in "
+                "streaming mode use workload.latency_stats or "
+                "workload.collectors[coord].latency_percentile(q)")
         samples: List[float] = []
         for collector in self.collectors.values():
             samples.extend(p.latency for p in collector.packets

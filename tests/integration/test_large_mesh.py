@@ -1,7 +1,8 @@
-"""Large-mesh stress: an 8x8 MANGO NoC with mixed GS + BE traffic.
+"""Large-mesh stress: 8x8 and 16x16 MANGO NoCs with mixed GS + BE traffic.
 
 Exercises long XY routes (up to 14 hops), many simultaneous connections,
-heterogeneous link lengths with pipelining, and full-network accounting
+heterogeneous link lengths with pipelining, standard traffic scenarios
+(hotspot, transpose, bursty video) and full-network accounting
 invariants (flit conservation).
 """
 
@@ -9,7 +10,9 @@ import pytest
 
 from repro import AdmissionError, MangoNetwork, Coord, Mesh, RouterConfig
 from repro.network.topology import Direction, LinkSpec
-from repro.traffic.patterns import UniformRandom
+from repro.traffic.generators import BurstySource
+from repro.traffic.patterns import (Hotspot, LocalUniform, Transpose,
+                                    UniformRandom)
 from repro.traffic.workload import UniformBeWorkload
 
 
@@ -90,6 +93,114 @@ class TestLargeMesh:
             link = net.links[key]
             assert link.media_cycle_ns == pytest.approx(
                 net.config.timing.link_cycle_ns)
+
+    def test_hotspot_traffic_8x8(self):
+        """Hotspot pattern: half of all BE traffic converges on one tile.
+        The hot tile must receive every packet (credits backpressure, no
+        drops) and see the bulk of the load."""
+        net = MangoNetwork(8, 8)
+        hotspot = Coord(4, 4)
+        workload = UniformBeWorkload(
+            net, Hotspot(net.mesh, hotspot, fraction=0.5, seed=3),
+            slot_ns=30.0, probability=0.2, payload_words=2, n_slots=30,
+            seed=5)
+        workload.run(drain_ns=30000.0)
+        assert workload.received == workload.sent
+        hot_count = workload.collectors[hotspot].count
+        others = [col.count for coord, col in workload.collectors.items()
+                  if coord != hotspot]
+        # ~50% of all packets target the hotspot; any other tile gets
+        # ~0.8% — an order of magnitude is a safe, non-flaky margin.
+        assert hot_count > 5 * max(others)
+
+    def test_transpose_traffic_8x8(self):
+        """Transpose: (x, y) -> (y, x); diagonal-heavy load with
+        deterministic destinations for off-diagonal tiles."""
+        net = MangoNetwork(8, 8)
+        pattern = Transpose(net.mesh, seed=11)
+        workload = UniformBeWorkload(
+            net, pattern, slot_ns=25.0, probability=0.25, payload_words=3,
+            n_slots=30, seed=17)
+        workload.run(drain_ns=30000.0)
+        assert workload.received == workload.sent
+        # An off-diagonal tile receives every packet of its transpose
+        # partner (plus possibly uniform fallback spill from diagonal
+        # tiles, whose destinations are random).
+        src = Coord(1, 6)
+        partner = Coord(6, 1)
+        sent_by_partner = next(s for s in workload.sources
+                               if s.src == partner).sent
+        assert workload.collectors[src].count >= sent_by_partner
+
+    def test_bursty_video_streams_8x8(self):
+        """Bursty "video frame" GS sources over long routes with a BE
+        storm underneath: GS delivery must stay complete and in order."""
+        net = MangoNetwork(8, 8)
+        routes = [(Coord(0, 0), Coord(7, 6)), (Coord(7, 0), Coord(0, 6)),
+                  (Coord(0, 7), Coord(6, 0))]
+        conns = [net.open_connection_instant(src, dst)
+                 for src, dst in routes]
+        sources = [
+            BurstySource(net.sim, conn, burst_len=16, gap_ns=600.0,
+                         n_bursts=6, intra_ns=6.0, seed=23 + i, jitter=0.3)
+            for i, conn in enumerate(conns)
+        ]
+        workload = UniformBeWorkload(
+            net, UniformRandom(net.mesh, seed=29), slot_ns=40.0,
+            probability=0.15, payload_words=2, n_slots=25, seed=31)
+        workload.run(drain_ns=40000.0)
+        assert workload.received == workload.sent
+        for source, conn in zip(sources, conns):
+            assert source.sent == 16 * 6
+            assert conn.sink.payloads == list(range(16 * 6))
+
+    def test_local_uniform_16x16(self):
+        """A 16x16 mesh (256 routers): plain uniform-random would exceed
+        the 15-hop source-route limit, so the workload draws uniformly
+        within a 14-hop radius.  Conservation must hold at this scale."""
+        net = MangoNetwork(16, 16)
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(7, 7)),
+                 net.open_connection_instant(Coord(15, 15), Coord(8, 8))]
+        for conn in conns:
+            for value in range(40):
+                conn.send(value)
+        workload = UniformBeWorkload(
+            net, LocalUniform(net.mesh, radius=14, seed=41), slot_ns=40.0,
+            probability=0.1, payload_words=2, n_slots=12, seed=43,
+            retain_packets=False)
+        workload.run(drain_ns=30000.0)
+        assert workload.received == workload.sent
+        for conn in conns:
+            assert conn.sink.payloads == list(range(40))
+        assert net.total_gs_occupancy() == 0
+        # Streaming stats stay usable without per-packet lists.
+        stats = workload.latency_stats
+        assert stats.n == workload.received
+        assert stats.mean > 0
+        with pytest.raises(RuntimeError):
+            workload.latencies()
+
+    def test_run_batch_driving_equals_run(self):
+        """Pumping the same workload through run_batch slices must give
+        identical results to a single run() — the batch API is pure
+        driving, not different semantics."""
+        def build():
+            net = MangoNetwork(4, 4)
+            conn = net.open_connection_instant(Coord(0, 0), Coord(3, 3))
+            for value in range(30):
+                conn.send(value)
+            return net, conn
+
+        net_a, conn_a = build()
+        net_a.run(until=20000.0)
+
+        net_b, conn_b = build()
+        while net_b.run_batch(until=20000.0, max_events=97):
+            pass
+        assert net_b.now == 20000.0
+        assert conn_a.sink.payloads == conn_b.sink.payloads
+        assert (net_a.sim.events_processed ==
+                net_b.sim.events_processed)
 
     def test_route_longer_than_limit_rejected_without_leak(self):
         """A 9x9 corner-to-corner would need 16 hops > the 15-hop header

@@ -7,8 +7,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.traffic.stats import (
     Histogram,
+    P2Quantile,
     RateMeter,
     RunningStats,
+    WindowedRate,
     percentile,
     trim_warmup,
 )
@@ -159,3 +161,162 @@ class TestTrimWarmup:
 
     def test_empty(self):
         assert trim_warmup([], 10.0) == []
+
+
+class TestRunningStatsMerge:
+    def test_merge_matches_sequential(self):
+        left, right, reference = RunningStats(), RunningStats(), RunningStats()
+        a = [1.0, 4.0, 2.5, 9.0]
+        b = [3.0, 3.5, 8.0, 0.5, 7.5]
+        for v in a:
+            left.add(v)
+            reference.add(v)
+        for v in b:
+            right.add(v)
+            reference.add(v)
+        left.merge(right)
+        assert left.n == reference.n
+        assert left.mean == pytest.approx(reference.mean)
+        assert left.variance == pytest.approx(reference.variance)
+        assert left.minimum == reference.minimum
+        assert left.maximum == reference.maximum
+
+    def test_merge_into_empty(self):
+        left, right = RunningStats(), RunningStats()
+        right.add(2.0)
+        right.add(4.0)
+        left.merge(right)
+        assert left.n == 2
+        assert left.mean == 3.0
+
+    def test_merge_empty_is_noop(self):
+        left = RunningStats()
+        left.add(1.0)
+        left.merge(RunningStats())
+        assert left.n == 1
+
+
+class TestP2Quantile:
+    def test_exact_for_few_samples(self):
+        est = P2Quantile(50)
+        for v in (5.0, 1.0, 3.0):
+            est.add(v)
+        assert est.value == 3.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(90).value)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(101)
+
+    def test_median_of_uniform_stream(self):
+        import random
+        rng = random.Random(7)
+        est = P2Quantile(50)
+        for _ in range(5000):
+            est.add(rng.random())
+        assert est.value == pytest.approx(0.5, abs=0.03)
+
+    def test_p95_of_uniform_stream(self):
+        import random
+        rng = random.Random(11)
+        est = P2Quantile(95)
+        for _ in range(5000):
+            est.add(rng.random())
+        assert est.value == pytest.approx(0.95, abs=0.03)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=50, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_estimate_within_range(self, samples):
+        est = P2Quantile(90)
+        for v in samples:
+            est.add(v)
+        assert min(samples) <= est.value <= max(samples)
+
+
+class TestWindowedRate:
+    def test_empty(self):
+        meter = WindowedRate(10.0)
+        assert meter.count == 0
+        assert meter.rate() == 0.0
+        assert meter.windows() == []
+
+    def test_counts_per_window(self):
+        meter = WindowedRate(10.0)
+        for t in (0.0, 1.0, 2.0, 11.0, 25.0):
+            meter.record(t)
+        windows = meter.windows()
+        assert [c for _, c in windows] == [3, 1, 1]
+        assert windows[0][0] == 0.0
+        assert meter.count == 5
+
+    def test_rate_over_span(self):
+        meter = WindowedRate(5.0)
+        for t in range(11):
+            meter.record(float(t))
+        assert meter.rate() == pytest.approx(1.0)
+
+    def test_rate_agrees_with_rate_meter(self):
+        """Collectors swap meter classes with retain_packets: both must
+        report the same rate for the same arrivals."""
+        exact = RateMeter()
+        streaming = WindowedRate(5.0)
+        for t in range(11):
+            exact.record(float(t))
+            streaming.record(float(t))
+        assert streaming.rate() == pytest.approx(exact.rate())
+
+    def test_monotonicity_enforced(self):
+        meter = WindowedRate(10.0)
+        meter.record(5.0)
+        with pytest.raises(ValueError):
+            meter.record(4.0)
+
+    def test_memory_grows_with_time_not_samples(self):
+        meter = WindowedRate(100.0)
+        for i in range(10000):
+            meter.record(i * 0.01)  # 10k samples inside one window
+        assert len(meter.windows()) == 1
+
+    def test_matches_rate_meter_windows(self):
+        # Off-boundary timestamps: RateMeter's windows are
+        # right-inclusive, WindowedRate's are half-open [t, t+w).
+        times = [0.0, 3.0, 4.5, 9.9, 10.5, 17.2, 30.1]
+        exact = RateMeter()
+        streaming = WindowedRate(10.0)
+        for t in times:
+            exact.record(t)
+            streaming.record(t)
+        assert [c for _, c in exact.windows(10.0)] == \
+            [c for _, c in streaming.windows()]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedRate(0.0)
+
+    def test_min_rate_over_complete_windows(self):
+        meter = WindowedRate(10.0)
+        for t in (0.0, 1.0, 2.0, 11.0, 25.0):
+            meter.record(t)
+        # Complete windows hold 3 and 1 events; the trailing partial
+        # window (1 event) is excluded.
+        assert meter.min_rate() == pytest.approx(1 / 10.0)
+
+    def test_min_rate_sub_window_span_uses_mean_rate(self):
+        """A measurement shorter than one window has no complete
+        windows: min_rate falls back to the observed mean rate instead
+        of underestimating against the full window width."""
+        meter = WindowedRate(100.0)
+        for t in range(51):
+            meter.record(float(t))
+        assert meter.min_rate() == pytest.approx(1.0)
+
+    def test_rate_agrees_with_rate_meter_on_tied_starts(self):
+        exact = RateMeter()
+        streaming = WindowedRate(5.0)
+        for t in (0.0, 0.0, 10.0):
+            exact.record(t)
+            streaming.record(t)
+        assert streaming.rate() == pytest.approx(exact.rate())
