@@ -1,10 +1,12 @@
 """K1 — Simulation-kernel event throughput at mesh scale.
 
 Not a paper experiment: this guards the *simulator's* hot path, the
-substrate every router/link/traffic model spins on.  It drives the same
-mixed GS + BE workload the large-mesh integration tests use — corner
-GS streams plus a uniform-random Bernoulli BE storm — on 6x6 and 8x8
-meshes, and reports the run-phase (construction excluded) rates:
+substrate every router/link/traffic model spins on.  It drives the
+``corner-streams-6x6`` / ``corner-streams-8x8`` registry scenarios —
+corner GS streams plus a uniform-random Bernoulli BE storm, the same
+mixed workload the large-mesh integration tests use — through the
+:class:`~repro.scenarios.runner.ScenarioRunner` and reports the
+run-phase (construction excluded) rates:
 
 * kernel events/sec — heap entries dispatched per wall-clock second
   (``Simulator.events_processed``);
@@ -16,61 +18,23 @@ meshes, and reports the run-phase (construction excluded) rates:
 Reference point: against the seed kernel (per-event proxy churn, a
 polled workload driver, heap round-trips for already-satisfiable
 waits), this workload's run phase measures >=2x faster on the same
-machine (seed ~1.3 s vs ~0.63 s for the 8x8 case at authoring time),
-with `tests/integration/test_determinism_and_tracing.py` bit-identical
-across runs.  CI runs this module per PR so kernel-perf regressions are
-visible; the absolute numbers are machine-dependent, the flit-hop
-counts are not (they are asserted below).
+machine (seed ~1.3 s vs ~0.63 s for the 8x8 case at authoring time).
+CI runs this module per PR so kernel-perf regressions are visible; the
+absolute numbers are machine-dependent, the flit-hop counts are not
+(they are asserted below, and have been stable since the scenarios were
+hand-rolled here — the runner reproduces the original construction
+order exactly).
 """
 
-import time
-
-from repro import Coord, MangoNetwork
 from repro.analysis.report import Table
-from repro.traffic.patterns import UniformRandom
-from repro.traffic.workload import UniformBeWorkload
 
-from .common import record, run_once
+from .common import record, run_once, run_scenario
 
-#: (mesh side, GS flits per connection, BE slots) per scenario.
-SCENARIOS = ((6, 200, 60), (8, 150, 50))
-
-
-def run_mesh(side: int, gs_flits: int, be_slots: int) -> dict:
-    """Build the mesh (untimed), run the workload (timed), return rates."""
-    net = MangoNetwork(side, side)
-    top = side - 1
-    pairs = [(Coord(0, 0), Coord(top, top)), (Coord(top, 0), Coord(0, top)),
-             (Coord(0, top), Coord(top, 0)), (Coord(top, top), Coord(0, 0))]
-    conns = [net.open_connection_instant(src, dst) for src, dst in pairs]
-    for conn in conns:
-        for value in range(gs_flits):
-            conn.send(value)
-    workload = UniformBeWorkload(
-        net, UniformRandom(net.mesh, seed=7), slot_ns=20.0,
-        probability=0.3, payload_words=3, n_slots=be_slots, seed=9)
-
-    events_before = net.sim.events_processed
-    start = time.perf_counter()
-    workload.run(drain_ns=12000.0)
-    elapsed = time.perf_counter() - start
-
-    assert workload.received == workload.sent, "BE conservation violated"
-    assert all(conn.sink.count == gs_flits for conn in conns), \
-        "GS delivery incomplete"
-
-    events = net.sim.events_processed - events_before
-    flit_hops = sum(link.gs_flits + link.be_flits
-                    for link in net.links.values())
-    return {
-        "mesh": f"{side}x{side}",
-        "events": events,
-        "flit_hops": flit_hops,
-        "wall_s": elapsed,
-        "events_per_s": events / elapsed,
-        "flit_hops_per_s": flit_hops / elapsed,
-        "sim_ns": net.now,
-    }
+#: (registry scenario, expected full-duration flit hops).  The totals
+#: predate the scenario engine: any drift means the workload itself
+#: changed, not just the kernel.
+SCENARIOS = (("corner-streams-6x6", 18_484),
+             ("corner-streams-8x8", 29_396))
 
 
 def run_experiment():
@@ -79,14 +43,14 @@ def run_experiment():
                   title="Kernel throughput, mixed GS+BE workload "
                         "(run phase, construction excluded)")
     results = []
-    for side, gs_flits, be_slots in SCENARIOS:
-        point = run_mesh(side, gs_flits, be_slots)
-        results.append(point)
-        table.add_row(point["mesh"], point["events"], point["flit_hops"],
-                      round(point["wall_s"], 3),
-                      round(point["events_per_s"]),
-                      round(point["flit_hops_per_s"]),
-                      round(point["sim_ns"] / point["wall_s"]))
+    for name, _expected in SCENARIOS:
+        result = run_scenario(name)
+        results.append(result)
+        table.add_row(f"{result.cols}x{result.rows}", result.events,
+                      result.flit_hops, round(result.wall_s, 3),
+                      round(result.events / result.wall_s),
+                      round(result.flit_hops / result.wall_s),
+                      round(result.sim_ns / result.wall_s))
     return results, table
 
 
@@ -94,14 +58,13 @@ def test_kernel_throughput(benchmark):
     results, table = run_once(benchmark, run_experiment)
     record("K1", "simulation-kernel event throughput", table.render())
 
-    for point in results:
+    for (name, expected), result in zip(SCENARIOS, results):
+        assert result.passed, f"{name}: {result.failures()}"
         # Real progress was simulated and measured.
-        assert point["events"] > 50_000
-        assert point["flit_hops"] > 10_000
-        assert point["events_per_s"] > 0
-    # The workload itself is deterministic: flit-hop totals are exact
-    # machine-independent fingerprints of the simulated work (a change
-    # here means the workload — not just the kernel — changed).
-    by_mesh = {point["mesh"]: point for point in results}
-    assert by_mesh["6x6"]["flit_hops"] == 18_484
-    assert by_mesh["8x8"]["flit_hops"] == 29_396
+        assert result.events > 50_000
+        assert result.events / result.wall_s > 0
+        # The workload is deterministic: flit-hop totals are exact
+        # machine-independent fingerprints of the simulated work (a
+        # change here means the workload — not just the kernel —
+        # changed).
+        assert result.flit_hops == expected, name

@@ -1,0 +1,44 @@
+"""S1 — The QoS conformance matrix end to end.
+
+Drives every registered scenario at smoke duration through the
+:class:`~repro.scenarios.runner.ScenarioRunner` and records the matrix:
+per-scenario offered/accepted load, latency tail, QoS verdicts and the
+flit-hop fingerprint (asserted against the in-repo goldens).  This is
+the benchmark-suite face of ``python -m repro scenario matrix --smoke``
+— one harness, every workload.
+"""
+
+from repro.analysis.report import Table
+from repro.scenarios import registry
+from repro.scenarios.golden import SMOKE_FINGERPRINTS
+
+from .common import record, run_once, run_scenario
+
+
+def run_experiment():
+    table = Table(["scenario", "mesh", "BE recv/sent", "GS ok",
+                   "p99 ns", "wall s", "fingerprint"],
+                  title="QoS conformance matrix (smoke duration)")
+    results = []
+    for name in registry.names():
+        result = run_scenario(name, smoke=True)
+        results.append((name, result))
+        gs_ok = (f"{sum(v.ok for v in result.gs)}/{len(result.gs)}"
+                 if result.gs else "-")
+        p99 = result.latency_p99_ns
+        table.add_row(name, f"{result.cols}x{result.rows}",
+                      f"{result.be_received}/{result.be_sent}", gs_ok,
+                      "-" if p99 != p99 else round(p99, 1),
+                      round(result.wall_s, 3), result.fingerprint)
+    return results, table
+
+
+def test_scenario_matrix(benchmark):
+    results, table = run_once(benchmark, run_experiment)
+    record("S1", "QoS conformance matrix", table.render())
+
+    assert len(results) >= 20, "the matrix must cover 20+ scenarios"
+    for name, result in results:
+        assert result.passed, f"{name}: {result.failures()}"
+        assert result.fingerprint == SMOKE_FINGERPRINTS[name], \
+            f"{name}: fingerprint drifted (see scenarios/golden.py)"

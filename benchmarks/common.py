@@ -14,6 +14,23 @@ import sys
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
 
+def run_scenario(name: str, smoke: bool = False, mode: str = "event",
+                 config=None):
+    """Run one registry scenario through the :class:`ScenarioRunner`.
+
+    The single entry point benchmarks use for workload construction —
+    specs live in ``repro.scenarios.registry``, never in per-bench
+    driver code — returning the :class:`ScenarioResult` (events, wall
+    time, flit hops, fingerprint, QoS verdicts).
+    """
+    from repro.scenarios import ScenarioRunner, get
+
+    spec = get(name)
+    if smoke:
+        spec = spec.smoke()
+    return ScenarioRunner(spec, config=config).run(mode=mode)
+
+
 def record(experiment_id: str, title: str, body: str) -> None:
     """Print and persist one experiment's output block."""
     block = (f"\n=== {experiment_id}: {title} ===\n{body}\n")

@@ -18,13 +18,22 @@ from repro.traffic.stats import Histogram, percentile
 from repro.traffic.workload import UniformBeWorkload, run_until_processes_done
 
 
+import os
+
+#: REPRO_EXAMPLE_QUICK=1 shrinks the run for smoke tests (tests/
+#: test_examples.py): same sweep, same output shape, tiny durations.
+QUICK = bool(int(os.environ.get("REPRO_EXAMPLE_QUICK", "0")))
+
+
 def run_point(be_probability):
     net = MangoNetwork(3, 3)
     stream = net.open_connection_instant(Coord(0, 1), Coord(2, 1))
-    source = CbrSource(net.sim, stream, period_ns=25.0, n_flits=200)
+    source = CbrSource(net.sim, stream, period_ns=25.0,
+                       n_flits=20 if QUICK else 200)
     workload = UniformBeWorkload(
         net, UniformRandom(net.mesh, seed=17), slot_ns=15.0,
-        probability=be_probability, payload_words=4, n_slots=120, seed=23)
+        probability=be_probability, payload_words=4,
+        n_slots=12 if QUICK else 120, seed=23)
     run_until_processes_done(
         net, [source.process] + [s.process for s in workload.sources],
         drain_ns=15000.0)

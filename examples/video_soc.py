@@ -45,8 +45,14 @@ def cpu_workload(net, master, n_transactions):
             yield net.sim.timeout(40.0)
 
 
+#: REPRO_EXAMPLE_QUICK=1 shrinks the run for smoke tests (tests/
+#: test_examples.py): same pipeline, same report, tiny stream lengths.
+QUICK = bool(int(__import__("os").environ.get("REPRO_EXAMPLE_QUICK", "0")))
+
+
 def main():
     net = MangoNetwork(3, 3, clocks=CLOCKS)
+    scale = 10 if QUICK else 1
 
     # GS connections: camera -> display (video), camera -> DSP
     # (preview), DSP -> display (overlay).
@@ -57,14 +63,15 @@ def main():
     print(f"  all connections open at t={net.now:.1f} ns")
 
     # The video stream: one 32-bit flit every 8 ns = 500 MB/s.
-    frames = CbrSource(net.sim, video, period_ns=8.0, n_flits=1500)
-    CbrSource(net.sim, preview, period_ns=32.0, n_flits=300)
-    CbrSource(net.sim, overlay, period_ns=24.0, n_flits=400)
+    frames = CbrSource(net.sim, video, period_ns=8.0,
+                       n_flits=1500 // scale)
+    CbrSource(net.sim, preview, period_ns=32.0, n_flits=300 // scale)
+    CbrSource(net.sim, overlay, period_ns=24.0, n_flits=400 // scale)
 
     # The CPU hammers memory over BE in the background.
     master = OcpMaster(net.adapters[CPU])
     memory = OcpMemorySlave(net.adapters[MEMORY], latency_ns=10.0)
-    cpu = net.sim.process(cpu_workload(net, master, 150))
+    cpu = net.sim.process(cpu_workload(net, master, 150 // scale))
 
     while not (frames.process.triggered and cpu.triggered):
         net.run(until=net.now + 2000.0)

@@ -5,11 +5,14 @@ Commands:
 * ``report``     — Table 1 area breakdown + per-corner timing figures
 * ``contract``   — QoS contract for a connection of N hops
 * ``simulate``   — a quick mixed GS/BE simulation on a small mesh
+* ``scenario``   — the declarative scenario matrix: ``list``, ``run`` one
+  scenario, or drive the whole conformance ``matrix``
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from . import Coord, MangoNetwork, RouterConfig, TYPICAL, WORST_CASE
@@ -68,6 +71,156 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _fmt_ns(value: float) -> str:
+    return "-" if math.isnan(value) else f"{value:.1f}"
+
+
+def cmd_scenario(args) -> int:
+    from .scenarios import ScenarioRunner, get, golden, registry
+    from .scenarios.golden import SMOKE_FINGERPRINTS
+
+    if args.action == "list":
+        table = Table(["scenario", "mesh", "GS", "pattern", "tags"],
+                      title=f"Scenario matrix "
+                            f"({len(registry.SCENARIOS)} registered)")
+        for name in registry.names():
+            spec = get(name)
+            pattern = spec.be.pattern if spec.be is not None else "-"
+            table.add_row(name, f"{spec.cols}x{spec.rows}", len(spec.gs),
+                          pattern, ",".join(spec.tags))
+        print(table.render())
+        return 0
+
+    smoke = args.smoke
+
+    def run_one(name):
+        spec = get(name)
+        if smoke:
+            spec = spec.smoke()
+        runner = ScenarioRunner(spec)
+        return runner.run(mode=args.mode)
+
+    def resolve(requested):
+        """Fail fast (and cleanly) on typos, before any scenario runs."""
+        unknown = [name for name in requested
+                   if name not in registry.SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"known: {', '.join(registry.names())}", file=sys.stderr)
+            raise SystemExit(2)
+        return requested
+
+    if args.action == "run":
+        resolve([args.name])
+        result = run_one(args.name)
+        table = Table(["metric", "value"],
+                      title=f"Scenario {result.name} "
+                            f"({'smoke' if smoke else 'full'}, "
+                            f"{args.mode} drive)")
+        table.add_row("mesh", f"{result.cols}x{result.rows}")
+        table.add_row("simulated ns", round(result.sim_ns, 1))
+        table.add_row("kernel events", result.events)
+        table.add_row("flit hops", result.flit_hops)
+        table.add_row("fingerprint", result.fingerprint)
+        table.add_row("BE sent / received",
+                      f"{result.be_sent} / {result.be_received}")
+        table.add_row("BE latency mean/p50/p99 (ns)",
+                      f"{_fmt_ns(result.latency_mean_ns)} / "
+                      f"{_fmt_ns(result.latency_p50_ns)} / "
+                      f"{_fmt_ns(result.latency_p99_ns)}")
+        for verdict in result.gs:
+            table.add_row(
+                f"GS {verdict.label} ({verdict.traffic})",
+                f"{verdict.delivered}/{verdict.offered} "
+                f"{'OK' if verdict.ok else 'FAIL'}")
+        if result.failure_expected:
+            table.add_row(f"failure ({result.failure_kind})",
+                          "detected" if result.failure_detected
+                          else "NOT DETECTED")
+        table.add_row("verdict", "PASS" if result.passed else "FAIL")
+        print(table.render())
+        for problem in result.failures():
+            print(f"  !! {problem}")
+        return 0 if result.passed else 1
+
+    # matrix
+    if args.update_golden and not smoke:
+        print("--update-golden only records smoke fingerprints "
+              "(full-duration runs are benchmark territory)")
+        return 2
+    selected = registry.names()
+    if args.names:
+        selected = resolve([n.strip() for n in args.names.split(",")
+                            if n.strip()])
+    table = Table(["scenario", "mesh", "BE recv/sent", "GS ok",
+                   "p99 ns", "fingerprint", "verdict"],
+                  title=f"QoS conformance matrix "
+                        f"({'smoke' if smoke else 'full'} duration, "
+                        f"{args.mode} drive)")
+    failed = []
+    fingerprints = {}
+    for name in selected:
+        result = run_one(name)
+        fingerprints[name] = result.fingerprint
+        verdict = "PASS" if result.passed else "FAIL"
+        fp_note = result.fingerprint
+        if smoke and not args.update_golden:
+            golden_fp = SMOKE_FINGERPRINTS.get(name)
+            if golden_fp is None:
+                fp_note += " (no golden)"
+            elif golden_fp != result.fingerprint:
+                fp_note += " != golden"
+                verdict = "FAIL"
+        if verdict == "FAIL":
+            failed.append((name, result.failures()))
+        gs_ok = (f"{sum(v.ok for v in result.gs)}/{len(result.gs)}"
+                 if result.gs else "-")
+        table.add_row(name, f"{result.cols}x{result.rows}",
+                      f"{result.be_received}/{result.be_sent}",
+                      gs_ok, _fmt_ns(result.latency_p99_ns), fp_note,
+                      verdict)
+    print(table.render())
+    if args.update_golden:
+        if failed:
+            print("refusing to record goldens: "
+                  f"{len(failed)} scenario(s) failed their QoS verdicts")
+            for name, problems in failed:
+                for problem in problems:
+                    print(f"  {name}: {problem}")
+            return 1
+        if args.names:
+            # A subset run must not delete the other scenarios' goldens.
+            merged = dict(SMOKE_FINGERPRINTS)
+            merged.update(fingerprints)
+            fingerprints = merged
+        _write_golden(golden, fingerprints)
+        print(f"recorded {len(fingerprints)} golden fingerprints")
+        return 0
+    for name, problems in failed:
+        print(f"FAIL {name}:")
+        for problem in problems or ["fingerprint mismatch"]:
+            print(f"  - {problem}")
+    print(f"{len(selected) - len(failed)}/{len(selected)} scenarios passed")
+    return 1 if failed else 0
+
+
+def _write_golden(golden_module, fingerprints) -> None:
+    """Rewrite scenarios/golden.py with freshly recorded digests."""
+    path = golden_module.__file__
+    with open(path) as handle:
+        source = handle.read()
+    # The dict assignment is the last statement; __all__ also mentions
+    # the name, so split on the assignment at line start only.
+    head = source.rsplit("\nSMOKE_FINGERPRINTS: Dict[str, str]", 1)[0]
+    lines = [f'    "{name}": "{digest}",'
+             for name, digest in sorted(fingerprints.items())]
+    body = "\nSMOKE_FINGERPRINTS: Dict[str, str] = {\n" + \
+        "\n".join(lines) + "\n}\n"
+    with open(path, "w") as handle:
+        handle.write(head + body)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -85,9 +238,29 @@ def main(argv=None) -> int:
     simulate.add_argument("--flits", type=int, default=100)
     simulate.add_argument("--horizon", type=float, default=10000.0)
 
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenario matrix (list/run/matrix)")
+    scenario.add_argument("action", choices=("list", "run", "matrix"))
+    scenario.add_argument("name", nargs="?",
+                          help="scenario name (for 'run')")
+    scenario.add_argument("--smoke", action="store_true",
+                          help="CI-sized durations (capped slots/flits)")
+    scenario.add_argument("--mode", choices=("event", "batch"),
+                          default="event",
+                          help="kernel drive style (fingerprints match)")
+    scenario.add_argument("--names",
+                          help="comma-separated subset (for 'matrix')")
+    scenario.add_argument("--update-golden", action="store_true",
+                          help="record smoke fingerprints into "
+                               "scenarios/golden.py")
+
     args = parser.parse_args(argv)
+    if args.command == "scenario" and args.action == "run" \
+            and not args.name:
+        parser.error("scenario run needs a scenario name "
+                     "(see: scenario list)")
     handlers = {"report": cmd_report, "contract": cmd_contract,
-                "simulate": cmd_simulate}
+                "simulate": cmd_simulate, "scenario": cmd_scenario}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,33 @@
+"""Declarative scenario engine and QoS conformance matrix.
+
+``ScenarioSpec`` describes an experiment as plain data, ``ScenarioRunner``
+is the single place that turns a spec into a network + workload +
+measurements, and ``registry`` holds the named matrix that the CLI
+(``python -m repro scenario list|run|matrix``), the conformance tests and
+the benchmarks all share.
+"""
+
+from .spec import (BeTrafficSpec, FailureSpec, GsConnectionSpec,
+                   ScenarioError, ScenarioSpec)
+from .runner import (ConnectionVerdict, ScenarioResult, ScenarioRunner,
+                     build_pattern, flit_hop_fingerprint)
+from . import registry
+from .registry import SCENARIOS, get, names, register
+
+__all__ = [
+    "BeTrafficSpec",
+    "ConnectionVerdict",
+    "FailureSpec",
+    "GsConnectionSpec",
+    "SCENARIOS",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "build_pattern",
+    "flit_hop_fingerprint",
+    "get",
+    "names",
+    "register",
+    "registry",
+]

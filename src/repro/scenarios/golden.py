@@ -1,0 +1,44 @@
+"""Golden flit-hop fingerprints of every registry scenario at smoke
+duration (event-mode drive, the spec's own ``retain_packets``).
+
+Regenerate after an *intentional* workload change with::
+
+    PYTHONPATH=src python -m repro scenario matrix --smoke --update-golden
+
+The determinism tests assert these digests are reproduced bit-identically
+across hosts, across ``run`` vs ``run_batch`` driving, and across
+``retain_packets`` True/False — a changed digest means the simulated
+work itself changed, which must be a deliberate, reviewed event.
+"""
+
+from typing import Dict
+
+__all__ = ["SMOKE_FINGERPRINTS"]
+
+SMOKE_FINGERPRINTS: Dict[str, str] = {
+    "be-bit-complement-4x4": "79198014b162c632",
+    "be-bit-complement-8x8": "19f84ce8baa4ecaa",
+    "be-hotspot-4x4": "d03ef122813a49c3",
+    "be-hotspot-8x8": "39ced16bf96e407c",
+    "be-local-uniform-16x16": "a9818b9676a8ae30",
+    "be-nearest-neighbor-4x4": "d32801bd792babab",
+    "be-nearest-neighbor-8x8": "9785b780887ed5ad",
+    "be-transpose-4x4": "86d40988fa8dc557",
+    "be-transpose-8x8": "ac362820e91db7fb",
+    "be-uniform-4x4": "e638c3090fed3e4f",
+    "be-uniform-8x8": "7c32c91412e660a6",
+    "corner-streams-6x6": "8e9c8ea7e97dbecb",
+    "corner-streams-8x8": "4835b3f4b42da12e",
+    "failure-malformed-config-2x2": "9da54ae5ffeab5ad",
+    "failure-malformed-config-4x4-under-load": "3979ee5ddcce42f6",
+    "failure-orphan-flit-4x4": "93b45f44073ef240",
+    "gs-bursty-hotspot-4x4": "04932a36391d9098",
+    "gs-bursty-video-8x8": "78c82031f66017a9",
+    "gs-cbr-16x16-local": "49fae44015bec464",
+    "gs-cbr-4x4-uniform": "86c9505519d7846f",
+    "gs-cbr-8x8-transpose": "0ae432f053b42f40",
+    "gs-many-conns-6x6": "038b5f515e801148",
+    "gs-under-saturation-4x4": "3ff53da446c382d3",
+    "gs-under-saturation-8x8": "b11cebb20b835485",
+    "gs-under-saturation-hotspot-8x8": "ccb22e42ea22448e",
+}

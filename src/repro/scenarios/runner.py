@@ -1,0 +1,442 @@
+"""Turn a :class:`~repro.scenarios.spec.ScenarioSpec` into a run.
+
+The :class:`ScenarioRunner` is the *only* place in the repository that
+constructs a network + workload + collectors from a description: the
+integration tests, the benchmarks and the CLI all go through it, so a
+new workload is a new spec, never a new driver.
+
+Construction order is part of the contract — connections are opened in
+spec order, GS traffic attached per connection, then the BE workload is
+built (collectors for every tile, then one source per tile with seed
+``seed*1000 + tile_index``) — because the flit-hop fingerprints of the
+registry scenarios are asserted in-repo and any reordering would shift
+RNG draws and event sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.qos import contract_for_path
+from ..core.config import RouterConfig
+from ..network.network import MangoNetwork
+from ..network.topology import Coord, Direction, Mesh
+from ..traffic.generators import BurstySource, CbrSource
+from ..traffic.patterns import (BitComplement, Hotspot, LocalUniform,
+                                NearestNeighbor, Pattern, Transpose,
+                                UniformRandom)
+from ..traffic.stats import P2Quantile, RunningStats, percentile
+from ..traffic.workload import UniformBeWorkload
+from .spec import BeTrafficSpec, FailureSpec, ScenarioSpec
+
+__all__ = [
+    "ConnectionVerdict",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "build_pattern",
+    "flit_hop_fingerprint",
+]
+
+#: Injection slack allowed on top of the contract's worst-case network
+#: latency (the local interface adds a few cycles outside the contract;
+#: same allowance as tests/integration/test_qos_contracts.py).
+LATENCY_SLACK_CYCLES = 3
+
+#: Result-level BE latency quantiles.
+RESULT_QUANTILES = (50.0, 99.0)
+
+
+def build_pattern(be: BeTrafficSpec, mesh: Mesh) -> Pattern:
+    """Instantiate the spatial pattern a BE spec names."""
+    seed = be.pattern_seed
+    if be.pattern == "uniform":
+        return UniformRandom(mesh, seed=seed)
+    if be.pattern == "local_uniform":
+        return LocalUniform(mesh, radius=be.radius, seed=seed)
+    if be.pattern == "transpose":
+        return Transpose(mesh, seed=seed)
+    if be.pattern == "bit_complement":
+        return BitComplement(mesh, seed=seed)
+    if be.pattern == "nearest_neighbor":
+        return NearestNeighbor(mesh, seed=seed)
+    if be.pattern == "hotspot":
+        hotspot = (Coord(*be.hotspot) if be.hotspot is not None
+                   else Coord(mesh.cols // 2, mesh.rows // 2))
+        return Hotspot(mesh, hotspot, fraction=be.fraction, seed=seed)
+    raise ValueError(f"unknown pattern {be.pattern!r}")
+
+
+def flit_hop_fingerprint(network: MangoNetwork) -> str:
+    """A machine-independent digest of where every flit went.
+
+    Hashes the per-link GS/BE traversal counts (router-router links and
+    the local injection links) plus each open connection's delivered
+    count and payload sum.  Pure integer state, so the digest is
+    identical across hosts, Python versions and kernel drive styles —
+    any change means the *simulated work* changed, which is exactly what
+    the determinism regression tests want to catch.
+    """
+    parts: List[str] = []
+    for (coord, direction), link in sorted(
+            network.links.items(),
+            key=lambda item: (item[0][0].x, item[0][0].y, item[0][1].name)):
+        parts.append(f"L{coord.x},{coord.y},{direction.name}:"
+                     f"{link.gs_flits},{link.be_flits}")
+    for coord in sorted(network.adapters,
+                        key=lambda c: (c.x, c.y)):
+        local = network.adapters[coord].local_link
+        parts.append(f"I{coord.x},{coord.y}:{local.gs_flits}")
+    for cid in sorted(network.connection_manager.connections):
+        sink = network.connection_manager.connections[cid].sink
+        parts.append(f"C{cid}:{sink.count},{sum(sink.payloads)}")
+    digest = hashlib.sha256("|".join(parts).encode("ascii")).hexdigest()
+    return digest[:16]
+
+
+@dataclass
+class ConnectionVerdict:
+    """Per-GS-connection QoS conformance against its contract."""
+
+    label: str
+    hops: int
+    traffic: str
+    offered: int
+    delivered: int
+    complete: bool
+    in_order: bool
+    latency_checked: bool
+    observed_max_latency_ns: float
+    latency_bound_ns: float
+    latency_ok: Optional[bool]
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and self.in_order and self.latency_ok is not False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__, ok=self.ok)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a run measured, plus its determinism fingerprint."""
+
+    name: str
+    cols: int
+    rows: int
+    mode: str
+    retain_packets: bool
+    sim_ns: float
+    wall_s: float
+    events: int
+    flit_hops: int
+    fingerprint: str
+    be_sent: int
+    be_received: int
+    offered_load: float           # BE packets injected per ns
+    accepted_load: float          # BE packets delivered per ns
+    latency_mean_ns: float
+    latency_p50_ns: float
+    latency_p99_ns: float
+    gs: List[ConnectionVerdict] = field(default_factory=list)
+    failure_expected: bool = False
+    failure_detected: bool = False
+    failure_kind: str = ""
+
+    @property
+    def be_lost(self) -> int:
+        return self.be_sent - self.be_received
+
+    @property
+    def passed(self) -> bool:
+        """All QoS verdicts hold, nothing was lost, and an injected
+        failure (if any) was loudly detected."""
+        if self.failure_expected:
+            return self.failure_detected
+        return self.be_lost == 0 and all(verdict.ok for verdict in self.gs)
+
+    def failures(self) -> List[str]:
+        """Human-readable list of everything that went wrong."""
+        problems: List[str] = []
+        if self.failure_expected:
+            if not self.failure_detected:
+                problems.append(
+                    f"injected {self.failure_kind} was not detected")
+            return problems
+        if self.be_lost:
+            problems.append(f"{self.be_lost} BE packets lost "
+                            f"({self.be_received}/{self.be_sent})")
+        for verdict in self.gs:
+            if not verdict.complete:
+                problems.append(
+                    f"GS {verdict.label}: {verdict.delivered}/"
+                    f"{verdict.offered} flits delivered")
+            if not verdict.in_order:
+                problems.append(f"GS {verdict.label}: out-of-order delivery")
+            if verdict.latency_ok is False:
+                problems.append(
+                    f"GS {verdict.label}: max latency "
+                    f"{verdict.observed_max_latency_ns:.2f} ns exceeds the "
+                    f"contract bound {verdict.latency_bound_ns:.2f} ns")
+        return problems
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "mesh": f"{self.cols}x{self.rows}",
+            "mode": self.mode,
+            "retain_packets": self.retain_packets,
+            "sim_ns": self.sim_ns,
+            "events": self.events,
+            "flit_hops": self.flit_hops,
+            "fingerprint": self.fingerprint,
+            "be_sent": self.be_sent,
+            "be_received": self.be_received,
+            "be_lost": self.be_lost,
+            "offered_load": self.offered_load,
+            "accepted_load": self.accepted_load,
+            "latency_mean_ns": self.latency_mean_ns,
+            "latency_p50_ns": self.latency_p50_ns,
+            "latency_p99_ns": self.latency_p99_ns,
+            "gs": [verdict.to_dict() for verdict in self.gs],
+            "failure_expected": self.failure_expected,
+            "failure_detected": self.failure_detected,
+            "failure_kind": self.failure_kind,
+            "passed": self.passed,
+        }
+
+
+class ScenarioRunner:
+    """Build and run one scenario; every workload goes through here."""
+
+    def __init__(self, spec: ScenarioSpec,
+                 config: Optional[RouterConfig] = None,
+                 retain_packets: Optional[bool] = None):
+        spec.validate(config)
+        self.spec = spec
+        self.config = config
+        self.retain_packets = (spec.retain_packets if retain_packets is None
+                               else retain_packets)
+        self.network: Optional[MangoNetwork] = None
+        self.connections: List = []
+        self.gs_sources: List = []
+        self.workload: Optional[UniformBeWorkload] = None
+        self._quantiles: Dict[float, P2Quantile] = {}
+        self._expected_error: Optional[type] = None
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> MangoNetwork:
+        """Construct network, connections, sources and collectors
+        (untimed); see the module docstring for why the order is part of
+        the determinism contract."""
+        spec = self.spec
+        net = MangoNetwork(spec.cols, spec.rows, config=self.config)
+        self.network = net
+        self.connections = [
+            net.open_connection_instant(Coord(*gs.src), Coord(*gs.dst))
+            for gs in spec.gs
+        ]
+        for gs, conn in zip(spec.gs, self.connections):
+            if gs.traffic == "preload":
+                for value in range(gs.flits):
+                    conn.send(value, last=(value == gs.flits - 1))
+            elif gs.traffic == "cbr":
+                self.gs_sources.append(CbrSource(
+                    net.sim, conn, period_ns=gs.period_ns, n_flits=gs.flits))
+            elif gs.traffic == "bursty":
+                self.gs_sources.append(BurstySource(
+                    net.sim, conn, burst_len=gs.burst_len, gap_ns=gs.gap_ns,
+                    n_bursts=gs.n_bursts, intra_ns=gs.intra_ns,
+                    seed=gs.seed, jitter=gs.jitter))
+        if spec.be is not None:
+            # Result-level quantiles need one stream over every sink:
+            # the runner's own P² estimators ride along as collector
+            # observers (per-tile estimators stay untouched; the
+            # simulation never reads any of them).
+            self._quantiles = {q: P2Quantile(q) for q in RESULT_QUANTILES}
+            self.workload = UniformBeWorkload(
+                net, build_pattern(spec.be, net.mesh),
+                slot_ns=spec.be.slot_ns, probability=spec.be.probability,
+                payload_words=spec.be.payload_words,
+                n_slots=spec.be.n_slots, seed=spec.be.seed,
+                retain_packets=self.retain_packets,
+                latency_observers=tuple(self._quantiles.values()))
+        if spec.failure is not None:
+            self._schedule_failure(net, spec.failure)
+        return net
+
+    def _schedule_failure(self, net: MangoNetwork,
+                          failure: FailureSpec) -> None:
+        from ..core.programming import ConfigFormatError, OP_SETUP
+        from ..core.connection_table import TableError
+        if failure.kind == "malformed_config":
+            self._expected_error = ConfigFormatError
+            magic_only = [0xC0 << 24 | (OP_SETUP << 20)]
+
+            def inject():
+                net.send_be(Coord(*failure.src), Coord(*failure.dst),
+                            magic_only)
+        else:  # orphan_flit
+            self._expected_error = TableError
+            router = net.routers[Coord(*failure.src)]
+
+            def inject():
+                from ..network.packet import GsFlit
+                steering = router.switching.steer_to(
+                    Direction.LOCAL, Direction.EAST,
+                    net.config.vcs_per_port - 1)
+                router.accept_gs_flit(Direction.LOCAL, steering, GsFlit(1))
+
+        net.sim.defer(failure.at_ns, inject)
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self, mode: str = "event",
+            batch_events: int = 8192) -> ScenarioResult:
+        """Build (if needed) and drive the scenario to completion.
+
+        ``mode="event"`` waits on an ``AllOf`` over the source processes
+        (the fast default); ``mode="batch"`` pumps ``run_batch`` slices
+        of ``batch_events`` kernel events, the API callers use to
+        interleave host-side work.  Both must produce the same flit-hop
+        fingerprint — asserted by tests/scenarios/test_fingerprints.py.
+        """
+        if mode not in ("event", "batch"):
+            raise ValueError(f"unknown drive mode {mode!r}")
+        if self.network is None:
+            self.build()
+        net = self.network
+        spec = self.spec
+        sources = list(self.workload.sources) if self.workload else []
+        sources += self.gs_sources
+        processes = [source.process for source in sources]
+
+        failure_detected = False
+        events_before = net.sim.events_processed
+        start = time.perf_counter()
+        try:
+            if processes:
+                done = net.sim.all_of(processes)
+                if mode == "event":
+                    if not net.sim.run_until_triggered(done,
+                                                       max_ns=spec.max_ns):
+                        raise RuntimeError(
+                            f"scenario {spec.name!r} did not finish within "
+                            f"{spec.max_ns} ns (deadlock or overload)")
+                else:
+                    while not done.triggered:
+                        if net.run_batch(max_events=batch_events) == 0:
+                            raise RuntimeError(
+                                f"scenario {spec.name!r}: event heap "
+                                "drained before the sources finished")
+                        if net.now > spec.max_ns:
+                            raise RuntimeError(
+                                f"scenario {spec.name!r} did not finish "
+                                f"within {spec.max_ns} ns")
+                net.run(until=net.now + spec.drain_ns)
+            else:
+                # Preload-only scenarios have no driving processes: the
+                # heap drains by itself once all flits are delivered.
+                if mode == "event":
+                    net.sim.run()
+                else:
+                    while net.run_batch(max_events=batch_events):
+                        pass
+        except Exception as error:
+            if self._expected_error is not None and \
+                    isinstance(error, self._expected_error):
+                failure_detected = True
+            else:
+                raise
+        wall_s = time.perf_counter() - start
+        events = net.sim.events_processed - events_before
+        return self._result(mode, events, wall_s, failure_detected)
+
+    # -- measurement -------------------------------------------------------
+
+    def _be_quantile(self, q: float) -> float:
+        if self.workload is None:
+            return float("nan")
+        if self.retain_packets:
+            return percentile(self.workload.latencies(), q)
+        return self._quantiles[q].value
+
+    def _verdicts(self) -> List[ConnectionVerdict]:
+        config = self.network.config
+        slack = LATENCY_SLACK_CYCLES * config.timing.link_cycle_ns
+        verdicts = []
+        for gs, conn in zip(self.spec.gs, self.connections):
+            contract = contract_for_path(conn.n_hops, config)
+            delivered = conn.sink.count
+            payloads = conn.sink.payloads
+            in_order = payloads == sorted(payloads)
+            observed = (max(conn.sink.latencies)
+                        if conn.sink.latencies else float("nan"))
+            bound = contract.max_latency_ns + slack
+            # Only paced, admissible streams carry a latency guarantee:
+            # preloaded/bursty queues add source-side waiting the network
+            # contract says nothing about.
+            checked = gs.traffic == "cbr"
+            latency_ok = None
+            if checked and not math.isnan(observed):
+                latency_ok = observed <= bound
+            verdicts.append(ConnectionVerdict(
+                label=f"{gs.src}->{gs.dst}",
+                hops=conn.n_hops,
+                traffic=gs.traffic,
+                offered=gs.offered,
+                delivered=delivered,
+                complete=delivered == gs.offered,
+                in_order=in_order,
+                latency_checked=checked,
+                observed_max_latency_ns=observed,
+                latency_bound_ns=bound,
+                latency_ok=latency_ok,
+            ))
+        return verdicts
+
+    def _result(self, mode: str, events: int, wall_s: float,
+                failure_detected: bool) -> ScenarioResult:
+        net = self.network
+        spec = self.spec
+        sim_ns = net.now
+        flit_hops = sum(link.gs_flits + link.be_flits
+                        for link in net.links.values())
+        be_sent = self.workload.sent if self.workload else 0
+        be_received = self.workload.received if self.workload else 0
+        if self.workload:
+            stats = self.workload.latency_stats
+            mean = stats.mean
+        else:
+            mean = float("nan")
+        span = sim_ns if sim_ns > 0 else float("nan")
+        failure_interrupted = spec.failure is not None
+        gs = [] if failure_interrupted else self._verdicts()
+        return ScenarioResult(
+            name=spec.name,
+            cols=spec.cols,
+            rows=spec.rows,
+            mode=mode,
+            retain_packets=self.retain_packets,
+            sim_ns=sim_ns,
+            wall_s=wall_s,
+            events=events,
+            flit_hops=flit_hops,
+            fingerprint=flit_hop_fingerprint(net),
+            be_sent=be_sent,
+            be_received=be_received,
+            offered_load=be_sent / span,
+            accepted_load=be_received / span,
+            latency_mean_ns=mean,
+            latency_p50_ns=self._be_quantile(50.0),
+            latency_p99_ns=self._be_quantile(99.0),
+            gs=gs,
+            failure_expected=spec.failure is not None,
+            failure_detected=failure_detected,
+            failure_kind=spec.failure.kind if spec.failure else "",
+        )

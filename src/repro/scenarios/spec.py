@@ -1,0 +1,343 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` describes one complete experiment — mesh size,
+BE traffic pattern and injection rate, GS connection set, failure
+injection, seeds and duration — as plain data.  Specs round-trip through
+dictionaries (JSON-safe), validate themselves against the mesh geometry
+and the QoS admission rules, and scale down to a ``smoke`` profile so
+the whole registry can run in CI.
+
+The point (ROADMAP: "as many scenarios as you can imagine") is that a
+new workload is a new *spec*, not a new hand-rolled driver: the
+:class:`~repro.scenarios.runner.ScenarioRunner` turns any spec into a
+network, traffic and measurement in exactly one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..analysis.qos import contract_for_path
+from ..core.config import RouterConfig
+from ..network.routing import MAX_HOPS
+
+__all__ = [
+    "ScenarioError",
+    "GsConnectionSpec",
+    "BeTrafficSpec",
+    "FailureSpec",
+    "ScenarioSpec",
+    "PATTERN_NAMES",
+    "GS_TRAFFIC_KINDS",
+    "FAILURE_KINDS",
+]
+
+#: Spatial patterns the runner can instantiate (see traffic.patterns).
+PATTERN_NAMES = ("uniform", "local_uniform", "transpose", "bit_complement",
+                 "nearest_neighbor", "hotspot")
+
+#: How a GS connection is driven.
+GS_TRAFFIC_KINDS = ("preload", "cbr", "bursty")
+
+#: Protocol violations the runner can inject mid-run.
+FAILURE_KINDS = ("malformed_config", "orphan_flit")
+
+#: Smoke-profile caps (see :meth:`ScenarioSpec.smoke`).
+SMOKE_MAX_SLOTS = 6
+SMOKE_MAX_FLITS = 20
+SMOKE_MAX_BURSTS = 2
+
+
+class ScenarioError(ValueError):
+    """A scenario specification is inconsistent or inadmissible."""
+
+
+def _coord(value) -> Tuple[int, int]:
+    """Normalise a coordinate-ish value to an ``(x, y)`` int tuple."""
+    x, y = value
+    return (int(x), int(y))
+
+
+@dataclass(frozen=True)
+class GsConnectionSpec:
+    """One GS connection and the traffic offered over it.
+
+    ``traffic`` selects the driver:
+
+    * ``preload`` — all ``flits`` queued at t=0 (throughput/ordering
+      runs; sink latencies include source queueing, so no latency
+      verdict);
+    * ``cbr`` — a :class:`~repro.traffic.generators.CbrSource` pacing
+      one flit per ``period_ns`` (the rate must be admissible under the
+      path's :class:`~repro.analysis.qos.QosContract`, and the latency
+      verdict applies);
+    * ``bursty`` — a :class:`~repro.traffic.generators.BurstySource`
+      sending ``n_bursts`` bursts of ``burst_len`` flits.
+    """
+
+    src: Tuple[int, int]
+    dst: Tuple[int, int]
+    traffic: str = "preload"
+    flits: int = 50
+    period_ns: float = 25.0
+    burst_len: int = 16
+    gap_ns: float = 600.0
+    n_bursts: int = 4
+    intra_ns: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    @property
+    def offered(self) -> int:
+        """Flits this connection will inject over the whole run."""
+        if self.traffic == "bursty":
+            return self.burst_len * self.n_bursts
+        return self.flits
+
+    def hops(self) -> int:
+        (sx, sy), (dx, dy) = self.src, self.dst
+        return abs(sx - dx) + abs(sy - dy)
+
+    def validate(self, cols: int, rows: int,
+                 config: Optional[RouterConfig] = None) -> None:
+        if self.traffic not in GS_TRAFFIC_KINDS:
+            raise ScenarioError(
+                f"unknown GS traffic kind {self.traffic!r} "
+                f"(one of {GS_TRAFFIC_KINDS})")
+        for which, (x, y) in (("src", self.src), ("dst", self.dst)):
+            if not (0 <= x < cols and 0 <= y < rows):
+                raise ScenarioError(
+                    f"GS {which} {(x, y)} outside the {cols}x{rows} mesh")
+        if self.src == self.dst:
+            raise ScenarioError(
+                f"GS connection {self.src} -> {self.dst}: src == dst")
+        if self.hops() > MAX_HOPS:
+            raise ScenarioError(
+                f"GS path {self.src} -> {self.dst} needs {self.hops()} "
+                f"hops > the {MAX_HOPS}-hop source-route limit")
+        if self.traffic in ("preload", "cbr") and self.flits < 1:
+            raise ScenarioError("GS connection offers no flits")
+        if self.traffic == "cbr":
+            if self.period_ns <= 0:
+                raise ScenarioError("CBR period must be positive")
+            contract = contract_for_path(self.hops(),
+                                         config or RouterConfig())
+            rate = 1.0 / self.period_ns
+            if not contract.admits_rate(rate):
+                raise ScenarioError(
+                    f"CBR rate {rate:.5f} flits/ns exceeds the guaranteed "
+                    f"{contract.min_bandwidth_flits_per_ns:.5f} flits/ns "
+                    f"over {self.hops()} hops — the contract cannot hold")
+        if self.traffic == "bursty":
+            if self.burst_len < 1 or self.n_bursts < 1:
+                raise ScenarioError("bursts must be non-empty")
+            if self.gap_ns < 0 or self.intra_ns < 0:
+                raise ScenarioError("burst gaps must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["src"] = list(self.src)
+        data["dst"] = list(self.dst)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GsConnectionSpec":
+        data = dict(data)
+        data["src"] = _coord(data["src"])
+        data["dst"] = _coord(data["dst"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class BeTrafficSpec:
+    """Best-effort background: every tile runs a slotted Bernoulli source
+    under a spatial ``pattern`` (see :data:`PATTERN_NAMES`)."""
+
+    pattern: str
+    slot_ns: float = 25.0
+    probability: float = 0.2
+    payload_words: int = 2
+    n_slots: int = 30
+    pattern_seed: int = 0
+    seed: int = 0
+    radius: int = 14                          # local_uniform only
+    hotspot: Optional[Tuple[int, int]] = None  # hotspot only
+    fraction: float = 0.5                      # hotspot only
+
+    def validate(self, cols: int, rows: int) -> None:
+        if self.pattern not in PATTERN_NAMES:
+            raise ScenarioError(f"unknown pattern {self.pattern!r} "
+                                f"(one of {PATTERN_NAMES})")
+        if self.slot_ns <= 0:
+            raise ScenarioError("slot must be positive")
+        if not 0 <= self.probability <= 1:
+            raise ScenarioError("injection probability must be in [0, 1]")
+        if self.payload_words < 0:
+            raise ScenarioError("payload words must be non-negative")
+        if self.n_slots < 1:
+            raise ScenarioError("need at least one slot")
+        if self.pattern == "local_uniform":
+            if self.radius < 1:
+                raise ScenarioError("local_uniform radius must be >= 1 hop")
+            if self.radius > MAX_HOPS - 1:
+                raise ScenarioError(
+                    f"local_uniform radius {self.radius} exceeds the "
+                    f"{MAX_HOPS}-hop source-route limit")
+        if self.pattern == "hotspot":
+            if not 0 <= self.fraction <= 1:
+                raise ScenarioError("hotspot fraction must be in [0, 1]")
+            if self.hotspot is not None:
+                x, y = self.hotspot
+                if not (0 <= x < cols and 0 <= y < rows):
+                    raise ScenarioError(
+                        f"hotspot {(x, y)} outside the {cols}x{rows} mesh")
+        # Uniform, transpose, bit-complement and hotspot can all draw
+        # full-diameter routes (transpose/hotspot via their uniform
+        # fallback component), which must fit the BE source-route limit.
+        if self.pattern != "nearest_neighbor" and \
+                (cols - 1) + (rows - 1) > MAX_HOPS and \
+                self.pattern != "local_uniform":
+            raise ScenarioError(
+                f"pattern {self.pattern!r} draws routes up to the "
+                f"{(cols - 1) + (rows - 1)}-hop mesh diameter, beyond the "
+                f"{MAX_HOPS}-hop source-route limit; use local_uniform")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        if self.hotspot is not None:
+            data["hotspot"] = list(self.hotspot)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BeTrafficSpec":
+        data = dict(data)
+        if data.get("hotspot") is not None:
+            data["hotspot"] = _coord(data["hotspot"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """A protocol violation injected at ``at_ns`` — the network must
+    detect it loudly (typed error) instead of corrupting state.
+
+    * ``malformed_config`` — a BE packet carrying the config magic but a
+      truncated body, sent ``src`` -> ``dst``; the programming interface
+      at ``dst`` must raise ``ConfigFormatError``.
+    * ``orphan_flit`` — a GS flit steered into an unprogrammed VC buffer
+      at ``src``; forwarding must raise ``TableError``.
+    """
+
+    kind: str
+    at_ns: float = 200.0
+    src: Tuple[int, int] = (0, 0)
+    dst: Tuple[int, int] = (1, 0)
+
+    def validate(self, cols: int, rows: int) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ScenarioError(f"unknown failure kind {self.kind!r} "
+                                f"(one of {FAILURE_KINDS})")
+        if self.at_ns < 0:
+            raise ScenarioError("failure time must be non-negative")
+        for which, (x, y) in (("src", self.src), ("dst", self.dst)):
+            if not (0 <= x < cols and 0 <= y < rows):
+                raise ScenarioError(
+                    f"failure {which} {(x, y)} outside the mesh")
+        if self.kind == "malformed_config" and self.src == self.dst:
+            raise ScenarioError("malformed_config needs src != dst")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["src"] = list(self.src)
+        data["dst"] = list(self.dst)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureSpec":
+        data = dict(data)
+        data["src"] = _coord(data["src"])
+        data["dst"] = _coord(data["dst"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, reproducible experiment as plain data."""
+
+    name: str
+    cols: int
+    rows: int
+    be: Optional[BeTrafficSpec] = None
+    gs: Tuple[GsConnectionSpec, ...] = ()
+    failure: Optional[FailureSpec] = None
+    drain_ns: float = 8000.0
+    max_ns: float = 5e6
+    retain_packets: bool = False
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def validate(self, config: Optional[RouterConfig] = None) -> None:
+        if not self.name:
+            raise ScenarioError("a scenario needs a name")
+        if self.cols < 1 or self.rows < 1:
+            raise ScenarioError("mesh dimensions must be positive")
+        if self.cols * self.rows < 2:
+            raise ScenarioError("a network needs at least two tiles")
+        if self.be is None and not self.gs and self.failure is None:
+            raise ScenarioError(
+                f"scenario {self.name!r} drives no traffic at all")
+        if self.drain_ns < 0:
+            raise ScenarioError("drain must be non-negative")
+        if self.max_ns <= 0:
+            raise ScenarioError("max_ns must be positive")
+        if self.be is not None:
+            self.be.validate(self.cols, self.rows)
+        for gs in self.gs:
+            gs.validate(self.cols, self.rows, config)
+        if self.failure is not None:
+            self.failure.validate(self.cols, self.rows)
+
+    def smoke(self) -> "ScenarioSpec":
+        """A scaled-down copy for CI: same mesh, pattern, seeds and
+        checks, but capped slot/flit/burst counts so the whole registry
+        runs in seconds.  Idempotent (smoke of smoke == smoke)."""
+        be = self.be
+        if be is not None and be.n_slots > SMOKE_MAX_SLOTS:
+            be = dataclasses.replace(be, n_slots=SMOKE_MAX_SLOTS)
+        gs = tuple(
+            dataclasses.replace(
+                g, flits=min(g.flits, SMOKE_MAX_FLITS),
+                n_bursts=min(g.n_bursts, SMOKE_MAX_BURSTS))
+            for g in self.gs)
+        return dataclasses.replace(self, be=be, gs=gs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cols": self.cols,
+            "rows": self.rows,
+            "be": self.be.to_dict() if self.be is not None else None,
+            "gs": [g.to_dict() for g in self.gs],
+            "failure": (self.failure.to_dict()
+                        if self.failure is not None else None),
+            "drain_ns": self.drain_ns,
+            "max_ns": self.max_ns,
+            "retain_packets": self.retain_packets,
+            "description": self.description,
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        be = data.get("be")
+        failure = data.get("failure")
+        data["be"] = BeTrafficSpec.from_dict(be) if be is not None else None
+        data["gs"] = tuple(GsConnectionSpec.from_dict(g)
+                           for g in data.get("gs", ()))
+        data["failure"] = (FailureSpec.from_dict(failure)
+                           if failure is not None else None)
+        data["tags"] = tuple(data.get("tags", ()))
+        return cls(**data)

@@ -29,7 +29,8 @@ class BeCollector:
     def __init__(self, sim: Simulator, network, coord: Coord,
                  retain_packets: bool = True,
                  quantiles: Sequence[float] = STREAMING_QUANTILES,
-                 rate_window_ns: float = 1000.0):
+                 rate_window_ns: float = 1000.0,
+                 observers: Sequence = ()):
         self.sim = sim
         self.network = network
         self.coord = coord
@@ -37,6 +38,10 @@ class BeCollector:
         self.packets: List[BePacket] = []
         self.count = 0
         self.latency = RunningStats()
+        # Shared accumulators (e.g. a workload-level P² estimator fed by
+        # every sink) — each gets .add(latency_sample) alongside this
+        # collector's own per-tile estimators.
+        self.observers = tuple(observers)
         # Only streaming mode owns P² estimators: in retain mode the
         # percentiles are computed exactly from the packets, and a dict
         # of never-fed estimators would read as NaN despite data.
@@ -51,7 +56,8 @@ class BeCollector:
         retain = self.retain_packets
         packets = self.packets
         latency = self.latency
-        estimators = list(self.latency_quantiles.values())
+        estimators = list(self.latency_quantiles.values()) \
+            + list(self.observers)
         record = self.arrivals.record
         while True:
             packet = yield inbox.get()

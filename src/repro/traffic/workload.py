@@ -50,13 +50,15 @@ class UniformBeWorkload:
 
     def __init__(self, network, pattern: Pattern, slot_ns: float,
                  probability: float, payload_words: int, n_slots: int,
-                 seed: int = 0, retain_packets: bool = True):
+                 seed: int = 0, retain_packets: bool = True,
+                 latency_observers=()):
         self.network = network
         self.retain_packets = retain_packets
         self.sources: List[BernoulliBePackets] = []
         self.collectors = {
             coord: BeCollector(network.sim, network, coord,
-                               retain_packets=retain_packets)
+                               retain_packets=retain_packets,
+                               observers=latency_observers)
             for coord in network.mesh.tiles()
         }
         for index, coord in enumerate(network.mesh.tiles()):

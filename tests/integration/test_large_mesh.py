@@ -4,16 +4,20 @@ Exercises long XY routes (up to 14 hops), many simultaneous connections,
 heterogeneous link lengths with pipelining, standard traffic scenarios
 (hotspot, transpose, bursty video) and full-network accounting
 invariants (flit conservation).
+
+Workload construction goes through the declarative scenario engine —
+registry specs where the scenario is a named matrix cell, inline
+:class:`ScenarioSpec` otherwise — never hand-rolled drivers; the specs
+reproduce the parameters (and therefore the exact event sequences) these
+tests have always run.
 """
 
 import pytest
 
 from repro import AdmissionError, MangoNetwork, Coord, Mesh, RouterConfig
 from repro.network.topology import Direction, LinkSpec
-from repro.traffic.generators import BurstySource
-from repro.traffic.patterns import (Hotspot, LocalUniform, Transpose,
-                                    UniformRandom)
-from repro.traffic.workload import UniformBeWorkload
+from repro.scenarios import (BeTrafficSpec, GsConnectionSpec,
+                             ScenarioRunner, ScenarioSpec, get)
 
 
 class TestLargeMesh:
@@ -38,21 +42,11 @@ class TestLargeMesh:
         assert conn.sink.payloads == [42]
 
     def test_many_connections_with_be_storm(self):
-        net = MangoNetwork(6, 6)
-        rng_pairs = [(Coord(0, 0), Coord(5, 5)), (Coord(5, 0), Coord(0, 5)),
-                     (Coord(0, 5), Coord(5, 0)), (Coord(5, 5), Coord(0, 0)),
-                     (Coord(2, 0), Coord(2, 5)), (Coord(0, 3), Coord(5, 3))]
-        conns = [net.open_connection_instant(src, dst)
-                 for src, dst in rng_pairs]
-        for conn in conns:
-            for value in range(60):
-                conn.send(value)
-        workload = UniformBeWorkload(
-            net, UniformRandom(net.mesh, seed=31), slot_ns=25.0,
-            probability=0.3, payload_words=3, n_slots=40, seed=37)
-        workload.run(drain_ns=25000.0)
-        assert workload.received == workload.sent
-        for conn in conns:
+        runner = ScenarioRunner(get("gs-many-conns-6x6"))
+        result = runner.run()
+        assert result.be_received == result.be_sent
+        assert result.passed, result.failures()
+        for conn in runner.connections:
             assert conn.sink.payloads == list(range(60))
 
     def test_flit_conservation(self):
@@ -98,16 +92,13 @@ class TestLargeMesh:
         """Hotspot pattern: half of all BE traffic converges on one tile.
         The hot tile must receive every packet (credits backpressure, no
         drops) and see the bulk of the load."""
-        net = MangoNetwork(8, 8)
+        runner = ScenarioRunner(get("be-hotspot-8x8"), retain_packets=True)
+        result = runner.run()
+        assert result.be_received == result.be_sent
         hotspot = Coord(4, 4)
-        workload = UniformBeWorkload(
-            net, Hotspot(net.mesh, hotspot, fraction=0.5, seed=3),
-            slot_ns=30.0, probability=0.2, payload_words=2, n_slots=30,
-            seed=5)
-        workload.run(drain_ns=30000.0)
-        assert workload.received == workload.sent
-        hot_count = workload.collectors[hotspot].count
-        others = [col.count for coord, col in workload.collectors.items()
+        collectors = runner.workload.collectors
+        hot_count = collectors[hotspot].count
+        others = [col.count for coord, col in collectors.items()
                   if coord != hotspot]
         # ~50% of all packets target the hotspot; any other tile gets
         # ~0.8% — an order of magnitude is a safe, non-flaky margin.
@@ -116,18 +107,15 @@ class TestLargeMesh:
     def test_transpose_traffic_8x8(self):
         """Transpose: (x, y) -> (y, x); diagonal-heavy load with
         deterministic destinations for off-diagonal tiles."""
-        net = MangoNetwork(8, 8)
-        pattern = Transpose(net.mesh, seed=11)
-        workload = UniformBeWorkload(
-            net, pattern, slot_ns=25.0, probability=0.25, payload_words=3,
-            n_slots=30, seed=17)
-        workload.run(drain_ns=30000.0)
-        assert workload.received == workload.sent
+        runner = ScenarioRunner(get("be-transpose-8x8"), retain_packets=True)
+        result = runner.run()
+        assert result.be_received == result.be_sent
         # An off-diagonal tile receives every packet of its transpose
         # partner (plus possibly uniform fallback spill from diagonal
         # tiles, whose destinations are random).
         src = Coord(1, 6)
         partner = Coord(6, 1)
+        workload = runner.workload
         sent_by_partner = next(s for s in workload.sources
                                if s.src == partner).sent
         assert workload.collectors[src].count >= sent_by_partner
@@ -135,22 +123,11 @@ class TestLargeMesh:
     def test_bursty_video_streams_8x8(self):
         """Bursty "video frame" GS sources over long routes with a BE
         storm underneath: GS delivery must stay complete and in order."""
-        net = MangoNetwork(8, 8)
-        routes = [(Coord(0, 0), Coord(7, 6)), (Coord(7, 0), Coord(0, 6)),
-                  (Coord(0, 7), Coord(6, 0))]
-        conns = [net.open_connection_instant(src, dst)
-                 for src, dst in routes]
-        sources = [
-            BurstySource(net.sim, conn, burst_len=16, gap_ns=600.0,
-                         n_bursts=6, intra_ns=6.0, seed=23 + i, jitter=0.3)
-            for i, conn in enumerate(conns)
-        ]
-        workload = UniformBeWorkload(
-            net, UniformRandom(net.mesh, seed=29), slot_ns=40.0,
-            probability=0.15, payload_words=2, n_slots=25, seed=31)
-        workload.run(drain_ns=40000.0)
-        assert workload.received == workload.sent
-        for source, conn in zip(sources, conns):
+        runner = ScenarioRunner(get("gs-bursty-video-8x8"))
+        result = runner.run()
+        assert result.be_received == result.be_sent
+        assert result.passed, result.failures()
+        for source, conn in zip(runner.gs_sources, runner.connections):
             assert source.sent == 16 * 6
             assert conn.sink.payloads == list(range(16 * 6))
 
@@ -158,25 +135,26 @@ class TestLargeMesh:
         """A 16x16 mesh (256 routers): plain uniform-random would exceed
         the 15-hop source-route limit, so the workload draws uniformly
         within a 14-hop radius.  Conservation must hold at this scale."""
-        net = MangoNetwork(16, 16)
-        conns = [net.open_connection_instant(Coord(0, 0), Coord(7, 7)),
-                 net.open_connection_instant(Coord(15, 15), Coord(8, 8))]
-        for conn in conns:
-            for value in range(40):
-                conn.send(value)
-        workload = UniformBeWorkload(
-            net, LocalUniform(net.mesh, radius=14, seed=41), slot_ns=40.0,
-            probability=0.1, payload_words=2, n_slots=12, seed=43,
-            retain_packets=False)
-        workload.run(drain_ns=30000.0)
-        assert workload.received == workload.sent
-        for conn in conns:
+        spec = ScenarioSpec(
+            name="local-uniform-16x16-with-gs", cols=16, rows=16,
+            gs=(GsConnectionSpec(src=(0, 0), dst=(7, 7), flits=40),
+                GsConnectionSpec(src=(15, 15), dst=(8, 8), flits=40)),
+            be=BeTrafficSpec("local_uniform", slot_ns=40.0,
+                             probability=0.1, payload_words=2, n_slots=12,
+                             radius=14, pattern_seed=41, seed=43),
+            drain_ns=30000.0, retain_packets=False)
+        runner = ScenarioRunner(spec)
+        result = runner.run()
+        workload = runner.workload
+        assert result.be_received == result.be_sent
+        for conn in runner.connections:
             assert conn.sink.payloads == list(range(40))
-        assert net.total_gs_occupancy() == 0
+        assert runner.network.total_gs_occupancy() == 0
         # Streaming stats stay usable without per-packet lists.
         stats = workload.latency_stats
         assert stats.n == workload.received
         assert stats.mean > 0
+        assert result.latency_p99_ns >= result.latency_p50_ns > 0
         with pytest.raises(RuntimeError):
             workload.latencies()
 

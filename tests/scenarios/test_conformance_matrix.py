@@ -1,0 +1,110 @@
+"""The QoS conformance matrix: every registered scenario, one harness.
+
+Each registry scenario runs at smoke duration and must (a) lose zero
+flits, (b) satisfy every GS contract verdict, (c) loudly detect any
+injected failure, and (d) reproduce its golden flit-hop fingerprint.
+The 16x16 cells carry the ``slow`` marker (deselect locally with
+``-m "not slow"``).
+"""
+
+import math
+
+import pytest
+
+from repro.scenarios import ScenarioRunner, get, registry
+from repro.scenarios.golden import SMOKE_FINGERPRINTS
+
+from scenario_params import matrix_params
+
+
+class TestMatrixShape:
+    def test_at_least_twenty_scenarios(self):
+        assert len(registry.SCENARIOS) >= 20
+
+    def test_every_family_represented(self):
+        tags = {tag for spec in registry.SCENARIOS.values()
+                for tag in spec.tags}
+        assert {"be-only", "gs+be", "gs-under-saturation",
+                "failure-injection"} <= tags
+
+    def test_every_pattern_represented(self):
+        patterns = {spec.be.pattern for spec in registry.SCENARIOS.values()
+                    if spec.be is not None}
+        assert patterns == {"uniform", "local_uniform", "transpose",
+                            "bit_complement", "nearest_neighbor", "hotspot"}
+
+    def test_every_scenario_has_a_golden_fingerprint(self):
+        assert set(SMOKE_FINGERPRINTS) == set(registry.SCENARIOS)
+
+    def test_get_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get("no-such-scenario")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(get("be-uniform-4x4"))
+
+    def test_names_filter_by_tags(self):
+        slow = registry.names(tags=("slow",))
+        assert slow and all("slow" in get(name).tags for name in slow)
+
+    def test_smoke_is_idempotent(self):
+        for name in registry.names():
+            smoke = get(name).smoke()
+            assert smoke.smoke() == smoke
+
+
+class TestRunnerEdges:
+    def test_preload_only_scenario_runs_in_both_modes(self):
+        """No driving processes at all: the heap must drain cleanly
+        under either drive style and produce matching fingerprints."""
+        from repro.scenarios import GsConnectionSpec, ScenarioSpec
+        spec = ScenarioSpec(
+            name="preload-only", cols=3, rows=2,
+            gs=(GsConnectionSpec(src=(0, 0), dst=(2, 1), flits=12),))
+        event = ScenarioRunner(spec).run(mode="event")
+        batch = ScenarioRunner(spec).run(mode="batch", batch_events=13)
+        assert event.passed and batch.passed
+        assert event.gs[0].delivered == 12
+        assert event.fingerprint == batch.fingerprint
+
+    def test_full_diameter_patterns_rejected_beyond_route_limit(self):
+        """bit_complement/transpose/hotspot draw full-diameter routes:
+        the spec layer must refuse them on meshes whose diameter beats
+        the 15-hop source-route limit, not crash mid-run."""
+        from repro.scenarios import BeTrafficSpec, ScenarioError
+        for pattern in ("bit_complement", "transpose", "hotspot",
+                        "uniform"):
+            with pytest.raises(ScenarioError, match="local_uniform"):
+                BeTrafficSpec(pattern).validate(16, 16)
+        BeTrafficSpec("nearest_neighbor").validate(16, 16)
+        BeTrafficSpec("local_uniform").validate(16, 16)
+        with pytest.raises(ScenarioError, match="source-route limit"):
+            BeTrafficSpec("local_uniform", radius=15).validate(16, 16)
+
+
+@pytest.mark.parametrize("name", matrix_params())
+def test_scenario_conformance(name):
+    spec = get(name).smoke()
+    result = ScenarioRunner(spec).run()
+    assert result.passed, f"{name}: {result.failures()}"
+    if result.failure_expected:
+        assert result.failure_detected
+        return
+    # Zero lost flits, service class by service class.
+    assert result.be_lost == 0
+    for verdict in result.gs:
+        assert verdict.complete, f"{name}: {verdict.label} incomplete"
+        assert verdict.in_order, f"{name}: {verdict.label} out of order"
+        if verdict.latency_checked:
+            assert verdict.latency_ok, (
+                f"{name}: {verdict.label} max latency "
+                f"{verdict.observed_max_latency_ns:.2f} ns > bound "
+                f"{verdict.latency_bound_ns:.2f} ns")
+    if result.be_received:
+        assert not math.isnan(result.latency_mean_ns)
+        assert result.accepted_load == result.offered_load
+    assert result.fingerprint == SMOKE_FINGERPRINTS[name], (
+        f"{name}: fingerprint drifted — if the workload change is "
+        "intentional, regenerate with `python -m repro scenario matrix "
+        "--smoke --update-golden`")

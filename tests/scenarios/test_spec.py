@@ -1,0 +1,227 @@
+"""Property tests for the declarative scenario layer.
+
+Hypothesis drives two families: (a) every well-formed spec survives a
+``to_dict`` -> JSON -> ``from_dict`` round trip bit-identically, and
+(b) the validator rejects what the QoS algebra says is inadmissible —
+most importantly CBR rates above the guaranteed bandwidth of the path's
+:class:`~repro.analysis.qos.QosContract`.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.qos import contract_for_path
+from repro.core.config import RouterConfig
+from repro.network.routing import MAX_HOPS
+from repro.scenarios import (BeTrafficSpec, FailureSpec, GsConnectionSpec,
+                             ScenarioError, ScenarioSpec)
+
+MESH_SIDES = st.integers(min_value=2, max_value=8)
+
+
+@st.composite
+def mesh_and_coords(draw):
+    cols = draw(MESH_SIDES)
+    rows = draw(MESH_SIDES)
+    coord = st.tuples(st.integers(0, cols - 1), st.integers(0, rows - 1))
+    src = draw(coord)
+    dst = draw(coord.filter(lambda c: c != src))
+    return cols, rows, src, dst
+
+
+@st.composite
+def gs_specs(draw):
+    cols, rows, src, dst = draw(mesh_and_coords())
+    traffic = draw(st.sampled_from(["preload", "cbr", "bursty"]))
+    contract = contract_for_path(1)
+    min_period = 1.0 / contract.min_bandwidth_flits_per_ns
+    spec = GsConnectionSpec(
+        src=src, dst=dst, traffic=traffic,
+        flits=draw(st.integers(1, 200)),
+        period_ns=draw(st.floats(min_period * 1.01, 1000.0,
+                                 allow_nan=False)),
+        burst_len=draw(st.integers(1, 32)),
+        gap_ns=draw(st.floats(0.0, 2000.0, allow_nan=False)),
+        n_bursts=draw(st.integers(1, 8)),
+        intra_ns=draw(st.floats(0.0, 50.0, allow_nan=False)),
+        jitter=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        seed=draw(st.integers(0, 10_000)))
+    return cols, rows, spec
+
+
+@st.composite
+def be_specs(draw):
+    cols = draw(MESH_SIDES)
+    rows = draw(MESH_SIDES)
+    pattern = draw(st.sampled_from(["uniform", "local_uniform", "transpose",
+                                    "bit_complement", "nearest_neighbor",
+                                    "hotspot"]))
+    hotspot = None
+    if pattern == "hotspot":
+        hotspot = draw(st.tuples(st.integers(0, cols - 1),
+                                 st.integers(0, rows - 1)))
+    spec = BeTrafficSpec(
+        pattern=pattern,
+        slot_ns=draw(st.floats(1.0, 100.0, allow_nan=False)),
+        probability=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        payload_words=draw(st.integers(0, 8)),
+        n_slots=draw(st.integers(1, 100)),
+        pattern_seed=draw(st.integers(0, 10_000)),
+        seed=draw(st.integers(0, 10_000)),
+        radius=draw(st.integers(1, 14)),
+        hotspot=hotspot,
+        fraction=draw(st.floats(0.0, 1.0, allow_nan=False)))
+    return cols, rows, spec
+
+
+@st.composite
+def scenario_specs(draw):
+    cols, rows, be = draw(be_specs())
+    gs = []
+    for _ in range(draw(st.integers(0, 3))):
+        coord = st.tuples(st.integers(0, cols - 1),
+                          st.integers(0, rows - 1))
+        src = draw(coord)
+        dst = draw(coord.filter(lambda c: c != src))
+        gs.append(GsConnectionSpec(src=src, dst=dst, traffic="preload",
+                                   flits=draw(st.integers(1, 100))))
+    return ScenarioSpec(
+        name=draw(st.text(st.characters(
+            whitelist_categories=("Ll", "Nd"), whitelist_characters="-"),
+            min_size=1, max_size=24)),
+        cols=cols, rows=rows, be=be, gs=tuple(gs),
+        drain_ns=draw(st.floats(0.0, 50_000.0, allow_nan=False)),
+        max_ns=draw(st.floats(1.0, 1e7, allow_nan=False)),
+        retain_packets=draw(st.booleans()),
+        description=draw(st.text(max_size=40)),
+        tags=tuple(draw(st.lists(st.sampled_from(
+            ["be-only", "gs+be", "slow", "cbr"]), max_size=3))))
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(scenario_specs())
+    def test_spec_json_round_trip(self, spec):
+        """to_dict -> JSON -> from_dict is the identity on specs."""
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(data) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(gs_specs())
+    def test_gs_round_trip(self, drawn):
+        _cols, _rows, spec = drawn
+        assert GsConnectionSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(be_specs())
+    def test_be_round_trip(self, drawn):
+        _cols, _rows, spec = drawn
+        assert BeTrafficSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_failure_round_trip(self):
+        spec = FailureSpec("orphan_flit", at_ns=123.0, src=(1, 2),
+                           dst=(0, 0))
+        assert FailureSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+class TestValidation:
+    @settings(max_examples=60, deadline=None)
+    @given(scenario_specs())
+    def test_generated_specs_validate(self, spec):
+        """Everything the strategies produce is well-formed (uniform on
+        meshes beyond 8x8 is the one excluded cell)."""
+        spec.validate()
+
+    @settings(max_examples=60, deadline=None)
+    @given(mesh_and_coords(),
+           st.floats(min_value=1.001, max_value=100.0, allow_nan=False))
+    def test_inadmissible_cbr_rate_rejected(self, drawn, oversubscribe):
+        """A CBR period shorter than the contract's guaranteed service
+        period can never be honoured — the spec layer must refuse it."""
+        cols, rows, src, dst = drawn
+        hops = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        contract = contract_for_path(hops, RouterConfig())
+        period = 1.0 / (contract.min_bandwidth_flits_per_ns * oversubscribe)
+        gs = GsConnectionSpec(src=src, dst=dst, traffic="cbr",
+                              flits=10, period_ns=period)
+        assert not contract.admits_rate(1.0 / period)
+        with pytest.raises(ScenarioError, match="cannot hold"):
+            gs.validate(cols, rows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(mesh_and_coords(),
+           st.floats(min_value=1.001, max_value=100.0, allow_nan=False))
+    def test_admissible_cbr_rate_accepted(self, drawn, headroom):
+        cols, rows, src, dst = drawn
+        contract = contract_for_path(1)
+        period = headroom / contract.min_bandwidth_flits_per_ns
+        GsConnectionSpec(src=src, dst=dst, traffic="cbr", flits=10,
+                         period_ns=period).validate(cols, rows)
+
+    def test_gs_outside_mesh_rejected(self):
+        gs = GsConnectionSpec(src=(0, 0), dst=(4, 0))
+        with pytest.raises(ScenarioError, match="outside"):
+            gs.validate(4, 4)
+
+    def test_gs_self_loop_rejected(self):
+        with pytest.raises(ScenarioError, match="src == dst"):
+            GsConnectionSpec(src=(1, 1), dst=(1, 1)).validate(4, 4)
+
+    def test_gs_beyond_hop_limit_rejected(self):
+        gs = GsConnectionSpec(src=(0, 0), dst=(15, 15))
+        assert gs.hops() > MAX_HOPS
+        with pytest.raises(ScenarioError, match="source-route limit"):
+            gs.validate(16, 16)
+
+    def test_unknown_traffic_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="traffic kind"):
+            GsConnectionSpec(src=(0, 0), dst=(1, 0),
+                             traffic="teleport").validate(2, 2)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown pattern"):
+            BeTrafficSpec("zigzag").validate(4, 4)
+
+    def test_uniform_beyond_8x8_rejected(self):
+        with pytest.raises(ScenarioError, match="local_uniform"):
+            BeTrafficSpec("uniform").validate(16, 16)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ScenarioError, match="probability"):
+            BeTrafficSpec("uniform", probability=1.5).validate(4, 4)
+
+    def test_hotspot_outside_mesh_rejected(self):
+        with pytest.raises(ScenarioError, match="outside"):
+            BeTrafficSpec("hotspot", hotspot=(9, 9)).validate(4, 4)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ScenarioError, match="no traffic"):
+            ScenarioSpec(name="idle", cols=4, rows=4).validate()
+
+    def test_single_tile_rejected(self):
+        with pytest.raises(ScenarioError, match="two tiles"):
+            ScenarioSpec(name="dot", cols=1, rows=1,
+                         be=BeTrafficSpec("uniform")).validate()
+
+    def test_unknown_failure_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="failure kind"):
+            FailureSpec("gremlins").validate(4, 4)
+
+    def test_smoke_caps_durations(self):
+        spec = ScenarioSpec(
+            name="big", cols=4, rows=4,
+            gs=(GsConnectionSpec(src=(0, 0), dst=(3, 3), flits=500),
+                GsConnectionSpec(src=(3, 0), dst=(0, 3), traffic="bursty",
+                                 burst_len=4, n_bursts=50)),
+            be=BeTrafficSpec("uniform", n_slots=500))
+        smoke = spec.smoke()
+        assert smoke.be.n_slots < 500
+        assert smoke.gs[0].flits < 500
+        assert smoke.gs[1].n_bursts < 50
+        assert smoke.cols == spec.cols and smoke.be.seed == spec.be.seed

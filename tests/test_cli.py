@@ -34,3 +34,96 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestScenarioCli:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "be-hotspot-8x8" in out
+        assert "gs-under-saturation-4x4" in out
+        assert "failure-orphan-flit-4x4" in out
+
+    def test_run_smoke(self, capsys):
+        assert main(["scenario", "run", "be-uniform-4x4", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "PASS" in out
+
+    def test_run_failure_scenario(self, capsys):
+        assert main(["scenario", "run", "failure-malformed-config-2x2",
+                     "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out
+        assert "NOT DETECTED" not in out
+
+    def test_run_unknown_name_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "no-such-scenario"])
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "be-uniform-4x4" in err  # known names listed
+
+    def test_matrix_unknown_name_fails_before_running(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", "matrix", "--smoke",
+                  "--names", "be-uniform-4x4,typo"])
+        captured = capsys.readouterr()
+        assert "unknown scenario(s): typo" in captured.err
+        assert "be-uniform-4x4" not in captured.out  # nothing ran first
+
+    def test_run_requires_name(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])
+
+    def test_matrix_subset_checks_goldens(self, capsys):
+        assert main(["scenario", "matrix", "--smoke",
+                     "--names", "be-uniform-4x4,gs-cbr-4x4-uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 scenarios passed" in out
+        assert "no golden" not in out
+
+    def test_matrix_batch_mode_matches(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--mode", "batch",
+                     "--names", "be-uniform-4x4"]) == 0
+        assert "1/1 scenarios passed" in capsys.readouterr().out
+
+    def test_update_golden_requires_smoke_before_running(self, capsys):
+        """Refused up front — not after minutes of full-duration runs."""
+        assert main(["scenario", "matrix", "--update-golden"]) == 2
+        assert "smoke" in capsys.readouterr().out
+
+    def test_update_golden_subset_merges_not_replaces(self, monkeypatch,
+                                                      capsys):
+        import repro.__main__ as cli
+        from repro.scenarios.golden import SMOKE_FINGERPRINTS
+        written = {}
+        monkeypatch.setattr(
+            cli, "_write_golden",
+            lambda module, fingerprints: written.update(fingerprints))
+        assert main(["scenario", "matrix", "--smoke", "--update-golden",
+                     "--names", "be-uniform-4x4"]) == 0
+        # The one selected scenario was re-recorded...
+        assert written["be-uniform-4x4"] == \
+            SMOKE_FINGERPRINTS["be-uniform-4x4"]
+        # ...and every other golden survived the rewrite.
+        assert set(SMOKE_FINGERPRINTS) <= set(written)
+
+    def test_update_golden_refuses_failed_scenarios(self, monkeypatch,
+                                                    capsys):
+        import repro.__main__ as cli
+
+        def doomed(self, mode="event", batch_events=8192):
+            result = real_run(self, mode=mode, batch_events=batch_events)
+            result.be_sent += 1  # fake a lost packet
+            return result
+
+        from repro.scenarios import ScenarioRunner
+        real_run = ScenarioRunner.run
+        monkeypatch.setattr(ScenarioRunner, "run", doomed)
+        monkeypatch.setattr(
+            cli, "_write_golden",
+            lambda *a: pytest.fail("must not record failing goldens"))
+        assert main(["scenario", "matrix", "--smoke", "--update-golden",
+                     "--names", "be-uniform-4x4"]) == 1
+        assert "refusing" in capsys.readouterr().out

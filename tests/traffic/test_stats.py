@@ -235,6 +235,43 @@ class TestP2Quantile:
             est.add(v)
         assert min(samples) <= est.value <= max(samples)
 
+    def test_under_five_samples_every_count(self):
+        """1..4 samples: exact linear-interpolated percentile, no P²."""
+        values = (7.0, 2.0, 9.0, 4.0)
+        for n in range(1, 5):
+            est = P2Quantile(75)
+            for v in values[:n]:
+                est.add(v)
+            assert est.n == n
+            assert est.value == percentile(list(values[:n]), 75)
+
+    def test_all_duplicate_samples(self):
+        """A constant stream must estimate the constant — the marker
+        update's parabolic step degenerates (equal heights) and has to
+        fall back without dividing by zero."""
+        est = P2Quantile(90)
+        for _ in range(500):
+            est.add(3.25)
+        assert est.value == 3.25
+
+    def test_heavy_ties_with_outlier(self):
+        """Mostly-tied samples with one outlier: the estimate stays
+        inside the data range despite degenerate middle markers."""
+        est = P2Quantile(50)
+        for i in range(200):
+            est.add(1.0 if i % 50 else 100.0)
+        assert 1.0 <= est.value <= 100.0
+        assert est.value == pytest.approx(1.0, abs=5.0)
+
+    def test_exactly_five_duplicates_then_more(self):
+        est = P2Quantile(50)
+        for _ in range(5):
+            est.add(2.0)
+        assert est.value == 2.0
+        for _ in range(20):
+            est.add(2.0)
+        assert est.value == 2.0
+
 
 class TestWindowedRate:
     def test_empty(self):
@@ -242,6 +279,25 @@ class TestWindowedRate:
         assert meter.count == 0
         assert meter.rate() == 0.0
         assert meter.windows() == []
+        assert meter.min_rate() == 0.0
+        assert meter.first is None and meter.last is None
+
+    def test_single_event_spans_no_window(self):
+        meter = WindowedRate(10.0)
+        meter.record(4.0)
+        assert meter.rate() == 0.0          # a lone event has no span
+        assert meter.min_rate() == 0.0
+        assert meter.windows() == [(4.0, 1)]
+
+    def test_gap_windows_counted_as_zero(self):
+        """A silent stretch in the middle shows up as explicit empty
+        windows (and drives min_rate to zero), not as missing entries."""
+        meter = WindowedRate(10.0)
+        for t in (0.0, 2.0, 35.0):
+            meter.record(t)
+        assert meter.windows() == [(0.0, 2), (10.0, 0), (20.0, 0),
+                                   (30.0, 1)]
+        assert meter.min_rate() == 0.0
 
     def test_counts_per_window(self):
         meter = WindowedRate(10.0)
