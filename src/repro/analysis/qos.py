@@ -11,6 +11,7 @@ provably honours (`tests/integration/test_qos_contracts.py`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..circuits.timing import TimingProfile
@@ -53,8 +54,18 @@ class QosContract:
         return self.hops * self.requesters * self.link_cycle_ns
 
     def admits_rate(self, flits_per_ns: float) -> bool:
-        """Whether a source rate is within the guaranteed bandwidth."""
-        return flits_per_ns <= self.min_bandwidth_flits_per_ns + 1e-12
+        """Whether a source rate is within the guaranteed bandwidth.
+
+        The comparison uses a *relative* tolerance: an absolute epsilon
+        mis-classifies at extreme ``link_cycle_ns``/``requesters``
+        values, where the guaranteed rate itself can be far smaller (or
+        larger) than any fixed epsilon.  A rate equal to the guarantee —
+        including one reconstructed through ``1 / period`` round-trips —
+        is admitted; anything meaningfully above it is not.
+        """
+        guaranteed = self.min_bandwidth_flits_per_ns
+        return flits_per_ns <= guaranteed or math.isclose(
+            flits_per_ns, guaranteed, rel_tol=1e-9)
 
     def rows(self):
         return [

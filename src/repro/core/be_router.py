@@ -3,7 +3,11 @@
 A simple source-routing wormhole router: the two MSBs of the header flit
 select one of the four network output ports; selecting the direction the
 packet came from routes it to the local port; the header is rotated two
-bits per hop.  Outputs arbitrate fairly between contending inputs and an
+bits per hop.  A route beyond the 15-move capacity of one 32-bit word
+travels as chained route words (see :mod:`repro.network.routing`): when
+the turn-back marker appears while header-extension flits remain, the
+router strips the spent word and promotes the next extension flit to
+route the same hop.  Outputs arbitrate fairly between contending inputs and an
 input keeps its grant until the tail flit has passed (packet coherency).
 Per-hop flow control on the BE channels is credit-based, handled
 separately from the GS VC control module.
@@ -63,6 +67,10 @@ class BeRouter:
         self.local_out = Store(sim, name=f"{name}.local_out")
         self.packets_routed = 0
         self.flits_routed = 0
+        # Spent chained-route words consumed at their chunk-boundary
+        # router (each one frees an upstream credit without being
+        # forwarded) — observability for the header-extension path.
+        self.route_words_stripped = 0
         for key in self.inputs:
             sim.process(self._input_process(*key),
                         name=f"{name}.proc.{key[0].name}.{key[1]}")
@@ -127,6 +135,23 @@ class BeRouter:
                     f"{in_dir.name}/{vc} (wormhole coherency broken)")
             out_dir = self._route(in_dir, head.word)
             yield timeout(decode_ns)
+            route_ext = head.route_ext
+            while out_dir is Direction.LOCAL and route_ext > 0:
+                # Turn-back marker with extension words remaining: the
+                # route word is spent, not a delivery.  Strip it (its
+                # buffer slot goes back upstream as a credit), promote
+                # the next header-extension flit to be the new header,
+                # and re-decide this hop on the fresh word.
+                ext = yield buf.get()
+                credit(vc)
+                self.route_words_stripped += 1
+                route_ext -= 1
+                head = BeFlit(ext.word, is_head=True, is_tail=ext.is_tail,
+                              vc=head.vc, packet_id=head.packet_id,
+                              inject_time=head.inject_time,
+                              route_ext=route_ext)
+                out_dir = self._route(in_dir, head.word)
+                yield timeout(decode_ns)
             lock = self.output_locks[(out_dir, vc)]
             yield lock.request()
             try:
@@ -135,7 +160,8 @@ class BeRouter:
                 rotated = BeFlit(rotate_header(head.word), is_head=True,
                                  is_tail=head.is_tail, vc=head.vc,
                                  packet_id=head.packet_id,
-                                 inject_time=head.inject_time)
+                                 inject_time=head.inject_time,
+                                 route_ext=route_ext)
                 yield out_queue.put(rotated)
                 credit(vc)
                 self.flits_routed += 1

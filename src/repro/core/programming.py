@@ -13,7 +13,10 @@ Word formats (32-bit words):
     [31:24] 0xC0 magic
     [23:20] opcode     (1 = setup, 2 = teardown, 3 = ack)
     [19:8]  sequence   (matches acks to requests)
-    [7:0]   flags      (bit 0: ack requested)
+    [7:0]   flags      (bit 0: ack requested;
+                        bits [7:4]: extra ack-route words beyond the
+                        first — 0 for routes of at most 15 hops, so the
+                        legacy single-word layout is byte-identical)
 
 ``entry word`` (setup/teardown)::
 
@@ -26,16 +29,19 @@ Word formats (32-bit words):
     [14:12] unlock_vc
     [11:0]  connection id
 
-``route word`` (present when an ack is requested): the 32-bit source-route
-header the ack packet should travel back on.
+``route words`` (present when an ack is requested): the chained
+source-route header the ack packet should travel back on — one 32-bit
+word per 15 hops (see :mod:`repro.network.routing`), so GS connections
+can be programmed (and acknowledged) across any admissible path length.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..network.packet import Steering, make_be_packet
+from ..network.routing import MAX_ROUTE_WORDS, RouteError, as_route_words
 from ..network.topology import Direction
 from .connection_table import TableEntry
 
@@ -76,13 +82,32 @@ class ConfigCommand:
     unlock_dir: Optional[Direction] = None
     unlock_vc: int = 0
     connection_id: int = 0
-    ack_route: Optional[int] = None
+    #: A single int for legacy one-word routes, a tuple for chained ones.
+    ack_route: Optional[Union[int, Tuple[int, ...]]] = None
 
 
-def _command_word(opcode: int, seq: int, want_ack: bool) -> int:
+def _route_words(ack_route) -> Optional[List[int]]:
+    """Normalise an ack route (int or word sequence) to a word list."""
+    if ack_route is None:
+        return None
+    try:
+        words = as_route_words(ack_route)
+    except RouteError as error:
+        raise ConfigFormatError(str(error)) from None
+    if len(words) > MAX_ROUTE_WORDS:
+        raise ConfigFormatError(
+            f"ack route of {len(words)} words exceeds the "
+            f"{MAX_ROUTE_WORDS}-word header-chain cap")
+    return words
+
+
+def _command_word(opcode: int, seq: int, route_words: Optional[List[int]]
+                  ) -> int:
     if not 0 <= seq < (1 << 12):
         raise ConfigFormatError(f"sequence {seq} does not fit in 12 bits")
-    flags = _FLAG_ACK if want_ack else 0
+    flags = 0
+    if route_words is not None:
+        flags = _FLAG_ACK | ((len(route_words) - 1) << 4)
     return (CONFIG_MAGIC << 24) | (opcode << 20) | (seq << 8) | flags
 
 
@@ -115,18 +140,25 @@ def pack_command(opcode: int, seq: int, out_port: Direction = None,
                  out_vc: int = 0, steering: Optional[Steering] = None,
                  unlock_dir: Direction = Direction.LOCAL,
                  unlock_vc: int = 0, connection_id: int = 0,
-                 ack_route: Optional[int] = None) -> List[int]:
-    """Payload words of a config packet."""
+                 ack_route: Optional[Union[int, Sequence[int]]] = None
+                 ) -> List[int]:
+    """Payload words of a config packet.
+
+    ``ack_route`` is a single route word or a chained route-word
+    sequence; a one-word route packs byte-identically to the legacy
+    single-word format.
+    """
     if opcode not in (OP_SETUP, OP_TEARDOWN, OP_ACK):
         raise ConfigFormatError(f"unknown opcode {opcode}")
-    words = [_command_word(opcode, seq, ack_route is not None)]
+    route_words = _route_words(ack_route)
+    words = [_command_word(opcode, seq, route_words)]
     if opcode in (OP_SETUP, OP_TEARDOWN):
         if out_port is None:
             raise ConfigFormatError("setup/teardown needs an output port")
         words.append(_entry_word(out_port, out_vc, steering, unlock_dir,
                                  unlock_vc, connection_id))
-    if ack_route is not None:
-        words.append(ack_route)
+    if route_words is not None:
+        words.extend(route_words)
     return words
 
 
@@ -162,9 +194,15 @@ def unpack_command(words: List[int]) -> ConfigCommand:
         raise ConfigFormatError(f"unknown opcode {opcode}")
     ack_route = None
     if want_ack:
-        if len(words) <= index:
-            raise ConfigFormatError("ack requested but no route word")
-        ack_route = words[index]
+        n_route_words = 1 + ((command >> 4) & 0xF)
+        if len(words) < index + n_route_words:
+            raise ConfigFormatError(
+                f"ack requested but only {len(words) - index} of "
+                f"{n_route_words} route words present")
+        if n_route_words == 1:
+            ack_route = words[index]
+        else:
+            ack_route = tuple(words[index:index + n_route_words])
     return ConfigCommand(opcode=opcode, seq=seq, want_ack=want_ack,
                          ack_route=ack_route, **fields)
 

@@ -24,12 +24,17 @@ from .packet import (
 )
 from .routing import (
     MAX_HOPS,
+    MAX_ROUTE_WORDS,
     RouteError,
+    decode_route,
+    encode_route,
     encode_source_route,
     header_direction,
+    max_route_hops,
     reverse_moves,
     rotate_header,
     route_for,
+    route_words_for,
     walk_route,
     xy_moves,
 )
@@ -61,20 +66,25 @@ __all__ = [
     "GsFlit",
     "LINK_FLIT_BITS",
     "MAX_HOPS",
+    "MAX_ROUTE_WORDS",
     "Mesh",
     "NETWORK_DIRECTIONS",
     "RouteError",
     "Steering",
     "SteeringError",
     "allowed_output_ports",
+    "decode_route",
     "decode_steering",
+    "encode_route",
     "encode_source_route",
     "encode_steering",
     "header_direction",
     "make_be_packet",
+    "max_route_hops",
     "reverse_moves",
     "rotate_header",
     "route_for",
+    "route_words_for",
     "walk_route",
     "xy_moves",
 ] + sorted(_LAZY)

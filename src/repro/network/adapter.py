@@ -15,7 +15,7 @@ from typing import Callable, Dict, Generator, List, Optional
 
 from ..core.output_port import ShareFlow
 from ..network.packet import BeFlit, BePacket, GsFlit, Steering, make_be_packet
-from ..network.routing import route_for
+from ..network.routing import route_words_for
 from ..network.topology import Coord, Direction
 from ..sim.kernel import Simulator
 from ..sim.resources import Store
@@ -227,7 +227,7 @@ class NetworkAdapter:
                               arrive_time=self.sim.now)
             self._dispatch_packet(packet)
             return
-        header = route_for(self.coord, dst)
+        header = route_words_for(self.coord, dst)
         yield self.router.hold_local_be_port()
         try:
             # Decide the VC once injection actually starts, so adaptive

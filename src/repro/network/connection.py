@@ -18,7 +18,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from ..core.connection_table import TableEntry
 from ..core.programming import OP_SETUP, OP_TEARDOWN, pack_command
 from ..network.packet import GsFlit, Steering, encode_steering
-from ..network.routing import route_for, xy_moves
+from ..network.routing import max_route_hops, route_words_for, xy_moves
 from ..network.topology import Coord, Direction
 from ..sim.kernel import Event, Simulator
 
@@ -142,11 +142,14 @@ class ConnectionManager:
                 "GS connections terminate on different local ports "
                 "(paper Section 3)")
         moves = xy_moves(src, dst)
-        from ..network.routing import MAX_HOPS
-        if len(moves) > MAX_HOPS:
+        # The admission hop cap is whatever the route encoder can express
+        # in a chained header — the programming packets (and their acks)
+        # travel on exactly those headers.
+        if len(moves) > max_route_hops():
             raise AdmissionError(
-                f"path of {len(moves)} hops exceeds the {MAX_HOPS}-hop "
-                "source-route limit of the programming packets")
+                f"path of {len(moves)} hops exceeds the "
+                f"{max_route_hops()}-hop capacity of the chained "
+                "source-route headers the programming packets travel on")
         if not self.tx_pools[src]:
             raise AdmissionError(f"no free GS source interface at {src}")
         if not self.rx_pools[dst]:
@@ -293,7 +296,7 @@ class ConnectionManager:
             seq = next(self._seqs) & 0xFFF
             ack_route = None
             if want_ack and coord != conn.src:
-                ack_route = route_for(coord, conn.src)
+                ack_route = route_words_for(coord, conn.src)
             words = pack_command(
                 opcode, seq, out_port=out_port, out_vc=vc,
                 steering=entry.steering, unlock_dir=entry.unlock_dir,

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from .routing import as_route_words
 from .topology import Coord, Direction, NETWORK_DIRECTIONS
 
 __all__ = [
@@ -150,7 +151,13 @@ class GsFlit:
 
 @dataclass(slots=True)
 class BeFlit:
-    """A flit of a connection-less BE packet."""
+    """A flit of a connection-less BE packet.
+
+    ``route_ext`` is meaningful on the head flit only: the number of
+    chained route words (header-extension flits) still travelling behind
+    the header.  Routers strip extension flits as their route words are
+    spent, so a delivered packet always carries ``route_ext == 0``.
+    """
 
     word: int
     is_head: bool = False
@@ -158,6 +165,7 @@ class BeFlit:
     vc: int = 0
     packet_id: int = -1
     inject_time: float = -1.0
+    route_ext: int = 0
     flit_id: int = field(default_factory=lambda: next(_flit_ids))
 
     def __post_init__(self):
@@ -189,17 +197,30 @@ class BePacket:
         return self.arrive_time - self.inject_time
 
 
-def make_be_packet(header: int, words: List[int], vc: int = 0,
-                   inject_time: float = -1.0,
+def make_be_packet(header: Union[int, Sequence[int]], words: List[int],
+                   vc: int = 0, inject_time: float = -1.0,
                    src: Optional[Coord] = None) -> List[BeFlit]:
     """Build the flit sequence of a variable-length BE packet.
 
-    The header flit is first; the control bit marks the last flit.  An
-    empty payload is legal (single-flit packet: the header is also tail).
+    ``header`` is a single 32-bit route word or a chained route-word
+    sequence (see :mod:`repro.network.routing`); extension words travel
+    as header-extension flits directly behind the header.  The control
+    bit marks the last flit.  An empty payload is legal (the final
+    header word is then also the tail).
     """
+    route_words = as_route_words(header)
+    extensions = route_words[1:]
     packet_id = next(_packet_ids)
-    flits = [BeFlit(header, is_head=True, is_tail=not words, vc=vc,
-                    packet_id=packet_id, inject_time=inject_time)]
+    flits = [BeFlit(route_words[0], is_head=True,
+                    is_tail=not (words or extensions), vc=vc,
+                    packet_id=packet_id, inject_time=inject_time,
+                    route_ext=len(extensions))]
+    for index, ext_word in enumerate(extensions):
+        flits.append(BeFlit(ext_word,
+                            is_tail=(not words
+                                     and index == len(extensions) - 1),
+                            vc=vc, packet_id=packet_id,
+                            inject_time=inject_time))
     for index, word in enumerate(words):
         flits.append(BeFlit(word, is_tail=(index == len(words) - 1), vc=vc,
                             packet_id=packet_id, inject_time=inject_time))

@@ -18,15 +18,19 @@ __all__ = ["SMOKE_FINGERPRINTS"]
 SMOKE_FINGERPRINTS: Dict[str, str] = {
     "be-bit-complement-4x4": "79198014b162c632",
     "be-bit-complement-8x8": "19f84ce8baa4ecaa",
+    "be-hotspot-16x16": "de906872d9d529be",
     "be-hotspot-4x4": "d03ef122813a49c3",
     "be-hotspot-8x8": "39ced16bf96e407c",
     "be-local-uniform-16x16": "a9818b9676a8ae30",
     "be-nearest-neighbor-4x4": "d32801bd792babab",
     "be-nearest-neighbor-8x8": "9785b780887ed5ad",
+    "be-transpose-16x16": "2ebbb3ba8bcbcad2",
     "be-transpose-4x4": "86d40988fa8dc557",
     "be-transpose-8x8": "ac362820e91db7fb",
+    "be-uniform-16x16": "7d992f9f10bd32e6",
     "be-uniform-4x4": "e638c3090fed3e4f",
     "be-uniform-8x8": "7c32c91412e660a6",
+    "chained-route-17x1": "32ae864a32c5819f",
     "corner-streams-6x6": "8e9c8ea7e97dbecb",
     "corner-streams-8x8": "4835b3f4b42da12e",
     "failure-malformed-config-2x2": "9da54ae5ffeab5ad",
@@ -34,6 +38,7 @@ SMOKE_FINGERPRINTS: Dict[str, str] = {
     "failure-orphan-flit-4x4": "93b45f44073ef240",
     "gs-bursty-hotspot-4x4": "04932a36391d9098",
     "gs-bursty-video-8x8": "78c82031f66017a9",
+    "gs-cbr-16x16-corners": "3e23cb34f372693a",
     "gs-cbr-16x16-local": "49fae44015bec464",
     "gs-cbr-4x4-uniform": "86c9505519d7846f",
     "gs-cbr-8x8-transpose": "0ae432f053b42f40",

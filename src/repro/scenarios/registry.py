@@ -14,6 +14,12 @@ workload the kernel-throughput benchmark has always measured — their
 full-duration flit-hop totals (18 484 / 29 396) are asserted in
 ``benchmarks/bench_kernel_throughput.py`` and must not drift.
 
+Scenarios tagged ``chained`` carry routes beyond 15 hops on chained
+route headers — the 16x16 full-diameter cells (uniform / transpose /
+hotspot BE and the 30-hop corner-to-corner GS-CBR pair) plus
+``chained-route-17x1``, the cheap non-``slow`` cell that keeps the
+extension path in every smoke run.
+
 Scenarios tagged ``slow`` (the 16x16 cells) are deselected from quick
 local loops with ``-m "not slow"``; everything else runs in well under a
 second at smoke duration.
@@ -94,6 +100,15 @@ register(ScenarioSpec(
     tags=("be-only", "local_uniform", "slow")))
 
 register(ScenarioSpec(
+    name="be-uniform-16x16", cols=16, rows=16,
+    be=BeTrafficSpec("uniform", slot_ns=40.0, probability=0.08,
+                     payload_words=2, n_slots=12, pattern_seed=7, seed=9),
+    drain_ns=40000.0,
+    description="Full-diameter uniform-random BE load on a 16x16 mesh — "
+                "routes up to 30 hops ride chained route headers.",
+    tags=("be-only", "uniform", "chained", "slow")))
+
+register(ScenarioSpec(
     name="be-transpose-4x4", cols=4, rows=4,
     be=BeTrafficSpec("transpose", slot_ns=20.0, probability=0.3,
                      payload_words=3, n_slots=40, pattern_seed=11, seed=13),
@@ -107,6 +122,17 @@ register(ScenarioSpec(
     drain_ns=30000.0,
     description="Diagonal-heavy transpose BE load on an 8x8 mesh.",
     tags=("be-only", "transpose")))
+
+register(ScenarioSpec(
+    name="be-transpose-16x16", cols=16, rows=16,
+    be=BeTrafficSpec("transpose", slot_ns=40.0, probability=0.08,
+                     payload_words=2, n_slots=12, pattern_seed=11,
+                     seed=17),
+    drain_ns=40000.0,
+    description="Diagonal-heavy transpose BE load at 256-router scale; "
+                "the (0,15)/(15,0) pairs cross the full 30-hop diameter "
+                "on chained route headers.",
+    tags=("be-only", "transpose", "chained", "slow")))
 
 register(ScenarioSpec(
     name="be-bit-complement-4x4", cols=4, rows=4,
@@ -155,6 +181,17 @@ register(ScenarioSpec(
     description="Half of all BE traffic converges on tile (4,4) of an "
                 "8x8 mesh (credit backpressure, no drops).",
     tags=("be-only", "hotspot")))
+
+register(ScenarioSpec(
+    name="be-hotspot-16x16", cols=16, rows=16,
+    be=BeTrafficSpec("hotspot", slot_ns=40.0, probability=0.08,
+                     payload_words=2, n_slots=12, hotspot=(8, 8),
+                     fraction=0.5, pattern_seed=3, seed=5),
+    drain_ns=40000.0,
+    description="Half of all BE traffic converges on tile (8,8) of a "
+                "16x16 mesh; corner sources reach it (and their uniform "
+                "fallback draws) over chained route headers.",
+    tags=("be-only", "hotspot", "chained", "slow")))
 
 # -- GS + BE: mixed service classes -----------------------------------------
 
@@ -230,6 +267,34 @@ register(ScenarioSpec(
     description="14-hop CBR streams with latency verdicts at 256-router "
                 "scale.",
     tags=("gs+be", "local_uniform", "cbr", "slow")))
+
+register(ScenarioSpec(
+    name="gs-cbr-16x16-corners", cols=16, rows=16,
+    gs=(GsConnectionSpec(src=(0, 0), dst=(15, 15), traffic="cbr",
+                         flits=40, period_ns=260.0),
+        GsConnectionSpec(src=(15, 0), dst=(0, 15), traffic="cbr",
+                         flits=40, period_ns=260.0)),
+    be=BeTrafficSpec("uniform", slot_ns=40.0, probability=0.08,
+                     payload_words=2, n_slots=12, pattern_seed=41,
+                     seed=43),
+    drain_ns=60000.0,
+    description="Corner-to-corner 30-hop CBR streams — GS connections "
+                "set up through chained-route programming packets, with "
+                "full latency verdicts — over full-diameter uniform BE.",
+    tags=("gs+be", "uniform", "cbr", "chained", "slow")))
+
+register(ScenarioSpec(
+    name="chained-route-17x1", cols=17, rows=1,
+    gs=(GsConnectionSpec(src=(0, 0), dst=(16, 0), traffic="preload",
+                         flits=30),),
+    be=BeTrafficSpec("uniform", slot_ns=25.0, probability=0.2,
+                     payload_words=2, n_slots=12, pattern_seed=7, seed=9),
+    drain_ns=12000.0,
+    description="A 17-tile line: the 16-hop corner stream and the "
+                "longest BE draws all need a chained extension word — "
+                "the cheap smoke cell that exercises the >15-hop path "
+                "on every CI run.",
+    tags=("gs+be", "uniform", "chained")))
 
 register(ScenarioSpec(
     name="gs-bursty-video-8x8", cols=8, rows=8,

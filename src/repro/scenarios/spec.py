@@ -21,7 +21,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..analysis.qos import contract_for_path
 from ..core.config import RouterConfig
-from ..network.routing import MAX_HOPS
+from ..network.routing import max_route_hops
 
 __all__ = [
     "ScenarioError",
@@ -113,10 +113,11 @@ class GsConnectionSpec:
         if self.src == self.dst:
             raise ScenarioError(
                 f"GS connection {self.src} -> {self.dst}: src == dst")
-        if self.hops() > MAX_HOPS:
+        if self.hops() > max_route_hops():
             raise ScenarioError(
                 f"GS path {self.src} -> {self.dst} needs {self.hops()} "
-                f"hops > the {MAX_HOPS}-hop source-route limit")
+                f"hops > the {max_route_hops()}-hop capacity of chained "
+                "source-route headers")
         if self.traffic in ("preload", "cbr") and self.flits < 1:
             raise ScenarioError("GS connection offers no flits")
         if self.traffic == "cbr":
@@ -181,10 +182,11 @@ class BeTrafficSpec:
         if self.pattern == "local_uniform":
             if self.radius < 1:
                 raise ScenarioError("local_uniform radius must be >= 1 hop")
-            if self.radius > MAX_HOPS - 1:
+            if self.radius > max_route_hops():
                 raise ScenarioError(
                     f"local_uniform radius {self.radius} exceeds the "
-                    f"{MAX_HOPS}-hop source-route limit")
+                    f"{max_route_hops()}-hop chained source-route "
+                    "capacity")
         if self.pattern == "hotspot":
             if not 0 <= self.fraction <= 1:
                 raise ScenarioError("hotspot fraction must be in [0, 1]")
@@ -195,14 +197,17 @@ class BeTrafficSpec:
                         f"hotspot {(x, y)} outside the {cols}x{rows} mesh")
         # Uniform, transpose, bit-complement and hotspot can all draw
         # full-diameter routes (transpose/hotspot via their uniform
-        # fallback component), which must fit the BE source-route limit.
-        if self.pattern != "nearest_neighbor" and \
-                (cols - 1) + (rows - 1) > MAX_HOPS and \
-                self.pattern != "local_uniform":
+        # fallback component).  Chained route headers carry any route up
+        # to max_route_hops(), so full-diameter traffic is legal on
+        # every mesh the chain can span — 16x16 (30-hop diameter)
+        # included.
+        if self.pattern not in ("nearest_neighbor", "local_uniform") and \
+                (cols - 1) + (rows - 1) > max_route_hops():
             raise ScenarioError(
                 f"pattern {self.pattern!r} draws routes up to the "
-                f"{(cols - 1) + (rows - 1)}-hop mesh diameter, beyond the "
-                f"{MAX_HOPS}-hop source-route limit; use local_uniform")
+                f"{(cols - 1) + (rows - 1)}-hop mesh diameter, beyond "
+                f"the {max_route_hops()}-hop capacity of chained "
+                "source-route headers")
 
     def to_dict(self) -> Dict[str, Any]:
         data = dataclasses.asdict(self)

@@ -62,10 +62,12 @@ class UniformRandom(Pattern):
 class LocalUniform(Pattern):
     """Uniform over the other tiles within Manhattan distance ``radius``.
 
-    On meshes larger than 8x8 plain uniform-random draws routes beyond
-    the 15-hop source-route limit of MANGO's 32-bit BE header; bounding
-    the hop distance keeps every packet addressable while still spreading
-    load in all directions (the standard workaround for large meshes).
+    Historically the workaround for the 15-hop ceiling of a single
+    32-bit route word; chained route headers lifted that limit, so plain
+    uniform-random is legal on any mesh the header chain can span.
+    LocalUniform remains useful as a *workload*: it models
+    locality-biased traffic (short routes only) independent of any
+    addressing constraint.
     """
 
     def __init__(self, mesh: Mesh, radius: int = 14, seed: int = 0):

@@ -107,11 +107,25 @@ class TestRoutingRules:
         net.run(until=2000.0)
         assert collect_inbox(net, dst)[0].words == [7]
 
-    def test_route_beyond_limit_rejected_at_source(self):
+    def test_sixteen_hop_route_uses_a_chained_header(self):
+        """Past the single-word ceiling the header spills into a chained
+        extension word; the packet still arrives intact."""
         net = MangoNetwork(9, 9)
+        src, dst = Coord(0, 0), Coord(8, 8)  # 16 hops: 2 route words
+        net.send_be(src, dst, [0xBEEF])
+        net.run(until=4000.0)
+        assert collect_inbox(net, dst)[0].words == [0xBEEF]
+        stripped = sum(r.be_router.route_words_stripped
+                       for r in net.routers.values())
+        assert stripped == 1  # exactly one chunk boundary on a 16-hop route
+
+    def test_route_beyond_chain_capacity_rejected_at_source(self):
+        from repro.network.routing import max_route_hops
+        net = MangoNetwork(max_route_hops() + 2, 1)
         with pytest.raises(Exception):
             net.run_process(
-                net.adapters[Coord(0, 0)].send_be(Coord(8, 8), [1]))
+                net.adapters[Coord(0, 0)].send_be(
+                    Coord(max_route_hops() + 1, 0), [1]))
 
     def test_min_hops_latency_scales(self):
         """Farther destinations take proportionally longer."""

@@ -46,6 +46,51 @@ class TestPackUnpack:
         assert command.ack_route == 0xDEADBEEF
         assert command.steering is None
 
+    def test_single_word_ack_route_list_is_byte_identical(self):
+        """A one-word chained route packs exactly like the legacy int
+        form — the wire format for routes of at most 15 hops must not
+        change."""
+        legacy = pack_command(
+            OP_SETUP, seq=1, out_port=Direction.LOCAL, out_vc=2,
+            steering=None, unlock_dir=Direction.NORTH, unlock_vc=7,
+            connection_id=5, ack_route=0xDEADBEEF)
+        chained = pack_command(
+            OP_SETUP, seq=1, out_port=Direction.LOCAL, out_vc=2,
+            steering=None, unlock_dir=Direction.NORTH, unlock_vc=7,
+            connection_id=5, ack_route=[0xDEADBEEF])
+        assert legacy == chained
+        assert unpack_command(chained).ack_route == 0xDEADBEEF
+
+    def test_chained_ack_route_round_trip(self):
+        route = [0x12345678, 0x9ABCDEF0, 0x0F1E2D3C]
+        words = pack_command(
+            OP_SETUP, seq=3, out_port=Direction.EAST, out_vc=1,
+            unlock_dir=Direction.WEST, unlock_vc=0, connection_id=8,
+            ack_route=route)
+        command = unpack_command(words)
+        assert command.want_ack
+        assert command.ack_route == tuple(route)
+
+    def test_truncated_chained_ack_route_rejected(self):
+        route = [0x11111111, 0x22222222]
+        words = pack_command(
+            OP_SETUP, seq=3, out_port=Direction.EAST, out_vc=1,
+            unlock_dir=Direction.WEST, unlock_vc=0, connection_id=8,
+            ack_route=route)
+        with pytest.raises(ConfigFormatError, match="route words"):
+            unpack_command(words[:-1])
+
+    def test_empty_ack_route_rejected(self):
+        with pytest.raises(ConfigFormatError, match="at least one"):
+            pack_command(OP_SETUP, seq=1, out_port=Direction.EAST,
+                         ack_route=[])
+
+    def test_overlong_ack_route_rejected(self):
+        from repro.network.routing import MAX_ROUTE_WORDS
+        with pytest.raises(ConfigFormatError, match="cap"):
+            pack_command(OP_SETUP, seq=1, out_port=Direction.EAST,
+                         ack_route=[0] * (MAX_ROUTE_WORDS + 1))
+
     def test_teardown_round_trip(self):
         words = pack_command(OP_TEARDOWN, seq=9, out_port=Direction.SOUTH,
                              out_vc=0, connection_id=44)

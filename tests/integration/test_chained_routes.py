@@ -1,0 +1,111 @@
+"""Full-diameter traffic beyond the 15-hop single-word route ceiling.
+
+The chained-header scheme must carry (a) plain BE packets, (b) the GS
+programming path — setup/teardown config packets *and* their ack routes
+travel on chained headers — and (c) GS payload across >15-hop reserved
+paths, all without disturbing the single-word behaviour of short routes.
+"""
+
+import pytest
+
+from repro import Coord, MangoNetwork
+from repro.network.connection import AdmissionError
+from repro.network.routing import MAX_HOPS, max_route_hops
+
+
+def collect_inbox(net, coord):
+    inbox = net.adapters[coord].be_inbox
+    packets = []
+    while True:
+        packet = inbox.try_get()
+        if packet is None:
+            return packets
+        packets.append(packet)
+
+
+class TestChainedBeDelivery:
+    def test_full_diameter_16x16(self):
+        """30 hops corner to corner: two chained route words, payload
+        delivered intact with both extension words stripped en route."""
+        net = MangoNetwork(16, 16)
+        src, dst = Coord(0, 0), Coord(15, 15)
+        net.send_be(src, dst, [0xAA, 0xBB, 0xCC])
+        net.run(until=8000.0)
+        packets = collect_inbox(net, dst)
+        assert len(packets) == 1
+        assert packets[0].words == [0xAA, 0xBB, 0xCC]
+        stripped = sum(r.be_router.route_words_stripped
+                       for r in net.routers.values())
+        assert stripped == 1  # one chunk boundary on a 30-hop route
+
+    def test_empty_payload_chained_packet(self):
+        """A >15-hop packet with no payload: the last extension flit is
+        the tail, and the final header word is delivered alone."""
+        net = MangoNetwork(18, 1)
+        src, dst = Coord(0, 0), Coord(17, 0)  # 17 hops
+        net.send_be(src, dst, [])
+        net.run(until=4000.0)
+        packets = collect_inbox(net, dst)
+        assert len(packets) == 1
+        assert packets[0].words == []
+
+    def test_three_word_chain(self):
+        """31 hops needs three route words (two chunk boundaries)."""
+        net = MangoNetwork(32, 1)
+        src, dst = Coord(0, 0), Coord(31, 0)
+        net.send_be(src, dst, [31])
+        net.run(until=8000.0)
+        assert collect_inbox(net, dst)[0].words == [31]
+        stripped = sum(r.be_router.route_words_stripped
+                       for r in net.routers.values())
+        assert stripped == 2
+
+    def test_short_routes_unchanged_alongside_chained(self):
+        """Short and chained packets share links and VCs without
+        confusing each other's headers."""
+        net = MangoNetwork(17, 1)
+        net.send_be(Coord(0, 0), Coord(16, 0), [160])   # 16 hops, chained
+        net.send_be(Coord(0, 0), Coord(1, 0), [10])     # 1 hop, legacy
+        net.send_be(Coord(16, 0), Coord(0, 0), [99])    # chained, opposed
+        net.run(until=8000.0)
+        assert collect_inbox(net, Coord(16, 0))[0].words == [160]
+        assert collect_inbox(net, Coord(1, 0))[0].words == [10]
+        assert collect_inbox(net, Coord(0, 0))[0].words == [99]
+
+
+class TestChainedGsConnections:
+    def test_open_instant_beyond_fifteen_hops(self):
+        net = MangoNetwork(16, 16)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(15, 15))
+        assert conn.n_hops == 30
+        payloads = list(range(25))
+        conn.send_message(payloads)
+        net.run(until=12000.0)
+        assert conn.sink.payloads == payloads
+
+    def test_open_via_programming_packets_beyond_fifteen_hops(self):
+        """The real setup path: config packets travel out on chained
+        headers and every remote router acks back over a chained route.
+        This was the hard functional limit — ConnectionManager used to
+        refuse any GS setup beyond 15 hops."""
+        net = MangoNetwork(17, 1)
+        src, dst = Coord(0, 0), Coord(16, 0)  # 16 hops
+        conn = net.open_connection(src, dst, want_ack=True)
+        assert conn.state == "open"
+        assert conn.n_hops == 16
+        conn.send_message([7, 8, 9])
+        net.run(until=net.now + 4000.0)
+        assert conn.sink.payloads == [7, 8, 9]
+        net.close_connection(conn, want_ack=True)
+        assert conn.state == "closed"
+
+    def test_admission_cap_is_encoder_capacity(self):
+        """Admission now follows the route encoder's capability, not a
+        hard-coded 15."""
+        cap = max_route_hops()
+        assert cap > MAX_HOPS
+        net = MangoNetwork(cap + 2, 1)
+        conn = net.open_connection_instant(Coord(0, 0), Coord(cap, 0))
+        assert conn.n_hops == cap
+        with pytest.raises(AdmissionError, match="capacity"):
+            net.open_connection_instant(Coord(0, 0), Coord(cap + 1, 0))

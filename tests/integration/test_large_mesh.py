@@ -180,14 +180,25 @@ class TestLargeMesh:
         assert (net_a.sim.events_processed ==
                 net_b.sim.events_processed)
 
-    def test_route_longer_than_limit_rejected_without_leak(self):
-        """A 9x9 corner-to-corner would need 16 hops > the 15-hop header
-        limit: clean AdmissionError, and no VCs leak (a shorter
-        connection over the same first link still opens)."""
+    def test_sixteen_hop_connection_opens_on_chained_headers(self):
+        """A 9x9 corner-to-corner needs 16 hops — beyond the single-word
+        ceiling that used to make ConnectionManager refuse it.  With
+        chained route headers the real programming path opens it."""
         net = MangoNetwork(9, 9)
+        conn = net.open_connection(Coord(0, 0), Coord(8, 8))
+        assert conn.state == "open"
+        assert conn.n_hops == 16
+
+    def test_route_longer_than_chain_capacity_rejected_without_leak(self):
+        """Beyond the header chain's capacity: clean AdmissionError, and
+        no VCs leak (a connection over the same first link still
+        opens)."""
+        from repro.network.routing import max_route_hops
+        cap = max_route_hops()
+        net = MangoNetwork(cap + 2, 1)
         with pytest.raises(AdmissionError):
-            net.open_connection(Coord(0, 0), Coord(8, 8))
+            net.open_connection(Coord(0, 0), Coord(cap + 1, 0))
         pools = net.connection_manager.vc_pools
         assert all(len(pool) == 8 for pool in pools.values())
-        conn = net.open_connection_instant(Coord(0, 0), Coord(7, 7))
+        conn = net.open_connection_instant(Coord(0, 0), Coord(cap, 0))
         assert conn.state == "open"

@@ -33,6 +33,42 @@ class TestContractAlgebra:
         assert not contract.admits_rate(
             2 * contract.min_bandwidth_flits_per_ns)
 
+    def test_admits_exactly_guaranteed_rate_via_period_round_trip(self):
+        """The boundary case: a source paced at exactly the guaranteed
+        period reconstructs the rate as ``1 / (1 / rate)``, which may
+        not be bit-equal — the relative tolerance must still admit it."""
+        contract = contract_for_path(3)
+        rate = contract.min_bandwidth_flits_per_ns
+        period = 1.0 / rate
+        assert contract.admits_rate(1.0 / period)
+
+    def test_admits_rate_relative_tolerance_at_extreme_scales(self):
+        """An absolute 1e-12 epsilon breaks at extreme link cycles or
+        requester counts: with a sub-picosecond-rate guarantee it admits
+        multiples of the guarantee, and with a huge guarantee it rejects
+        the exact boundary after a period round-trip."""
+        from repro.analysis.qos import QosContract
+        # Tiny guaranteed rate (~1e-15 flits/ns): 1e-12 absolute slack
+        # would admit a 100x oversubscription.
+        slow = QosContract(hops=1, flit_bytes=4, link_cycle_ns=1e12,
+                           requesters=1000)
+        tiny = slow.min_bandwidth_flits_per_ns
+        assert slow.admits_rate(1.0 / (1.0 / tiny))
+        assert not slow.admits_rate(2 * tiny)
+        assert not slow.admits_rate(100 * tiny)
+        # Huge guaranteed rate (~1e5 flits/ns): the boundary after a
+        # period round-trip differs by far more than 1e-12 absolute.
+        fast = QosContract(hops=1, flit_bytes=4, link_cycle_ns=1e-6,
+                           requesters=10)
+        big = fast.min_bandwidth_flits_per_ns
+        assert fast.admits_rate(1.0 / (1.0 / big))
+        assert not fast.admits_rate(big * (1 + 1e-6))
+
+    def test_rejects_just_above_guaranteed_rate(self):
+        contract = contract_for_path(2)
+        rate = contract.min_bandwidth_flits_per_ns
+        assert not contract.admits_rate(rate * (1 + 1e-6))
+
     def test_fewer_vcs_better_contract(self):
         """Fewer VCs per port = bigger share per connection."""
         small = contract_for_path(1, RouterConfig(vcs_per_port=2))

@@ -5,16 +5,36 @@ from hypothesis import given, settings, strategies as st
 
 from repro.network.routing import (
     MAX_HOPS,
+    MAX_ROUTE_WORDS,
     RouteError,
+    decode_route,
+    encode_route,
     encode_source_route,
     header_direction,
+    max_route_hops,
     reverse_moves,
     rotate_header,
     route_for,
+    route_words_for,
     walk_route,
     xy_moves,
 )
 from repro.network.topology import Coord, Direction
+
+NETWORK_MOVES = [Direction.NORTH, Direction.EAST, Direction.SOUTH,
+                 Direction.WEST]
+
+
+@st.composite
+def non_reversing_moves(draw, min_size=1, max_size=60):
+    """Random walks without an immediate reversal (which the 2-bit
+    scheme reads as the turn-back marker and cannot encode)."""
+    length = draw(st.integers(min_size, max_size))
+    moves = [draw(st.sampled_from(NETWORK_MOVES))]
+    for _ in range(length - 1):
+        allowed = [m for m in NETWORK_MOVES if m is not moves[-1].opposite]
+        moves.append(draw(st.sampled_from(allowed)))
+    return moves
 
 
 class TestXyMoves:
@@ -141,6 +161,129 @@ class TestWalkRoute:
             assert arrived == Coord(x, y)
         else:
             assert hops <= len(moves)
+
+
+class TestChainedRoutes:
+    def test_single_word_for_routes_up_to_fifteen_hops(self):
+        for hops in (1, 7, MAX_HOPS):
+            moves = xy_moves(Coord(0, 0), Coord(hops, 0))
+            assert encode_route(moves) == [encode_source_route(moves)]
+
+    def test_fifteen_hop_equivalence_exact(self):
+        """At exactly 15 hops the chained encoding is the single-word
+        encoding — bit for bit."""
+        moves = xy_moves(Coord(0, 0), Coord(8, 7))  # 15 hops with a turn
+        assert len(moves) == MAX_HOPS
+        words = encode_route(moves)
+        assert words == [encode_source_route(moves)]
+
+    def test_sixteen_hops_spill_into_second_word(self):
+        moves = xy_moves(Coord(0, 0), Coord(8, 8))  # 16 hops
+        words = encode_route(moves)
+        assert len(words) == 2
+        assert words[0] == encode_source_route(moves[:MAX_HOPS])
+        assert words[1] == encode_source_route(moves[MAX_HOPS:])
+
+    def test_word_count_is_ceil_div(self):
+        for hops, expected in ((15, 1), (16, 2), (30, 2), (31, 3),
+                               (max_route_hops(), MAX_ROUTE_WORDS)):
+            assert len(encode_route([Direction.EAST] * hops)) == expected
+
+    def test_beyond_chain_capacity_rejected(self):
+        encode_route([Direction.EAST] * max_route_hops())
+        with pytest.raises(RouteError, match="capacity"):
+            encode_route([Direction.EAST] * (max_route_hops() + 1))
+
+    def test_immediate_reversal_rejected(self):
+        with pytest.raises(RouteError, match="reversal"):
+            encode_route([Direction.EAST, Direction.WEST])
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(RouteError):
+            encode_route([])
+
+    def test_decode_word_without_marker_rejected(self):
+        all_east = 0b01010101010101010101010101010101
+        with pytest.raises(RouteError, match="turn-back"):
+            decode_route([all_east])
+
+    def test_decode_empty_chain_rejected(self):
+        with pytest.raises(RouteError):
+            decode_route([])
+
+    @given(non_reversing_moves(min_size=1, max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_property_encode_decode_round_trip(self, moves):
+        """decode(encode(moves)) == moves over 1..60-hop move lists —
+        the chained format loses nothing the single word could carry and
+        nothing beyond it."""
+        assert decode_route(encode_route(moves)) == moves
+
+    @given(non_reversing_moves(min_size=16, max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_property_chained_walk_delivers(self, moves):
+        """The router walk over a chained header takes exactly the
+        encoded moves and delivers at their endpoint."""
+        arrived, hops = walk_route(Coord(0, 0), encode_route(moves))
+        assert hops == len(moves)
+        assert arrived == Coord(sum(m.delta[0] for m in moves),
+                                sum(m.delta[1] for m in moves))
+
+    @given(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+           st.tuples(st.integers(0, 15), st.integers(0, 15)))
+    @settings(max_examples=200, deadline=None)
+    def test_property_16x16_xy_routes_always_deliver(self, src_xy, dst_xy):
+        """Any pair on a 16x16 mesh — including the 30-hop corner
+        diagonal the single-word format could not express — routes and
+        delivers."""
+        src, dst = Coord(*src_xy), Coord(*dst_xy)
+        if src == dst:
+            return
+        arrived, hops = walk_route(src, route_words_for(src, dst))
+        assert arrived == dst
+        assert hops == abs(src.x - dst.x) + abs(src.y - dst.y)
+
+    def test_full_capacity_route_delivers_on_final_hop(self):
+        """The maximal 120-hop route delivers exactly at the default
+        walk budget — the budget is the chain's capacity, not capacity
+        plus slack."""
+        cap = max_route_hops()
+        moves = [Direction.EAST] * cap
+        arrived, hops = walk_route(Coord(0, 0), encode_route(moves))
+        assert arrived == Coord(cap, 0)
+        assert hops == cap
+
+
+class TestWalkBudget:
+    def test_default_budget_is_chain_capacity(self):
+        """A malformed single word of 16 move codes must error at hop
+        15 — the old ``MAX_HOPS + 1`` default let it step off the route
+        first."""
+        all_east = 0b01010101010101010101010101010101
+        with pytest.raises(RouteError, match="15 hops"):
+            walk_route(Coord(0, 0), all_east)
+
+    def test_maximal_single_word_route_delivers_on_final_hop(self):
+        moves = [Direction.SOUTH] * MAX_HOPS
+        arrived, hops = walk_route(Coord(0, 0), encode_source_route(moves))
+        assert arrived == Coord(0, MAX_HOPS)
+        assert hops == MAX_HOPS
+
+    def test_malformed_chain_errors_at_chain_capacity(self):
+        """A chain whose words never reach a marker cycles on its first
+        word; the budget scales with the chain length and stops it."""
+        all_east = 0b01010101010101010101010101010101
+        with pytest.raises(RouteError, match="30 hops"):
+            walk_route(Coord(0, 0), [all_east, all_east])
+
+    def test_explicit_budget_still_honoured(self):
+        header = route_for(Coord(0, 0), Coord(5, 0))
+        with pytest.raises(RouteError, match="3 hops"):
+            walk_route(Coord(0, 0), header, max_hops=3)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(RouteError):
+            walk_route(Coord(0, 0), [])
 
 
 class TestReverseMoves:

@@ -68,19 +68,31 @@ class TestRunnerEdges:
         assert event.gs[0].delivered == 12
         assert event.fingerprint == batch.fingerprint
 
-    def test_full_diameter_patterns_rejected_beyond_route_limit(self):
-        """bit_complement/transpose/hotspot draw full-diameter routes:
-        the spec layer must refuse them on meshes whose diameter beats
-        the 15-hop source-route limit, not crash mid-run."""
+    def test_full_diameter_patterns_accepted_up_to_chain_capacity(self):
+        """Chained route headers lifted the 15-hop ceiling: every
+        pattern is legal on a 16x16 mesh (30-hop diameter), and the
+        spec layer only refuses meshes whose diameter beats the whole
+        header chain's capacity."""
+        from repro.network.routing import max_route_hops
         from repro.scenarios import BeTrafficSpec, ScenarioError
         for pattern in ("bit_complement", "transpose", "hotspot",
-                        "uniform"):
-            with pytest.raises(ScenarioError, match="local_uniform"):
-                BeTrafficSpec(pattern).validate(16, 16)
-        BeTrafficSpec("nearest_neighbor").validate(16, 16)
-        BeTrafficSpec("local_uniform").validate(16, 16)
-        with pytest.raises(ScenarioError, match="source-route limit"):
-            BeTrafficSpec("local_uniform", radius=15).validate(16, 16)
+                        "uniform", "nearest_neighbor", "local_uniform"):
+            BeTrafficSpec(pattern).validate(16, 16)
+        BeTrafficSpec("local_uniform", radius=30).validate(16, 16)
+        cap = max_route_hops()
+        with pytest.raises(ScenarioError, match="chained"):
+            BeTrafficSpec("uniform").validate(cap + 2, 1)
+        with pytest.raises(ScenarioError, match="chained"):
+            BeTrafficSpec("local_uniform", radius=cap + 1).validate(4, 4)
+
+    def test_chained_cells_cover_be_and_gs(self):
+        """The chained tag spans BE full-diameter cells, a >15-hop
+        GS-CBR pair, and one cheap non-slow smoke cell."""
+        chained = registry.names(tags=("chained",))
+        assert len(chained) >= 5
+        assert any("slow" not in get(name).tags for name in chained)
+        assert any(get(name).gs and max(
+            g.hops() for g in get(name).gs) > 15 for name in chained)
 
 
 @pytest.mark.parametrize("name", matrix_params())

@@ -15,7 +15,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis.qos import contract_for_path
 from repro.core.config import RouterConfig
-from repro.network.routing import MAX_HOPS
+from repro.network.routing import MAX_HOPS, max_route_hops
 from repro.scenarios import (BeTrafficSpec, FailureSpec, GsConnectionSpec,
                              ScenarioError, ScenarioSpec)
 
@@ -173,11 +173,18 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="src == dst"):
             GsConnectionSpec(src=(1, 1), dst=(1, 1)).validate(4, 4)
 
-    def test_gs_beyond_hop_limit_rejected(self):
+    def test_gs_beyond_single_word_limit_accepted(self):
+        """30-hop connections are legal now that routes chain across
+        multiple header words."""
         gs = GsConnectionSpec(src=(0, 0), dst=(15, 15))
         assert gs.hops() > MAX_HOPS
-        with pytest.raises(ScenarioError, match="source-route limit"):
-            gs.validate(16, 16)
+        gs.validate(16, 16)
+
+    def test_gs_beyond_chain_capacity_rejected(self):
+        cap = max_route_hops()
+        gs = GsConnectionSpec(src=(0, 0), dst=(cap + 1, 0))
+        with pytest.raises(ScenarioError, match="chained"):
+            gs.validate(cap + 2, 1)
 
     def test_unknown_traffic_kind_rejected(self):
         with pytest.raises(ScenarioError, match="traffic kind"):
@@ -188,9 +195,17 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="unknown pattern"):
             BeTrafficSpec("zigzag").validate(4, 4)
 
-    def test_uniform_beyond_8x8_rejected(self):
-        with pytest.raises(ScenarioError, match="local_uniform"):
-            BeTrafficSpec("uniform").validate(16, 16)
+    def test_uniform_at_16x16_accepted(self):
+        """Full-diameter patterns are legal on a 16x16 mesh (30-hop
+        diameter) with chained route headers."""
+        for pattern in ("uniform", "transpose", "bit_complement",
+                        "hotspot"):
+            BeTrafficSpec(pattern).validate(16, 16)
+
+    def test_uniform_beyond_chain_capacity_rejected(self):
+        cap = max_route_hops()
+        with pytest.raises(ScenarioError, match="chained"):
+            BeTrafficSpec("uniform").validate(cap + 2, 1)
 
     def test_bad_probability_rejected(self):
         with pytest.raises(ScenarioError, match="probability"):
