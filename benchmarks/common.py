@@ -15,20 +15,21 @@ RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
 
 def run_scenario(name: str, smoke: bool = False, mode: str = "event",
-                 config=None):
+                 config=None, backend: str = "mango"):
     """Run one registry scenario through the :class:`ScenarioRunner`.
 
     The single entry point benchmarks use for workload construction —
     specs live in ``repro.scenarios.registry``, never in per-bench
     driver code — returning the :class:`ScenarioResult` (events, wall
-    time, flit hops, fingerprint, QoS verdicts).
+    time, flit hops, fingerprint, QoS verdicts).  ``backend`` selects
+    the router architecture (``repro.backends``) the cell replays on.
     """
     from repro.scenarios import ScenarioRunner, get
 
     spec = get(name)
     if smoke:
         spec = spec.smoke()
-    return ScenarioRunner(spec, config=config).run(mode=mode)
+    return ScenarioRunner(spec, config=config, backend=backend).run(mode=mode)
 
 
 def record(experiment_id: str, title: str, body: str) -> None:

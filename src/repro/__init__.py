@@ -16,6 +16,8 @@ Quickstart::
           f"mean latency {conn.sink.mean_latency:.1f} ns")
 """
 
+from .backends import (BACKENDS, BackendCapabilityError, RouterBackend,
+                       backend_names, get_backend, register_backend)
 from .circuits.timing import TYPICAL, TimingProfile, WORST_CASE
 from .core.config import RouterConfig
 from .core.router import MangoRouter
@@ -30,6 +32,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdmissionError",
+    "BACKENDS",
+    "BackendCapabilityError",
     "ClockDomain",
     "Connection",
     "Coord",
@@ -39,6 +43,7 @@ __all__ = [
     "MangoRouter",
     "Mesh",
     "NetworkAdapter",
+    "RouterBackend",
     "RouterConfig",
     "Simulator",
     "TYPICAL",
@@ -46,4 +51,7 @@ __all__ = [
     "Tracer",
     "WORST_CASE",
     "__version__",
+    "backend_names",
+    "get_backend",
+    "register_backend",
 ]

@@ -76,8 +76,12 @@ def _fmt_ns(value: float) -> str:
 
 
 def cmd_scenario(args) -> int:
+    from .backends import BackendCapabilityError, get_backend
     from .scenarios import ScenarioRunner, get, golden, registry
-    from .scenarios.golden import SMOKE_FINGERPRINTS
+    from .scenarios.golden import (BACKEND_SMOKE_FINGERPRINTS,
+                                   SMOKE_FINGERPRINTS)
+
+    backend = get_backend(args.backend)
 
     if args.action == "list":
         table = Table(["scenario", "mesh", "GS", "pattern", "tags"],
@@ -97,7 +101,7 @@ def cmd_scenario(args) -> int:
         spec = get(name)
         if smoke:
             spec = spec.smoke()
-        runner = ScenarioRunner(spec)
+        runner = ScenarioRunner(spec, backend=backend)
         return runner.run(mode=args.mode)
 
     def resolve(requested):
@@ -113,12 +117,18 @@ def cmd_scenario(args) -> int:
 
     if args.action == "run":
         resolve([args.name])
-        result = run_one(args.name)
+        try:
+            result = run_one(args.name)
+        except BackendCapabilityError as error:
+            print(f"SKIP: {error}", file=sys.stderr)
+            return 2
         table = Table(["metric", "value"],
                       title=f"Scenario {result.name} "
                             f"({'smoke' if smoke else 'full'}, "
-                            f"{args.mode} drive)")
+                            f"{args.mode} drive, "
+                            f"backend {backend.name})")
         table.add_row("mesh", f"{result.cols}x{result.rows}")
+        table.add_row("backend", backend.name)
         table.add_row("simulated ns", round(result.sim_ns, 1))
         table.add_row("kernel events", result.events)
         table.add_row("flit hops", result.flit_hops)
@@ -149,6 +159,13 @@ def cmd_scenario(args) -> int:
         print("--update-golden only records smoke fingerprints "
               "(full-duration runs are benchmark territory)")
         return 2
+    if args.update_golden and backend.name != "mango":
+        print("--update-golden records the mango goldens only; "
+              "non-MANGO digests in BACKEND_SMOKE_FINGERPRINTS are "
+              "reviewed by hand (see scenarios/golden.py)")
+        return 2
+    goldens = (SMOKE_FINGERPRINTS if backend.name == "mango"
+               else BACKEND_SMOKE_FINGERPRINTS.get(backend.name, {}))
     selected = registry.names()
     if args.names:
         selected = resolve([n.strip() for n in args.names.split(",")
@@ -157,16 +174,25 @@ def cmd_scenario(args) -> int:
                    "p99 ns", "fingerprint", "verdict"],
                   title=f"QoS conformance matrix "
                         f"({'smoke' if smoke else 'full'} duration, "
-                        f"{args.mode} drive)")
+                        f"{args.mode} drive, backend {backend.name})")
     failed = []
+    skipped = 0
     fingerprints = {}
     for name in selected:
-        result = run_one(name)
+        try:
+            result = run_one(name)
+        except BackendCapabilityError:
+            # MANGO protocol-violation cells are meaningless on foreign
+            # backends: reported, not failed.
+            skipped += 1
+            table.add_row(name, f"{get(name).cols}x{get(name).rows}",
+                          "-", "-", "-", "-", "SKIP")
+            continue
         fingerprints[name] = result.fingerprint
         verdict = "PASS" if result.passed else "FAIL"
         fp_note = result.fingerprint
         if smoke and not args.update_golden:
-            golden_fp = SMOKE_FINGERPRINTS.get(name)
+            golden_fp = goldens.get(name)
             if golden_fp is None:
                 fp_note += " (no golden)"
             elif golden_fp != result.fingerprint:
@@ -201,7 +227,9 @@ def cmd_scenario(args) -> int:
         print(f"FAIL {name}:")
         for problem in problems or ["fingerprint mismatch"]:
             print(f"  - {problem}")
-    print(f"{len(selected) - len(failed)}/{len(selected)} scenarios passed")
+    ran = len(selected) - skipped
+    note = f" ({skipped} skipped: backend {backend.name})" if skipped else ""
+    print(f"{ran - len(failed)}/{ran} scenarios passed{note}")
     return 1 if failed else 0
 
 
@@ -248,6 +276,11 @@ def main(argv=None) -> int:
     scenario.add_argument("--mode", choices=("event", "batch"),
                           default="event",
                           help="kernel drive style (fingerprints match)")
+    from .backends import backend_names
+    scenario.add_argument("--backend", choices=backend_names(),
+                          default="mango",
+                          help="router architecture to replay the "
+                               "scenario on (see docs/backends.md)")
     scenario.add_argument("--names",
                           help="comma-separated subset (for 'matrix')")
     scenario.add_argument("--update-golden", action="store_true",

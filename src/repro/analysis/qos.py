@@ -17,7 +17,16 @@ from dataclasses import dataclass
 from ..circuits.timing import TimingProfile
 from ..core.config import RouterConfig
 
-__all__ = ["QosContract", "contract_for_path", "contract_for_connection"]
+__all__ = ["QosContract", "TdmQosContract", "contract_for_path",
+           "contract_for_connection", "tdm_contract_for_path"]
+
+
+def _rate_within(rate: float, guaranteed: float) -> bool:
+    """Shared admission comparison: at or (within a relative 1e-9
+    tolerance) equal to the guarantee passes — one definition for every
+    contract flavour, so backends cannot drift apart."""
+    return rate <= guaranteed or math.isclose(rate, guaranteed,
+                                              rel_tol=1e-9)
 
 
 @dataclass(frozen=True)
@@ -63,9 +72,7 @@ class QosContract:
         including one reconstructed through ``1 / period`` round-trips —
         is admitted; anything meaningfully above it is not.
         """
-        guaranteed = self.min_bandwidth_flits_per_ns
-        return flits_per_ns <= guaranteed or math.isclose(
-            flits_per_ns, guaranteed, rel_tol=1e-9)
+        return _rate_within(flits_per_ns, self.min_bandwidth_flits_per_ns)
 
     def rows(self):
         return [
@@ -96,3 +103,61 @@ def contract_for_connection(connection, config: RouterConfig = None
     if config is None:
         config = connection.manager.network.config
     return contract_for_path(connection.n_hops, config)
+
+
+@dataclass(frozen=True)
+class TdmQosContract:
+    """Per-connection guarantees of a slot-table (ÆTHEREAL-style) NoC.
+
+    The comparison point of paper Sections 2 and 6: TDM guarantees are
+    hard but *quantised* — bandwidth comes in multiples of ``1/S`` of
+    the link, and worst-case access latency is a slot-table revolution.
+    Used by the ``tdm`` scenario backend to score its own verdicts
+    (:mod:`repro.backends.tdm`); contrast with :class:`QosContract`.
+    """
+
+    hops: int
+    table_size: int            # S: slots per revolution
+    slot_ns: float             # one slot = one link transfer
+    n_slots: int = 1           # reserved slots per revolution
+
+    @property
+    def min_bandwidth_flits_per_ns(self) -> float:
+        """Reserved rate: ``n_slots`` flits per table revolution (the
+        1/S bandwidth quantisation MANGO avoids)."""
+        return self.n_slots / (self.table_size * self.slot_ns)
+
+    @property
+    def max_latency_ns(self) -> float:
+        """Slot-revolution worst case: with evenly spread reservations a
+        flit waits at most ``S / n_slots`` slots for a reserved slot at
+        the first hop, then — slot alignment — advances one hop per
+        slot with no further waiting."""
+        worst_wait = (self.table_size / self.n_slots) * self.slot_ns
+        return worst_wait + self.hops * self.slot_ns
+
+    @property
+    def jitter_bound_ns(self) -> float:
+        """Arrival-spacing variation: the entry wait is the only
+        variable term (zero to a full inter-slot gap)."""
+        return (self.table_size / self.n_slots) * self.slot_ns
+
+    def admits_rate(self, flits_per_ns: float) -> bool:
+        """Whether a source rate fits the reserved slot train (same
+        relative-tolerance comparison as :meth:`QosContract.admits_rate`)."""
+        return _rate_within(flits_per_ns, self.min_bandwidth_flits_per_ns)
+
+
+def tdm_contract_for_path(hops: int, table_size: int, slot_ns: float,
+                          n_slots: int = 1) -> TdmQosContract:
+    """The contract a TDM connection over ``hops`` links would get."""
+    if hops < 1:
+        raise ValueError("a connection crosses at least one link")
+    if table_size < 1 or n_slots < 1:
+        raise ValueError("slot counts must be positive")
+    if n_slots > table_size:
+        raise ValueError("cannot reserve more slots than the table holds")
+    if slot_ns <= 0:
+        raise ValueError("slot duration must be positive")
+    return TdmQosContract(hops=hops, table_size=table_size,
+                          slot_ns=slot_ns, n_slots=n_slots)

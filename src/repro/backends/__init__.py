@@ -1,0 +1,90 @@
+"""Pluggable router backends for the scenario engine.
+
+The paper's claims are comparative (Sections 4.1 and 6): the same
+workload behaves differently on different router architectures.  This
+package makes that an executable statement — every cell of the scenario
+matrix can be replayed on any registered backend::
+
+    python -m repro scenario run gs-under-saturation-4x4 --backend mango
+    python -m repro scenario run gs-under-saturation-4x4 --backend generic-vc
+    python -m repro scenario matrix --smoke --backend tdm
+
+Registered backends (see ``docs/backends.md`` for the modelling
+assumptions of each):
+
+==============  ==========================================================
+``mango``       the paper's router (default; golden fingerprints pinned)
+``generic-vc``  Figure 3 arbitrated-switch VC router — no guarantees
+``tdm``         ÆTHEREAL-style slot tables — hard but quantised
+``priority``    Felicijan & Furber [9] static VC priority — differentiated
+==============  ==========================================================
+
+New backends subclass :class:`~repro.backends.base.RouterBackend` and
+call :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from .base import BackendCapabilityError, RouterBackend
+from .generic_vc import GenericVcBackend, GenericVcNetwork
+from .mango import MangoBackend
+from .meshnet import BaseMeshNetwork, MeshAdapter, MeshConnection
+from .priority import PriorityBackend
+from .tdm import DEFAULT_TABLE_SIZE, TdmBackend, TdmNetwork
+
+__all__ = [
+    "BACKENDS",
+    "BackendCapabilityError",
+    "BaseMeshNetwork",
+    "DEFAULT_TABLE_SIZE",
+    "GenericVcBackend",
+    "GenericVcNetwork",
+    "MangoBackend",
+    "MeshAdapter",
+    "MeshConnection",
+    "PriorityBackend",
+    "RouterBackend",
+    "TdmBackend",
+    "TdmNetwork",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]
+
+#: The backend registry, keyed by ``--backend`` name.
+BACKENDS: Dict[str, RouterBackend] = {}
+
+
+def register_backend(backend: RouterBackend) -> RouterBackend:
+    """Add a backend instance to the registry (unique, non-empty name)."""
+    if not backend.name:
+        raise ValueError("a backend needs a name")
+    if backend.name in BACKENDS:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(backend: Union[str, RouterBackend]) -> RouterBackend:
+    """Resolve a ``--backend`` value (name or instance) to an instance."""
+    if isinstance(backend, RouterBackend):
+        return backend
+    try:
+        return BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise KeyError(
+            f"unknown backend {backend!r} (known: {known})") from None
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, sorted (CLI choices, test params)."""
+    return sorted(BACKENDS)
+
+
+register_backend(MangoBackend())
+register_backend(GenericVcBackend())
+register_backend(TdmBackend())
+register_backend(PriorityBackend())

@@ -1,0 +1,230 @@
+"""Shared mesh scaffolding for the non-MANGO backend networks.
+
+The generic-VC and TDM backends lift the event-level models of
+:mod:`repro.baselines` from single-router bench toys into full
+scenario-runnable networks.  What they share — a mesh of tiles,
+XY routing by destination coordinate, per-link flit counters that feed
+the flit-hop fingerprint, adapter shims that speak the
+``send_be``/``be_inbox`` protocol of the traffic generators, and
+``GsSink``-terminated connection handles — lives here; each backend
+module contributes only its architecture's transport discipline.
+
+Nothing in this module is MANGO-specific: it deliberately reuses the
+repo's :class:`~repro.network.topology.Mesh`, packet and sink types so
+that a :class:`~repro.scenarios.runner.ScenarioRunner` result (loads,
+latency quantiles, per-GS verdicts, fingerprint) is directly comparable
+across backends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..core.config import RouterConfig
+from ..network.connection import GsSink
+from ..network.packet import BePacket
+from ..network.routing import xy_moves
+from ..network.topology import Coord, Direction, Mesh
+from ..sim.kernel import Simulator
+from ..sim.resources import Store
+
+__all__ = [
+    "LinkCounters",
+    "LocalInjectCounter",
+    "MeshAdapter",
+    "MeshConnection",
+    "ConnectionRegistry",
+    "BaseMeshNetwork",
+    "xy_next_direction",
+]
+
+
+def xy_next_direction(here: Coord, dst: Coord) -> Direction:
+    """The next hop of the dimension-ordered (X then Y) route — the same
+    discipline :func:`repro.network.routing.xy_moves` encodes into MANGO
+    source-route headers, applied per hop by destination coordinate."""
+    if here.x != dst.x:
+        return Direction.EAST if dst.x > here.x else Direction.WEST
+    if here.y != dst.y:
+        return Direction.SOUTH if dst.y > here.y else Direction.NORTH
+    raise ValueError(f"no next hop: already at {dst}")
+
+
+class LinkCounters:
+    """Per-link GS/BE traversal counts — the duck type the flit-hop
+    fingerprint and the runner's flit-hop total read off ``net.links``."""
+
+    __slots__ = ("gs_flits", "be_flits")
+
+    def __init__(self):
+        self.gs_flits = 0
+        self.be_flits = 0
+
+
+class LocalInjectCounter:
+    """Stands in for :class:`~repro.network.link.LocalLink` in the
+    fingerprint: counts GS flits injected at a tile's local port."""
+
+    __slots__ = ("gs_flits",)
+
+    def __init__(self):
+        self.gs_flits = 0
+
+
+class ConnectionRegistry:
+    """Duck type for ``net.connection_manager``: the fingerprint hashes
+    each open connection's delivered count and payload sum through
+    ``connection_manager.connections[cid].sink``."""
+
+    def __init__(self):
+        self.connections: Dict[int, "MeshConnection"] = {}
+
+
+class MeshConnection:
+    """A GS connection on a backend mesh: XY path, ``GsSink`` terminus.
+
+    Mirrors the surface of :class:`~repro.network.connection.Connection`
+    that GS traffic sources and per-connection verdicts use: ``send``,
+    ``n_hops``, ``sink``, ``src``/``dst``.
+    """
+
+    def __init__(self, network: "BaseMeshNetwork", connection_id: int,
+                 src: Coord, dst: Coord):
+        self.network = network
+        self.connection_id = connection_id
+        self.src = src
+        self.dst = dst
+        self.moves = xy_moves(src, dst)
+        self.sink = GsSink()
+        self.sent_count = 0
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.moves)
+
+    def path_links(self) -> List[Tuple[Coord, Direction]]:
+        """The (source tile, direction) key of every link on the path."""
+        keys = []
+        here = self.src
+        for move in self.moves:
+            keys.append((here, move))
+            here = here.step(move)
+        return keys
+
+    def send(self, payload: int, last: bool = False):
+        """Queue one flit at the source tile (application side,
+        non-blocking — like the MANGO NA's unbounded endpoint queue)."""
+        self.sent_count += 1
+        return self.network._inject_gs(self, payload, last)
+
+
+class MeshAdapter:
+    """A tile's network interface on a backend mesh.
+
+    Speaks the two protocols the traffic layer expects of
+    :class:`~repro.network.adapter.NetworkAdapter`: ``send_be(dst,
+    words, vc)`` as a blocking sub-generator for the BE sources, and
+    ``be_inbox`` — a :class:`~repro.sim.resources.Store` of delivered
+    :class:`~repro.network.packet.BePacket` objects — for the
+    collectors.  Same-tile traffic loops back locally, exactly as the
+    MANGO NA does (zero network hops, zero latency).
+    """
+
+    def __init__(self, network: "BaseMeshNetwork", coord: Coord):
+        self.network = network
+        self.coord = coord
+        self.sim = network.sim
+        self.be_inbox = Store(network.sim, name=f"backend.NA{coord}.inbox")
+        self.local_link = LocalInjectCounter()
+        self.be_packets_sent = 0
+        self.be_packets_received = 0
+
+    def send_be(self, dst: Coord, words: List[int], vc: int = 0
+                ) -> Generator:
+        """Sub-generator: inject one BE packet routed to ``dst``."""
+        now = self.sim.now
+        if dst == self.coord:
+            packet = BePacket(header=0, words=list(words), packet_id=-1,
+                              src=self.coord, inject_time=now,
+                              arrive_time=now)
+            self.deliver_packet(packet)
+            return
+        packet = BePacket(header=0, words=list(words),
+                          packet_id=self.network.next_packet_id(),
+                          src=self.coord, inject_time=now)
+        self.be_packets_sent += 1
+        yield from self.network._inject_be(self, dst, packet)
+
+    def deliver_packet(self, packet: BePacket) -> None:
+        """Hand a fully arrived packet to whatever collector drains the
+        inbox (the inbox is unbounded, so the put cannot fail)."""
+        self.be_packets_received += 1
+        if not self.be_inbox.try_put(packet):  # pragma: no cover
+            raise RuntimeError("unbounded inbox refused a put")
+
+
+class BaseMeshNetwork:
+    """Common state and drive surface of the backend mesh networks.
+
+    Subclasses implement the transport: :meth:`_inject_gs` (queue a GS
+    flit at the source) and :meth:`_inject_be` (sub-generator injecting
+    one BE packet's flits).  Everything the runner drives or measures —
+    ``run``/``run_batch``/``now``, the ``links`` counter map, adapters,
+    the connection registry — is provided here.
+    """
+
+    def __init__(self, cols: int, rows: int,
+                 config: Optional[RouterConfig] = None):
+        self.config = config or RouterConfig()
+        self.mesh = Mesh(cols, rows,
+                         link_length_mm=self.config.link_length_mm,
+                         link_stages=self.config.link_stages)
+        self.sim = Simulator()
+        self.links: Dict[Tuple[Coord, Direction], LinkCounters] = {
+            (spec.src, spec.direction): LinkCounters()
+            for spec in self.mesh.links()
+        }
+        self.adapters: Dict[Coord, MeshAdapter] = {
+            coord: MeshAdapter(self, coord) for coord in self.mesh.tiles()
+        }
+        self.connection_manager = ConnectionRegistry()
+        self._conn_ids = itertools.count(1)
+        self._packet_ids = itertools.count(1)
+
+    # -- construction helpers ----------------------------------------------
+
+    def next_packet_id(self) -> int:
+        return next(self._packet_ids)
+
+    def register_connection(self, src: Coord, dst: Coord) -> MeshConnection:
+        conn = MeshConnection(self, next(self._conn_ids), src, dst)
+        self.connection_manager.connections[conn.connection_id] = conn
+        return conn
+
+    # -- simulation control ------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    def run_batch(self, until: Optional[float] = None,
+                  max_events: Optional[int] = None) -> int:
+        return self.sim.run_batch(until=until, max_events=max_events)
+
+    @property
+    def events_processed(self) -> int:
+        return self.sim.events_processed
+
+    # -- transport (architecture-specific) ---------------------------------
+
+    def _inject_gs(self, conn: MeshConnection, payload: int,
+                   last: bool) -> None:
+        raise NotImplementedError
+
+    def _inject_be(self, adapter: MeshAdapter, dst: Coord,
+                   packet: BePacket) -> Generator:
+        raise NotImplementedError

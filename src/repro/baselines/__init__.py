@@ -1,5 +1,12 @@
-"""Comparison systems: generic VC router, TDM (ÆTHEREAL-style), priority
-VCs, credit-based flow control."""
+"""Comparison systems the paper argues against (Sections 4.1, 4.3, 6):
+the generic arbitrated-switch VC router of Figure 3, ÆTHEREAL-style TDM
+slot tables, Felicijan & Furber's prioritized VCs [9], and credit-based
+flow control.
+
+These are the *single-router / allocation-level* models; the
+:mod:`repro.backends` package lifts them into full scenario-runnable
+mesh networks (``--backend generic-vc|tdm|priority``), so every cell of
+the scenario matrix can replay on them — see ``docs/backends.md``."""
 
 from .credit_control import (
     FlowControlCost,

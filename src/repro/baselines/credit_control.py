@@ -23,7 +23,9 @@ __all__ = ["credit_router_config", "FlowControlCost",
 
 def credit_router_config(base: RouterConfig = RouterConfig(),
                          window: int = 4) -> RouterConfig:
-    """GS VCs flow-controlled by credits instead of shareboxes."""
+    """GS VCs flow-controlled by credits instead of shareboxes — the
+    "commonly used" alternative paper Section 4.3 prices share-based
+    control against."""
     from dataclasses import replace
     return replace(base, flow_control="credit", credit_window=window)
 

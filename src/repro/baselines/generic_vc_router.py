@@ -31,7 +31,12 @@ __all__ = ["GenericFlit", "GenericVcRouter"]
 
 @dataclass
 class GenericFlit:
-    """A flit in the generic router: destination output + flow tag."""
+    """A flit in the generic router of paper Figure 3: destination
+    output port plus a flow tag for per-flow latency accounting.
+
+    The ``generic-vc`` scenario backend subclasses this with mesh
+    routing fields (:class:`repro.backends.generic_vc.MeshRoutedFlit`);
+    the router itself reads nothing beyond what is declared here."""
 
     output: int
     flow: str
@@ -44,7 +49,13 @@ class GenericVcRouter:
 
     ``inject(input_port, flit)`` queues a flit; delivered flits are passed
     to the sink callback with their delivery time.  Transfer through the
-    switch and across the output link each take one ``cycle_ns``.
+    switch and across the output link each take one ``cycle_ns`` per unit
+    of the flit's ``service_flits`` weight (default 1): a multi-flit
+    packet travelling as one transfer unit — how a VC-less wormhole
+    router actually occupies its switch — holds the arbitrated output
+    for its whole serialized length, which is what lets the
+    ``generic-vc`` scenario backend reproduce the unbounded head-of-line
+    compounding of Section 4.1 at packet granularity.
     """
 
     def __init__(self, sim: Simulator, ports: int, cycle_ns: float,
@@ -81,18 +92,28 @@ class GenericVcRouter:
 
     def bind_sink(self, output: int,
                   callback: Callable[[GenericFlit, float], None]) -> None:
+        """Deliver flits leaving ``output`` to ``callback(flit, now)``
+        — a measurement probe, or (in the ``generic-vc`` backend) the
+        forwarding hook into the next router of the mesh."""
         self._sinks[output] = callback
 
     def inject(self, input_port: int, flit: GenericFlit):
-        """Sub-generator: blocks while the input FIFO is full."""
+        """Sub-generator: blocks while the input FIFO is full — the
+        shared FIFO whose head-of-line coupling Section 4.1 calls out."""
         if flit.inject_time < 0:
             flit.inject_time = self.sim.now
         yield self.input_queues[input_port].put(flit)
 
     def try_inject(self, input_port: int, flit: GenericFlit) -> bool:
+        """Non-blocking :meth:`inject`; False when the FIFO is full."""
         if flit.inject_time < 0:
             flit.inject_time = self.sim.now
         return self.input_queues[input_port].try_put(flit)
+
+    def _service_ns(self, flit: GenericFlit) -> float:
+        """Switch/link occupancy of one transfer unit: ``cycle_ns`` per
+        flit it serializes (``service_flits`` attribute, default 1)."""
+        return self.cycle_ns * getattr(flit, "service_flits", 1)
 
     def _input_process(self, input_port: int):
         queue = self.input_queues[input_port]
@@ -101,7 +122,7 @@ class GenericVcRouter:
             # Head-of-line: everything behind this flit waits here.
             switch = self.switch_ports[flit.output]
             yield switch.request()
-            yield self.sim.timeout(self.cycle_ns)
+            yield self.sim.timeout(self._service_ns(flit))
             yield self.output_buffers[flit.output].put(flit)
             switch.release()
 
@@ -109,7 +130,7 @@ class GenericVcRouter:
         buffer = self.output_buffers[output]
         while True:
             flit = yield buffer.get()
-            yield self.sim.timeout(self.cycle_ns)
+            yield self.sim.timeout(self._service_ns(flit))
             self.delivered += 1
             stats = self.flow_latency.setdefault(flit.flow, RunningStats())
             stats.add(self.sim.now - flit.inject_time)

@@ -47,6 +47,8 @@ class TdmConnection:
     slots: List[int]
 
     def bandwidth_fraction(self, table_size: int) -> float:
+        """Reserved share of the link: the 1/S bandwidth quantisation
+        of slot-table NoCs (paper Section 6)."""
         return len(self.slots) / table_size
 
 
@@ -60,15 +62,20 @@ class TdmSlotTable:
         self.owner: List[Optional[int]] = [None] * size
 
     def free_slots(self) -> List[int]:
+        """Indices of unreserved slots (available to new circuits; idle
+        reserved slots still serve BE at run time)."""
         return [i for i, owner in enumerate(self.owner) if owner is None]
 
     def reserve(self, slot: int, connection_id: int) -> None:
+        """Give ``slot`` to a connection; double-booking is an error —
+        slot ownership is exclusive, that *is* the TDM guarantee."""
         if self.owner[slot] is not None:
             raise ValueError(f"slot {slot} already owned by "
                              f"{self.owner[slot]}")
         self.owner[slot] = connection_id
 
     def release(self, connection_id: int) -> None:
+        """Return every slot held by ``connection_id`` (teardown)."""
         for index, owner in enumerate(self.owner):
             if owner == connection_id:
                 self.owner[index] = None
@@ -116,11 +123,14 @@ class TdmPathAllocator:
         return conn
 
     def release(self, conn: TdmConnection) -> None:
+        """Tear a circuit down, freeing its slot train on every link."""
         for link in conn.path_links:
             self.tables[link].release(conn.connection_id)
         self.connections.pop(conn.connection_id, None)
 
     def utilization(self, link: int) -> float:
+        """Reserved fraction of one link's slot table (allocation-level
+        utilisation, not run-time traffic)."""
         table = self.tables[link]
         return 1.0 - len(table.free_slots()) / table.size
 

@@ -1,9 +1,22 @@
 """Golden flit-hop fingerprints of every registry scenario at smoke
 duration (event-mode drive, the spec's own ``retain_packets``).
 
-Regenerate after an *intentional* workload change with::
+``SMOKE_FINGERPRINTS`` pins the default ``mango`` backend across the
+whole registry.  Regenerate after an *intentional* workload change
+with::
 
     PYTHONPATH=src python -m repro scenario matrix --smoke --update-golden
+
+``BACKEND_SMOKE_FINGERPRINTS`` pins the non-MANGO backends on two cheap
+smoke cells each (see ``tests/backends/``); these are recorded by hand
+from a verified run — ``--update-golden`` deliberately refuses to touch
+them, because a non-MANGO digest change means a *backend model* change,
+which deserves its own review.  Note that ``tdm`` (and ``priority`` on
+uncongested cells) can legitimately share digests with ``mango``: the
+fingerprint hashes *where* every flit went, and backends that route XY
+with identical injection timing move the same flits over the same links
+— only backends whose flow control shifts the shared pattern-RNG draw
+order (``generic-vc``'s packet-granular injection) diverge.
 
 The determinism tests assert these digests are reproduced bit-identically
 across hosts, across ``run`` vs ``run_batch`` driving, and across
@@ -13,7 +26,24 @@ work itself changed, which must be a deliberate, reviewed event.
 
 from typing import Dict
 
-__all__ = ["SMOKE_FINGERPRINTS"]
+__all__ = ["BACKEND_SMOKE_FINGERPRINTS", "SMOKE_FINGERPRINTS"]
+
+#: Non-MANGO backends on the two conformance smoke cells
+#: (backend -> scenario -> digest).  Hand-recorded; see module docstring.
+BACKEND_SMOKE_FINGERPRINTS: Dict[str, Dict[str, str]] = {
+    "generic-vc": {
+        "be-uniform-4x4": "9be1b9c6afd0e281",
+        "gs-cbr-4x4-uniform": "9b00f395db691a7a",
+    },
+    "tdm": {
+        "be-uniform-4x4": "e638c3090fed3e4f",
+        "gs-cbr-4x4-uniform": "86c9505519d7846f",
+    },
+    "priority": {
+        "be-uniform-4x4": "e638c3090fed3e4f",
+        "gs-cbr-4x4-uniform": "86c9505519d7846f",
+    },
+}
 
 SMOKE_FINGERPRINTS: Dict[str, str] = {
     "be-bit-complement-4x4": "79198014b162c632",

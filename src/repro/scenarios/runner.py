@@ -5,12 +5,22 @@ constructs a network + workload + collectors from a description: the
 integration tests, the benchmarks and the CLI all go through it, so a
 new workload is a new spec, never a new driver.
 
+The network itself is built through a pluggable
+:class:`~repro.backends.base.RouterBackend` (``backend="mango"`` by
+default): the same spec, sources, collectors, verdicts and fingerprint
+machinery replay on the MANGO router, the generic arbitrated-VC router
+of paper Figure 3, an ÆTHEREAL-style TDM network, or the prioritized-VC
+router of ref [9] — the paper's comparative claims as an automated
+matrix axis (see ``docs/backends.md``).
+
 Construction order is part of the contract — connections are opened in
 spec order, GS traffic attached per connection, then the BE workload is
 built (collectors for every tile, then one source per tile with seed
 ``seed*1000 + tile_index``) — because the flit-hop fingerprints of the
 registry scenarios are asserted in-repo and any reordering would shift
-RNG draws and event sequence.
+RNG draws and event sequence.  The ``mango`` backend performs exactly
+the construction calls this module made before backends existed, so the
+golden fingerprints are byte-for-byte stable.
 """
 
 from __future__ import annotations
@@ -19,9 +29,9 @@ import hashlib
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..analysis.qos import contract_for_path
+from ..backends import RouterBackend, get_backend
 from ..core.config import RouterConfig
 from ..network.network import MangoNetwork
 from ..network.topology import Coord, Direction, Mesh
@@ -128,6 +138,7 @@ class ScenarioResult:
     name: str
     cols: int
     rows: int
+    backend: str
     mode: str
     retain_packets: bool
     sim_ns: float
@@ -188,6 +199,7 @@ class ScenarioResult:
         return {
             "name": self.name,
             "mesh": f"{self.cols}x{self.rows}",
+            "backend": self.backend,
             "mode": self.mode,
             "retain_packets": self.retain_packets,
             "sim_ns": self.sim_ns,
@@ -215,8 +227,11 @@ class ScenarioRunner:
 
     def __init__(self, spec: ScenarioSpec,
                  config: Optional[RouterConfig] = None,
-                 retain_packets: Optional[bool] = None):
+                 retain_packets: Optional[bool] = None,
+                 backend: Union[str, RouterBackend] = "mango"):
         spec.validate(config)
+        self.backend = get_backend(backend)
+        self.backend.check_spec(spec)
         self.spec = spec
         self.config = config
         self.retain_packets = (spec.retain_packets if retain_packets is None
@@ -230,15 +245,20 @@ class ScenarioRunner:
 
     # -- construction ------------------------------------------------------
 
-    def build(self) -> MangoNetwork:
+    def build(self):
         """Construct network, connections, sources and collectors
-        (untimed); see the module docstring for why the order is part of
-        the determinism contract."""
+        (untimed) through the selected backend; see the module docstring
+        for why the order is part of the determinism contract.
+
+        Returns the backend's network — a :class:`MangoNetwork` for the
+        ``mango``/``priority`` backends, otherwise whatever implements
+        the duck-typed protocol of :mod:`repro.backends.base`."""
         spec = self.spec
-        net = MangoNetwork(spec.cols, spec.rows, config=self.config)
+        net = self.backend.build_network(spec, self.config)
         self.network = net
         self.connections = [
-            net.open_connection_instant(Coord(*gs.src), Coord(*gs.dst))
+            self.backend.open_connection(net, Coord(*gs.src),
+                                         Coord(*gs.dst))
             for gs in spec.gs
         ]
         for gs, conn in zip(spec.gs, self.connections):
@@ -371,13 +391,16 @@ class ScenarioRunner:
         slack = LATENCY_SLACK_CYCLES * config.timing.link_cycle_ns
         verdicts = []
         for gs, conn in zip(self.spec.gs, self.connections):
-            contract = contract_for_path(conn.n_hops, config)
             delivered = conn.sink.count
             payloads = conn.sink.payloads
             in_order = payloads == sorted(payloads)
             observed = (max(conn.sink.latencies)
                         if conn.sink.latencies else float("nan"))
-            bound = contract.max_latency_ns + slack
+            # The backend's own architectural bound when it has one, the
+            # reference MANGO contract otherwise (how Section 4.1 turns
+            # into an automated verdict: see docs/backends.md).
+            bound = self.backend.latency_bound_ns(conn.n_hops,
+                                                  config) + slack
             # Only paced, admissible streams carry a latency guarantee:
             # preloaded/bursty queues add source-side waiting the network
             # contract says nothing about.
@@ -421,6 +444,7 @@ class ScenarioRunner:
             name=spec.name,
             cols=spec.cols,
             rows=spec.rows,
+            backend=self.backend.name,
             mode=mode,
             retain_packets=self.retain_packets,
             sim_ns=sim_ns,

@@ -109,6 +109,51 @@ class TestScenarioCli:
         # ...and every other golden survived the rewrite.
         assert set(SMOKE_FINGERPRINTS) <= set(written)
 
+    def test_run_backend_flag(self, capsys):
+        assert main(["scenario", "run", "be-uniform-4x4", "--smoke",
+                     "--backend", "tdm"]) == 0
+        out = capsys.readouterr().out
+        assert "backend tdm" in out
+        assert "PASS" in out
+
+    def test_run_section_41_violation_on_generic_vc(self, capsys):
+        """The payoff verdict from the command line: the same saturation
+        cell that passes on mango fails its latency bound on the
+        Figure 3 router."""
+        name = "gs-under-saturation-hotspot-8x8"
+        assert main(["scenario", "run", name, "--smoke"]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "run", name, "--smoke",
+                     "--backend", "generic-vc"]) == 1
+        out = capsys.readouterr().out
+        assert "exceeds the contract bound" in out
+
+    def test_run_failure_cell_on_foreign_backend_skips(self, capsys):
+        assert main(["scenario", "run", "failure-orphan-flit-4x4",
+                     "--smoke", "--backend", "generic-vc"]) == 2
+        assert "SKIP" in capsys.readouterr().err
+
+    def test_matrix_backend_skips_failure_cells(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--backend", "tdm",
+                     "--names", "be-uniform-4x4,failure-orphan-flit-4x4"
+                     ]) == 0
+        out = capsys.readouterr().out
+        assert "SKIP" in out
+        assert "1/1 scenarios passed (1 skipped: backend tdm)" in out
+
+    def test_matrix_backend_checks_backend_goldens(self, capsys):
+        assert main(["scenario", "matrix", "--smoke",
+                     "--backend", "generic-vc",
+                     "--names", "be-uniform-4x4,gs-cbr-4x4-uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 scenarios passed" in out
+        assert "no golden" not in out
+
+    def test_update_golden_refuses_foreign_backends(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--update-golden",
+                     "--backend", "tdm"]) == 2
+        assert "mango" in capsys.readouterr().out
+
     def test_update_golden_refuses_failed_scenarios(self, monkeypatch,
                                                     capsys):
         import repro.__main__ as cli

@@ -1,0 +1,45 @@
+"""Documentation health: every relative link in the markdown docs must
+point at a file that exists (CI runs this as the docs check — a renamed
+module or moved doc breaks the build, not the reader)."""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown files whose links are checked.
+DOC_FILES = ["README.md"] + sorted(
+    os.path.join("docs", name)
+    for name in (os.listdir(os.path.join(REPO_ROOT, "docs"))
+                 if os.path.isdir(os.path.join(REPO_ROOT, "docs")) else ())
+    if name.endswith(".md"))
+
+#: Inline markdown links: [text](target) — images included.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path):
+    with open(os.path.join(REPO_ROOT, path)) as handle:
+        text = handle.read()
+    # Fenced code blocks illustrate syntax, they are not navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_docs_exist():
+    assert "README.md" in DOC_FILES
+    assert any(path.startswith("docs") for path in DOC_FILES), \
+        "docs/ must ship markdown guides (architecture.md, backends.md)"
+
+
+@pytest.mark.parametrize("path", DOC_FILES)
+def test_relative_links_resolve(path):
+    base = os.path.dirname(os.path.join(REPO_ROOT, path))
+    broken = [target for target in _relative_links(path)
+              if not os.path.exists(os.path.join(base, target))]
+    assert not broken, f"{path}: broken relative link(s): {broken}"
