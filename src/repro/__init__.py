@@ -16,6 +16,8 @@ Quickstart::
           f"mean latency {conn.sink.mean_latency:.1f} ns")
 """
 
+from .alloc import (ALLOCATORS, Allocator, allocator_names, get_allocator,
+                    register_allocator)
 from .backends import (BACKENDS, BackendCapabilityError, RouterBackend,
                        backend_names, get_backend, register_backend)
 from .circuits.timing import TYPICAL, TimingProfile, WORST_CASE
@@ -31,7 +33,9 @@ from .sim.tracing import Tracer
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALLOCATORS",
     "AdmissionError",
+    "Allocator",
     "BACKENDS",
     "BackendCapabilityError",
     "ClockDomain",
@@ -51,7 +55,10 @@ __all__ = [
     "Tracer",
     "WORST_CASE",
     "__version__",
+    "allocator_names",
     "backend_names",
+    "get_allocator",
     "get_backend",
+    "register_allocator",
     "register_backend",
 ]

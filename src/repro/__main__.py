@@ -7,6 +7,9 @@ Commands:
 * ``simulate``   — a quick mixed GS/BE simulation on a small mesh
 * ``scenario``   — the declarative scenario matrix: ``list``, ``run`` one
   scenario, or drive the whole conformance ``matrix``
+* ``alloc``      — connection allocation: print a named adversarial
+  ``demand-set`` as JSON, or ``report`` the acceptance-rate comparison
+  of the registered strategies on a demand set
 """
 
 from __future__ import annotations
@@ -101,7 +104,8 @@ def cmd_scenario(args) -> int:
         spec = get(name)
         if smoke:
             spec = spec.smoke()
-        runner = ScenarioRunner(spec, backend=backend)
+        runner = ScenarioRunner(spec, backend=backend,
+                                allocator=args.allocator)
         return runner.run(mode=args.mode)
 
     def resolve(requested):
@@ -129,6 +133,8 @@ def cmd_scenario(args) -> int:
                             f"backend {backend.name})")
         table.add_row("mesh", f"{result.cols}x{result.rows}")
         table.add_row("backend", backend.name)
+        if args.allocator != "xy":
+            table.add_row("allocator", args.allocator)
         table.add_row("simulated ns", round(result.sim_ns, 1))
         table.add_row("kernel events", result.events)
         table.add_row("flit hops", result.flit_hops)
@@ -139,6 +145,15 @@ def cmd_scenario(args) -> int:
                       f"{_fmt_ns(result.latency_mean_ns)} / "
                       f"{_fmt_ns(result.latency_p50_ns)} / "
                       f"{_fmt_ns(result.latency_p99_ns)}")
+        if result.churn is not None:
+            churn = result.churn
+            table.add_row(
+                "churn open/rejected/closed",
+                f"{churn['opened']} / {churn['rejected']} / "
+                f"{churn['closed']}")
+            table.add_row(
+                "churn flits sent/delivered",
+                f"{churn['flits_sent']} / {churn['delivered']}")
         for verdict in result.gs:
             table.add_row(
                 f"GS {verdict.label} ({verdict.traffic})",
@@ -155,6 +170,15 @@ def cmd_scenario(args) -> int:
         return 0 if result.passed else 1
 
     # matrix
+    if args.allocator != "xy" and \
+            not backend.supports_alternate_allocators:
+        # Per-cell SKIPs are for individually incompatible cells; an
+        # allocator the backend can never honor would green-SKIP the
+        # whole matrix, so refuse it up front.
+        print(f"backend {backend.name!r} performs its own admission "
+              f"control; --allocator {args.allocator} cannot apply to "
+              "any cell (see docs/allocation.md)", file=sys.stderr)
+        return 2
     if args.update_golden and not smoke:
         print("--update-golden only records smoke fingerprints "
               "(full-duration runs are benchmark territory)")
@@ -164,8 +188,17 @@ def cmd_scenario(args) -> int:
               "non-MANGO digests in BACKEND_SMOKE_FINGERPRINTS are "
               "reviewed by hand (see scenarios/golden.py)")
         return 2
+    if args.update_golden and args.allocator != "xy":
+        print("--update-golden records the default xy-allocator goldens "
+              "only; alternate strategies admit different paths by "
+              "design (see docs/allocation.md)")
+        return 2
     goldens = (SMOKE_FINGERPRINTS if backend.name == "mango"
                else BACKEND_SMOKE_FINGERPRINTS.get(backend.name, {}))
+    if args.allocator != "xy":
+        # Non-default admission chooses different paths on purpose; the
+        # verdicts still apply, the xy fingerprints do not.
+        goldens = {}
     selected = registry.names()
     if args.names:
         selected = resolve([n.strip() for n in args.names.split(",")
@@ -233,6 +266,99 @@ def cmd_scenario(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_alloc(args) -> int:
+    from .alloc import (allocator_names, comparison_table, compare,
+                        demand_set_names, get_demand_set, DemandSet)
+
+    if args.name and args.demands:
+        print("give either a named demand set or --demands FILE, "
+              "not both", file=sys.stderr)
+        return 2
+    # Flags scoped to the other action are refused, not ignored.
+    if args.action == "report" and args.out:
+        print("--out only applies to 'demand-set' ('report' prints a "
+              "table; redirect stdout to capture it)", file=sys.stderr)
+        return 2
+    if args.action == "demand-set" and args.require_improvement:
+        print("--require-improvement only applies to 'report'",
+              file=sys.stderr)
+        return 2
+    if args.action == "demand-set" and args.allocator is not None:
+        print("--allocator only applies to 'report' (a demand set is "
+              "strategy-independent input)", file=sys.stderr)
+        return 2
+
+    def load_demand_set():
+        if args.demands:
+            try:
+                with open(args.demands) as handle:
+                    return DemandSet.from_json(handle.read())
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                print(f"cannot load demand set from {args.demands}: "
+                      f"{error!r} (see docs/allocation.md for the file "
+                      "format)", file=sys.stderr)
+                raise SystemExit(2)
+        name = args.name or "column-saturated-8x8"
+        try:
+            return get_demand_set(name)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            raise SystemExit(2)
+
+    if args.action == "demand-set":
+        if args.out and not (args.name or args.demands):
+            print("--out needs a demand set to write: name one (see "
+                  "'alloc demand-set' for the list) or pass --demands",
+                  file=sys.stderr)
+            return 2
+        if not args.name and not args.out and not args.demands:
+            table = Table(["demand set", "mesh", "demands", "description"],
+                          title="Named adversarial demand sets")
+            for name in demand_set_names():
+                dset = get_demand_set(name)
+                blurb = dset.description
+                if len(blurb) > 56:
+                    blurb = blurb[:56] + "..."
+                table.add_row(name, f"{dset.cols}x{dset.rows}", len(dset),
+                              blurb)
+            print(table.render())
+            return 0
+        dset = load_demand_set()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(dset.to_json() + "\n")
+            print(f"wrote {len(dset)} demands to {args.out}")
+        else:
+            print(dset.to_json())
+        return 0
+
+    # report
+    dset = load_demand_set()
+    strategies = ([args.allocator]
+                  if args.allocator not in (None, "all")
+                  else allocator_names())
+    outcomes = compare(dset, strategies)
+    print(comparison_table(dset, outcomes).render())
+    if args.require_improvement:
+        by_name = {outcome.strategy: outcome for outcome in outcomes}
+        xy = by_name.get("xy")
+        adaptive = [outcome for name, outcome in by_name.items()
+                    if name != "xy"]
+        if xy is None or not adaptive:
+            print("--require-improvement needs xy plus at least one "
+                  "adaptive strategy in the comparison", file=sys.stderr)
+            return 2
+        short = [outcome.strategy for outcome in adaptive
+                 if outcome.admitted <= xy.admitted]
+        if short:
+            print(f"FAIL: {', '.join(short)} admitted no more than xy "
+                  f"({xy.admitted}/{xy.total}) on {dset.name}")
+            return 1
+        print(f"OK: every adaptive strategy beats xy "
+              f"({xy.admitted}/{xy.total} admitted) on {dset.name}")
+    return 0
+
+
 def _write_golden(golden_module, fingerprints) -> None:
     """Rewrite scenarios/golden.py with freshly recorded digests."""
     path = golden_module.__file__
@@ -281,11 +407,40 @@ def main(argv=None) -> int:
                           default="mango",
                           help="router architecture to replay the "
                                "scenario on (see docs/backends.md)")
+    from .alloc import allocator_names
+    scenario.add_argument("--allocator", choices=allocator_names(),
+                          default="xy",
+                          help="GS admission/route-search strategy "
+                               "(mango-manager backends only; see "
+                               "docs/allocation.md)")
     scenario.add_argument("--names",
                           help="comma-separated subset (for 'matrix')")
     scenario.add_argument("--update-golden", action="store_true",
                           help="record smoke fingerprints into "
                                "scenarios/golden.py")
+
+    alloc = sub.add_parser(
+        "alloc", help="connection allocation: demand sets + "
+                      "acceptance-rate comparison")
+    alloc.add_argument("action", choices=("demand-set", "report"))
+    alloc.add_argument("name", nargs="?",
+                       help="named adversarial demand set (default: "
+                            "column-saturated-8x8 for 'report', list "
+                            "for 'demand-set')")
+    alloc.add_argument("--demands",
+                       help="path to a demand-set JSON file (instead of "
+                            "a named set)")
+    alloc.add_argument("--out",
+                       help="write the demand set as JSON to this path "
+                            "(for 'demand-set')")
+    alloc.add_argument("--allocator", default=None,
+                       choices=("all",) + tuple(allocator_names()),
+                       help="strategy to report on (report only; "
+                            "default: all)")
+    alloc.add_argument("--require-improvement", action="store_true",
+                       help="exit non-zero unless every adaptive "
+                            "strategy admits strictly more than xy "
+                            "(the CI alloc-smoke gate)")
 
     args = parser.parse_args(argv)
     if args.command == "scenario" and args.action == "run" \
@@ -293,7 +448,8 @@ def main(argv=None) -> int:
         parser.error("scenario run needs a scenario name "
                      "(see: scenario list)")
     handlers = {"report": cmd_report, "contract": cmd_contract,
-                "simulate": cmd_simulate, "scenario": cmd_scenario}
+                "simulate": cmd_simulate, "scenario": cmd_scenario,
+                "alloc": cmd_alloc}
     return handlers[args.command](args)
 
 

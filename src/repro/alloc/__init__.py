@@ -1,0 +1,94 @@
+"""Connection allocation: pluggable admission control and route search.
+
+The paper's routers give hard guarantees to whatever connections are
+programmed into them; *which* connections fit is a resource-allocation
+problem on top (Even & Fais, *Algorithms for Network-on-Chip Design
+with Guaranteed QoS*).  This package is that layer:
+
+* :mod:`~repro.alloc.capacity` — the residual-capacity model of a mesh
+  (per-link VC pools, local GS interfaces, committed guaranteed
+  bandwidth), attached to a live ConnectionManager or detached for
+  design-time studies;
+* :mod:`~repro.alloc.strategies` — the ``Allocator`` interface and the
+  ``xy`` / ``min-adaptive`` / ``ripup`` policies;
+* :mod:`~repro.alloc.demand` — JSON-round-trippable demand sets,
+  including the documented adversarial sets where XY under-admits;
+* :mod:`~repro.alloc.report` — batch runs and the acceptance-rate
+  comparison (``python -m repro alloc report``).
+
+Select a strategy on a live network with
+``net.connection_manager.allocator = "min-adaptive"`` (or
+``ScenarioRunner(spec, allocator=...)`` / ``scenario run
+--allocator``); the default stays ``xy``, decision-for-decision
+identical to the historical hardwired policy.  See
+``docs/allocation.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from .capacity import ResidualCapacity
+from .demand import (ADVERSARIAL_SETS, Demand, DemandSet, demand_set_names,
+                     get_demand_set)
+from .report import (StrategyOutcome, compare, comparison_table,
+                     run_demand_set)
+from .strategies import (Allocation, Allocator, MinAdaptiveAllocator,
+                         RipupAllocator, XyAllocator)
+
+__all__ = [
+    "ADVERSARIAL_SETS",
+    "ALLOCATORS",
+    "Allocation",
+    "Allocator",
+    "Demand",
+    "DemandSet",
+    "MinAdaptiveAllocator",
+    "ResidualCapacity",
+    "RipupAllocator",
+    "StrategyOutcome",
+    "XyAllocator",
+    "allocator_names",
+    "compare",
+    "comparison_table",
+    "demand_set_names",
+    "get_allocator",
+    "get_demand_set",
+    "register_allocator",
+    "run_demand_set",
+]
+
+#: The strategy registry, keyed by ``--allocator`` name.
+ALLOCATORS: Dict[str, Allocator] = {}
+
+
+def register_allocator(allocator: Allocator) -> Allocator:
+    """Add a strategy instance to the registry (unique, non-empty name)."""
+    if not allocator.name:
+        raise ValueError("an allocator needs a name")
+    if allocator.name in ALLOCATORS:
+        raise ValueError(f"allocator {allocator.name!r} already registered")
+    ALLOCATORS[allocator.name] = allocator
+    return allocator
+
+
+def get_allocator(allocator: Union[str, Allocator]) -> Allocator:
+    """Resolve an ``--allocator`` value (name or instance)."""
+    if isinstance(allocator, Allocator):
+        return allocator
+    try:
+        return ALLOCATORS[allocator]
+    except KeyError:
+        known = ", ".join(allocator_names())
+        raise KeyError(
+            f"unknown allocator {allocator!r} (known: {known})") from None
+
+
+def allocator_names() -> List[str]:
+    """Registered strategy names, default (``xy``) first."""
+    return sorted(ALLOCATORS, key=lambda name: (name != "xy", name))
+
+
+register_allocator(XyAllocator())
+register_allocator(MinAdaptiveAllocator())
+register_allocator(RipupAllocator())

@@ -1,0 +1,188 @@
+"""Demand sets: the design-time input of connection allocation.
+
+A :class:`DemandSet` is a named, JSON-round-trippable list of GS
+connection requests over one mesh — the object the batch allocators,
+the ``python -m repro alloc`` CLI and ``benchmarks/bench_allocation.py``
+all consume.  The named adversarial sets are constructed so that the
+hardwired XY policy measurably under-admits:
+
+``column-saturated-8x8``
+    16 demands from the north-west quadrant into the last column's
+    south rows.  Every XY route turns south on the last column, so all
+    16 pile onto vertical link ``(7,3)->SOUTH`` (8 VCs) and XY admits
+    exactly 8 — while the mesh has 64 row-3/row-4 crossings to spread
+    over, so the adaptive strategies admit all 16.
+
+``column-saturated-16x16``
+    The same construction at 256-router scale (32 demands, all crossing
+    ``(15,7)->SOUTH``).
+
+``greedy-trap-3x3``
+    A five-demand set on a 3x3 mesh (single-VC links) where greedy
+    least-loaded allocation strands the last demand but rip-up's
+    re-ordering admits all five — the instance that separates ``ripup``
+    from plain ``min-adaptive``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..network.topology import Coord
+
+__all__ = ["Demand", "DemandSet", "ADVERSARIAL_SETS", "get_demand_set",
+           "demand_set_names"]
+
+
+@dataclass(frozen=True)
+class Demand:
+    """One requested GS connection."""
+
+    src: Tuple[int, int]
+    dst: Tuple[int, int]
+
+    @property
+    def pair(self) -> Tuple[Coord, Coord]:
+        return Coord(*self.src), Coord(*self.dst)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"src": list(self.src), "dst": list(self.dst)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Demand":
+        (sx, sy), (dx, dy) = data["src"], data["dst"]
+        return cls(src=(int(sx), int(sy)), dst=(int(dx), int(dy)))
+
+
+@dataclass(frozen=True)
+class DemandSet:
+    """A named list of demands over a ``cols x rows`` mesh."""
+
+    name: str
+    cols: int
+    rows: int
+    demands: Tuple[Demand, ...]
+    description: str = ""
+    #: VCs per link the set was designed against (None = RouterConfig
+    #: default); the report/bench runners build their capacity with it.
+    vcs_per_port: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.demands)
+
+    def pairs(self) -> List[Tuple[Coord, Coord]]:
+        return [demand.pair for demand in self.demands]
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("a demand set needs a name")
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if not self.demands:
+            raise ValueError(f"demand set {self.name!r} is empty")
+        for demand in self.demands:
+            for which, (x, y) in (("src", demand.src), ("dst", demand.dst)):
+                if not (0 <= x < self.cols and 0 <= y < self.rows):
+                    raise ValueError(
+                        f"demand {which} {(x, y)} outside the "
+                        f"{self.cols}x{self.rows} mesh")
+            if demand.src == demand.dst:
+                raise ValueError(
+                    f"demand {demand.src} -> {demand.dst}: src == dst")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cols": self.cols,
+            "rows": self.rows,
+            "demands": [demand.to_dict() for demand in self.demands],
+            "description": self.description,
+            "vcs_per_port": self.vcs_per_port,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DemandSet":
+        dset = cls(
+            name=data["name"],
+            cols=int(data["cols"]),
+            rows=int(data["rows"]),
+            demands=tuple(Demand.from_dict(d) for d in data["demands"]),
+            description=data.get("description", ""),
+            vcs_per_port=data.get("vcs_per_port"),
+        )
+        dset.validate()
+        return dset
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DemandSet":
+        return cls.from_dict(json.loads(text))
+
+
+def _column_saturated(side: int) -> DemandSet:
+    """Quadrant-to-last-column demands whose XY routes all cross one
+    vertical link of the last column (see module docstring)."""
+    half = side // 2
+    demands = tuple(
+        Demand(src=(x, y), dst=(side - 1, half + y))
+        for y in range(half)
+        for x in range(4)
+    )
+    return DemandSet(
+        name=f"column-saturated-{side}x{side}",
+        cols=side, rows=side, demands=demands,
+        description=(
+            f"{len(demands)} demands from columns 0-3 of the north rows "
+            f"into the south rows of column {side - 1}; every XY route "
+            f"turns south at ({side - 1},y) and crosses "
+            f"({side - 1},{half - 1})->SOUTH, so XY admits at most one "
+            "link's worth of VCs while adaptive search spreads the "
+            "row crossing over every column."))
+
+
+def _greedy_trap() -> DemandSet:
+    """Greedy-order trap (see class docstring of RipupAllocator): with
+    one VC per link, blockers pin the row-0 detour returns, the
+    diagonal demand greedily takes the east-first shortest path, and
+    the final (0,0)->(1,0) demand is stranded — unless the order is
+    ripped up, in which case all five fit."""
+    return DemandSet(
+        name="greedy-trap-3x3", cols=3, rows=3, vcs_per_port=1,
+        demands=(
+            Demand(src=(1, 1), dst=(1, 0)),   # pins (1,1)->NORTH
+            Demand(src=(2, 1), dst=(2, 0)),   # pins (2,1)->NORTH
+            Demand(src=(2, 0), dst=(1, 0)),   # pins (2,0)->WEST
+            Demand(src=(0, 0), dst=(2, 2)),   # greedy takes E,E,S,S
+            Demand(src=(0, 0), dst=(1, 0)),   # stranded unless ripped up
+        ),
+        description=(
+            "Five demands on a 3x3 mesh with vcs_per_port=1: greedy "
+            "least-loaded order admits 4, rip-up re-ordering admits "
+            "all 5 (the diagonal demand reroutes S,S,E,E)."))
+
+
+#: Named adversarial sets (name -> zero-argument factory).
+ADVERSARIAL_SETS: Dict[str, Callable[[], DemandSet]] = {
+    "column-saturated-8x8": lambda: _column_saturated(8),
+    "column-saturated-16x16": lambda: _column_saturated(16),
+    "greedy-trap-3x3": _greedy_trap,
+}
+
+
+def demand_set_names() -> List[str]:
+    return sorted(ADVERSARIAL_SETS)
+
+
+def get_demand_set(name: str) -> DemandSet:
+    try:
+        dset = ADVERSARIAL_SETS[name]()
+    except KeyError:
+        known = ", ".join(demand_set_names())
+        raise KeyError(
+            f"unknown demand set {name!r} (known: {known})") from None
+    dset.validate()
+    return dset

@@ -1,0 +1,128 @@
+"""Batch allocation runs and the acceptance-rate comparison report.
+
+``run_demand_set`` drives one strategy over one
+:class:`~repro.alloc.demand.DemandSet` on a fresh (detached)
+:class:`~repro.alloc.capacity.ResidualCapacity` and measures what the
+policy achieved: admitted/rejected counts, mean hops of the admitted
+paths, and allocation throughput (demands/s of host wall time — the
+figure ``benchmarks/bench_allocation.py`` records).  ``compare`` runs
+several strategies on identical fresh capacity and renders the
+side-by-side table the CLI (``python -m repro alloc report``) and the
+CI ``alloc-smoke`` job print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.report import Table
+from ..core.config import RouterConfig
+from .capacity import ResidualCapacity
+from .demand import DemandSet
+from .strategies import Allocation
+
+__all__ = ["StrategyOutcome", "run_demand_set", "compare",
+           "comparison_table"]
+
+
+@dataclass
+class StrategyOutcome:
+    """What one strategy achieved on one demand set."""
+
+    strategy: str
+    demand_set: str
+    total: int
+    admitted: int
+    mean_hops: float
+    wall_s: float
+    results: List[Optional[Allocation]]
+
+    @property
+    def rejected(self) -> int:
+        return self.total - self.admitted
+
+    @property
+    def acceptance(self) -> float:
+        return self.admitted / self.total if self.total else 0.0
+
+    @property
+    def demands_per_s(self) -> float:
+        return self.total / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "demand_set": self.demand_set,
+            "total": self.total,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "acceptance": self.acceptance,
+            "mean_hops": self.mean_hops,
+            "wall_s": self.wall_s,
+            "demands_per_s": self.demands_per_s,
+        }
+
+
+def _config_for(dset: DemandSet,
+                config: Optional[RouterConfig]) -> RouterConfig:
+    if config is not None:
+        return config
+    if dset.vcs_per_port is not None:
+        return RouterConfig(vcs_per_port=dset.vcs_per_port)
+    return RouterConfig()
+
+
+def run_demand_set(dset: DemandSet, allocator,
+                   config: Optional[RouterConfig] = None
+                   ) -> StrategyOutcome:
+    """Allocate ``dset`` with ``allocator`` on fresh capacity."""
+    from . import get_allocator
+    dset.validate()
+    allocator = get_allocator(allocator)
+    capacity = ResidualCapacity.fresh(dset.cols, dset.rows,
+                                      _config_for(dset, config))
+    pairs = dset.pairs()
+    start = time.perf_counter()
+    results = allocator.allocate_batch(capacity, pairs)
+    wall_s = time.perf_counter() - start
+    admitted = [r for r in results if r is not None]
+    hop_counts = [len(hops) for (_tx, _rx, hops) in admitted]
+    mean_hops = (sum(hop_counts) / len(hop_counts)
+                 if hop_counts else float("nan"))
+    return StrategyOutcome(
+        strategy=allocator.name,
+        demand_set=dset.name,
+        total=len(pairs),
+        admitted=len(admitted),
+        mean_hops=mean_hops,
+        wall_s=wall_s,
+        results=results,
+    )
+
+
+def compare(dset: DemandSet, allocators: Sequence = (),
+            config: Optional[RouterConfig] = None
+            ) -> List[StrategyOutcome]:
+    """Run every strategy (default: all registered) on identical fresh
+    capacity, in registry order."""
+    from . import allocator_names
+    names = list(allocators) or allocator_names()
+    return [run_demand_set(dset, name, config=config) for name in names]
+
+
+def comparison_table(dset: DemandSet,
+                     outcomes: Sequence[StrategyOutcome]) -> Table:
+    table = Table(
+        ["strategy", "admitted", "rejected", "acceptance", "mean hops",
+         "demands/s"],
+        title=f"Allocation strategies on {dset.name} "
+              f"({dset.cols}x{dset.rows}, {len(dset)} demands)")
+    for outcome in outcomes:
+        hops = ("-" if outcome.mean_hops != outcome.mean_hops
+                else f"{outcome.mean_hops:.2f}")
+        table.add_row(outcome.strategy, outcome.admitted, outcome.rejected,
+                      f"{outcome.acceptance:.0%}", hops,
+                      f"{outcome.demands_per_s:,.0f}")
+    return table

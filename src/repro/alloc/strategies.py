@@ -1,0 +1,249 @@
+"""Route-search / admission strategies behind one ``Allocator`` interface.
+
+The paper's router takes whatever path it is programmed with — the
+connection tables steer per (input, VC), so *any* loop-free hop list is
+a legal GS connection.  Which path (and whether a demand is admitted at
+all) is therefore a policy above the router, and this module makes that
+policy pluggable:
+
+* ``xy`` — dimension-ordered XY with lowest-free-VC reservation: the
+  behaviour :class:`~repro.network.connection.ConnectionManager` has
+  always had, decision-for-decision (the golden fingerprints pin it);
+* ``min-adaptive`` — deterministic Dijkstra over the residual mesh,
+  edge cost ``1 + utilization``, so demands route around saturated
+  links instead of being rejected by them;
+* ``ripup`` — a batch allocator for whole demand sets: greedy
+  ``min-adaptive`` plus rip-up-and-reroute improvement rounds that
+  re-order rejected demands to the front and rebuild (Even & Fais
+  style design-time allocation).
+
+Strategies are stateless; shared instances live in the
+:mod:`repro.alloc` registry and are installed on a ConnectionManager
+(``manager.allocator = "min-adaptive"``) or driven standalone over a
+detached :class:`~repro.alloc.capacity.ResidualCapacity`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.connection import AdmissionError, Hop
+from ..network.routing import max_route_hops, xy_moves
+from ..network.topology import Coord, Direction
+from .capacity import ResidualCapacity
+
+__all__ = ["Allocation", "Allocator", "XyAllocator",
+           "MinAdaptiveAllocator", "RipupAllocator"]
+
+#: What an allocator returns: the reserved endpoint interfaces and the
+#: reserved hop list — exactly the tuple ``ConnectionManager._allocate``
+#: has always produced.
+Allocation = Tuple[int, int, List[Hop]]
+
+
+class Allocator(ABC):
+    """One admission/route-search policy over a residual-capacity model."""
+
+    #: Registry key (``--allocator`` value).
+    name: str = ""
+
+    #: One-line policy summary for CLI tables.
+    description: str = ""
+
+    @abstractmethod
+    def allocate(self, capacity: ResidualCapacity, src: Coord,
+                 dst: Coord) -> Allocation:
+        """Choose a path and reserve it on ``capacity``; raises
+        :class:`~repro.network.connection.AdmissionError` (leaving the
+        pools untouched) when the demand cannot be accommodated."""
+
+    def allocate_batch(self, capacity: ResidualCapacity,
+                       demands: Sequence[Tuple[Coord, Coord]]
+                       ) -> List[Optional[Allocation]]:
+        """Allocate a whole demand set, in order; one entry per demand,
+        ``None`` where admission failed.  The default is first-fit
+        greedy; batch-aware strategies override."""
+        results: List[Optional[Allocation]] = []
+        for src, dst in demands:
+            try:
+                results.append(self.allocate(capacity, src, dst))
+            except AdmissionError:
+                results.append(None)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Allocator {self.name}>"
+
+
+class XyAllocator(Allocator):
+    """Dimension-ordered XY, lowest free VC per link — the default, and
+    decision-for-decision identical to the historical hardwired policy
+    (same check order, same reservation order, same tie-breaks)."""
+
+    name = "xy"
+    description = ("dimension-ordered XY path, lowest free VC per link "
+                   "(the historical hardwired policy)")
+
+    def allocate(self, capacity: ResidualCapacity, src: Coord,
+                 dst: Coord) -> Allocation:
+        capacity.check_pair(src, dst)
+        moves = xy_moves(src, dst)
+        capacity.check_hop_cap(len(moves))
+        capacity.check_ifaces(src, dst)
+        hops = capacity.reserve_moves(src, moves)
+        src_iface, dst_iface = capacity.take_ifaces(src, dst)
+        return src_iface, dst_iface, hops
+
+
+class MinAdaptiveAllocator(Allocator):
+    """Deterministic Dijkstra over the least-loaded residual links.
+
+    Edge cost is ``1 + utilization`` (utilization = reserved VC
+    fraction), so an empty mesh routes minimal-hop and a loaded mesh
+    trades up to one extra hop per fully reserved link avoided.  Links
+    with no free VC are not edges at all.  Ties break on (cost, hops,
+    insertion order), and neighbours expand in direction-code order
+    (N, E, S, W) — the search is bit-reproducible.
+    """
+
+    name = "min-adaptive"
+    description = ("deterministic Dijkstra over least-loaded residual "
+                   "links (cost 1 + utilization)")
+
+    #: Relaxation slack: a candidate must beat the settled cost by more
+    #: than this to reopen a node (guards float-noise reopenings).
+    _EPS = 1e-12
+
+    def allocate(self, capacity: ResidualCapacity, src: Coord,
+                 dst: Coord) -> Allocation:
+        capacity.check_pair(src, dst)
+        capacity.check_ifaces(src, dst)
+        moves = self.search(capacity, src, dst)
+        if moves is None:
+            raise AdmissionError(
+                f"no residual-capacity path {src} -> {dst}: every "
+                "cut between the endpoints has a fully reserved link "
+                "(the error's .snapshot names the busiest links)",
+                resource=("path", src, dst),
+                snapshot=capacity.rejection_snapshot())
+        capacity.check_hop_cap(len(moves))
+        hops = capacity.reserve_moves(src, moves)
+        src_iface, dst_iface = capacity.take_ifaces(src, dst)
+        return src_iface, dst_iface, hops
+
+    def search(self, capacity: ResidualCapacity, src: Coord,
+               dst: Coord) -> Optional[List[Direction]]:
+        """The cheapest move list ``src -> dst`` over links with free
+        VCs, or ``None`` when the residual graph disconnects them."""
+        counter = itertools.count()
+        frontier: List[Tuple[float, int, int, Coord]] = [
+            (0.0, 0, next(counter), src)]
+        best: Dict[Coord, float] = {src: 0.0}
+        parent: Dict[Coord, Tuple[Coord, Direction]] = {}
+        hop_cap = max_route_hops()
+        while frontier:
+            cost, hops, _, here = heapq.heappop(frontier)
+            if here == dst:
+                break
+            if cost > best.get(here, float("inf")) + self._EPS:
+                continue  # stale entry
+            if hops >= hop_cap:
+                continue
+            for direction, nxt in capacity.exits(here):
+                if capacity.free_vcs(here, direction) == 0:
+                    continue
+                edge = 1.0 + capacity.utilization(here, direction)
+                candidate = cost + edge
+                if candidate < best.get(nxt, float("inf")) - self._EPS:
+                    best[nxt] = candidate
+                    parent[nxt] = (here, direction)
+                    heapq.heappush(frontier,
+                                   (candidate, hops + 1, next(counter), nxt))
+        if dst not in parent:
+            return None
+        moves: List[Direction] = []
+        here = dst
+        while here != src:
+            prev, direction = parent[here]
+            moves.append(direction)
+            here = prev
+        moves.reverse()
+        return moves
+
+
+class RipupAllocator(Allocator):
+    """Batch rip-up-and-reroute over whole demand sets.
+
+    A single demand allocates exactly like ``min-adaptive`` (the greedy
+    step).  :meth:`allocate_batch` then improves on greedy ordering:
+    after a greedy round, the rejected demands are ripped to the front
+    of the order and the whole set is rebuilt on a fresh capacity
+    clone — repeated up to ``rounds`` times, keeping the best round.
+    Re-ordering is the classic fix for greedy admission: an early
+    demand with alternatives no longer starves a later demand whose
+    only path it took.
+    """
+
+    name = "ripup"
+    description = ("batch greedy + rip-up-and-reroute rounds "
+                   "(rejected demands re-allocated first)")
+
+    def __init__(self, rounds: int = 4):
+        if rounds < 1:
+            raise ValueError("need at least one improvement round")
+        self.rounds = rounds
+        self._greedy = MinAdaptiveAllocator()
+
+    def allocate(self, capacity: ResidualCapacity, src: Coord,
+                 dst: Coord) -> Allocation:
+        return self._greedy.allocate(capacity, src, dst)
+
+    def allocate_batch(self, capacity: ResidualCapacity,
+                       demands: Sequence[Tuple[Coord, Coord]]
+                       ) -> List[Optional[Allocation]]:
+        if not capacity.detached:
+            raise ValueError(
+                "rip-up rounds replay the whole demand set from scratch; "
+                "run them on a detached ResidualCapacity (the live "
+                "ConnectionManager view admits demands one at a time)")
+        order = list(range(len(demands)))
+        best_order, best_count = list(order), -1
+        seen = {tuple(order)}
+        for _ in range(self.rounds + 1):
+            accepted = self._trial(capacity.clone(), demands, order)
+            count = sum(accepted)
+            if count > best_count:
+                best_count, best_order = count, list(order)
+            if count == len(demands):
+                break
+            # Rip up: rejected demands allocate first next round.
+            order = ([i for i, ok in zip(order, accepted) if not ok] +
+                     [i for i, ok in zip(order, accepted) if ok])
+            if tuple(order) in seen:
+                break
+            seen.add(tuple(order))
+        results: List[Optional[Allocation]] = [None] * len(demands)
+        for index in best_order:
+            src, dst = demands[index]
+            try:
+                results[index] = self.allocate(capacity, src, dst)
+            except AdmissionError:
+                results[index] = None
+        return results
+
+    def _trial(self, capacity: ResidualCapacity,
+               demands: Sequence[Tuple[Coord, Coord]],
+               order: Sequence[int]) -> List[bool]:
+        """One greedy round in ``order``; True per slot when admitted."""
+        accepted = []
+        for index in order:
+            src, dst = demands[index]
+            try:
+                self.allocate(capacity, src, dst)
+                accepted.append(True)
+            except AdmissionError:
+                accepted.append(False)
+        return accepted

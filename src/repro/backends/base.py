@@ -89,6 +89,16 @@ class RouterBackend(ABC):
     #: this backend's network.
     supports_failure_injection: bool = False
 
+    #: Whether the backend's network carries a full connection
+    #: programming protocol (open/close via config packets at runtime),
+    #: which a :class:`~repro.scenarios.spec.ChurnSpec` drives.
+    supports_churn: bool = False
+
+    #: Whether the backend admits connections through the pluggable
+    #: :mod:`repro.alloc` strategies (``--allocator``); backends with
+    #: their own admission discipline (TDM slot alignment, ...) do not.
+    supports_alternate_allocators: bool = False
+
     @abstractmethod
     def build_network(self, spec, config: Optional[RouterConfig] = None):
         """Construct an idle network for ``spec``'s mesh (untimed).
@@ -125,6 +135,12 @@ class RouterBackend(ABC):
                 f"protocol, so the {spec.failure.kind!r} failure "
                 f"injection of scenario {spec.name!r} is meaningless "
                 "on it (run failure cells on --backend mango)")
+        if spec.churn is not None and not self.supports_churn:
+            raise BackendCapabilityError(
+                f"backend {self.name!r} models no runtime connection "
+                f"programming protocol, so the open/close churn of "
+                f"scenario {spec.name!r} cannot run on it (run churn "
+                "cells on --backend mango)")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RouterBackend {self.name}>"

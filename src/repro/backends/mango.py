@@ -31,6 +31,8 @@ class MangoBackend(RouterBackend):
     paper_section = "3-5 (Figures 2, 4, 5)"
     has_hard_guarantees = True
     supports_failure_injection = True
+    supports_churn = True
+    supports_alternate_allocators = True
 
     def build_network(self, spec, config: Optional[RouterConfig] = None
                       ) -> MangoNetwork:

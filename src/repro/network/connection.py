@@ -18,15 +18,50 @@ from typing import Dict, Generator, List, Optional, Tuple
 from ..core.connection_table import TableEntry
 from ..core.programming import OP_SETUP, OP_TEARDOWN, pack_command
 from ..network.packet import GsFlit, Steering, encode_steering
-from ..network.routing import max_route_hops, route_words_for, xy_moves
+from ..network.routing import route_words_for
 from ..network.topology import Coord, Direction
 from ..sim.kernel import Event, Simulator
 
 __all__ = ["AdmissionError", "GsSink", "Connection", "ConnectionManager"]
 
+#: How long a failed ack-less programming attempt waits before its
+#: resources are reclaimed — long enough for its in-flight config
+#: packets to land at the loads a recovery is plausible under.  With
+#: acks (the default) recovery paces itself on the acks instead.
+RECOVERY_GRACE_NS = 5000.0
+
 
 class AdmissionError(Exception):
-    """No free VC (or local interface) on some hop of the requested path."""
+    """The requested connection cannot be accommodated.
+
+    Raised when some resource along the chosen path is exhausted — a
+    link's VC pool, an endpoint's local GS interfaces, or (for adaptive
+    strategies) every residual path between the endpoints.  ``resource``
+    names the exhausted pool (e.g. ``("vc", coord, direction)``) and
+    ``snapshot`` carries the residual-capacity summary of the mesh at
+    rejection time (see
+    :meth:`repro.alloc.capacity.ResidualCapacity.snapshot`), so callers
+    can see *why* admission failed, not just that it did.
+    """
+
+    def __init__(self, message: str, *, resource: tuple = None,
+                 snapshot=None):
+        super().__init__(message)
+        self.resource = resource
+        self._snapshot = snapshot
+
+    @property
+    def snapshot(self):
+        """The residual snapshot at rejection time.  The raiser passes
+        a thunk over counts it captured when admission failed (see
+        :meth:`~repro.alloc.capacity.ResidualCapacity
+        .rejection_snapshot`), so the summary formatting only runs for
+        errors somebody actually inspects — batch allocators swallow
+        rejections by the dozen — while the data stays pinned to the
+        moment of rejection however the pools move afterwards."""
+        if callable(self._snapshot):
+            self._snapshot = self._snapshot()
+        return self._snapshot
 
 
 class GsSink:
@@ -110,10 +145,31 @@ class Connection:
             self.send(payload, last=(index == len(payloads) - 1))
 
 
-class ConnectionManager:
-    """Allocates VCs and programs connections into the routers."""
+@dataclass
+class _ProgramProgress:
+    """How far a :meth:`ConnectionManager._program` pass got before it
+    failed: the table writes whose config packet entered the BE
+    network (write index, plus the pending-ack event when acks are
+    on).  Everything else — the source router's synchronous local
+    write, writes never reached — has nothing in flight, which is
+    exactly the split :meth:`ConnectionManager._recover` needs to
+    reclaim resources without racing late packets."""
 
-    def __init__(self, network):
+    sent: List[Tuple[int, Optional[Event]]] = field(default_factory=list)
+
+
+class ConnectionManager:
+    """Allocates VCs and programs connections into the routers.
+
+    *Which* path a connection takes (and whether it is admitted at all)
+    is a pluggable policy from :mod:`repro.alloc`: the default ``xy``
+    strategy reproduces the historical hardwired behaviour
+    decision-for-decision, while ``min-adaptive``/``ripup`` search the
+    residual-capacity mesh.  Install one with ``manager.allocator =
+    "min-adaptive"`` (name or instance).
+    """
+
+    def __init__(self, network, allocator="xy"):
         self.network = network
         self.sim: Simulator = network.sim
         self._ids = itertools.count(1)
@@ -130,53 +186,35 @@ class ConnectionManager:
             coord: set(range(ifaces)) for coord in network.mesh.tiles()}
         self.connections: Dict[int, Connection] = {}
         self._pending_acks: Dict[int, Event] = {}
+        self._allocator = None
+        self.allocator = allocator
         for adapter in network.adapters.values():
             adapter.on_config_ack(self._ack_arrived)
 
     # -- allocation ------------------------------------------------------------
 
+    @property
+    def allocator(self):
+        """The installed :class:`~repro.alloc.strategies.Allocator`."""
+        return self._allocator
+
+    @allocator.setter
+    def allocator(self, value) -> None:
+        # Imported lazily: repro.alloc sits above the network layer (it
+        # builds on topology/routing/qos) and importing it at module
+        # scope here would be circular.
+        from ..alloc import get_allocator
+        self._allocator = get_allocator(value)
+
+    def capacity(self):
+        """The live residual-capacity view over this manager's pools."""
+        from ..alloc.capacity import ResidualCapacity
+        return ResidualCapacity.from_manager(self)
+
     def _allocate(self, src: Coord, dst: Coord) -> Tuple[int, int, List[Hop]]:
-        """Reserve a path; raises :class:`AdmissionError` when full."""
-        if src == dst:
-            raise AdmissionError(
-                "GS connections terminate on different local ports "
-                "(paper Section 3)")
-        moves = xy_moves(src, dst)
-        # The admission hop cap is whatever the route encoder can express
-        # in a chained header — the programming packets (and their acks)
-        # travel on exactly those headers.
-        if len(moves) > max_route_hops():
-            raise AdmissionError(
-                f"path of {len(moves)} hops exceeds the "
-                f"{max_route_hops()}-hop capacity of the chained "
-                "source-route headers the programming packets travel on")
-        if not self.tx_pools[src]:
-            raise AdmissionError(f"no free GS source interface at {src}")
-        if not self.rx_pools[dst]:
-            raise AdmissionError(f"no free GS sink interface at {dst}")
-        hops: List[Hop] = []
-        taken: List[Tuple[Coord, Direction, int]] = []
-        here = src
-        try:
-            for move in moves:
-                pool = self.vc_pools[(here, move)]
-                if not pool:
-                    raise AdmissionError(
-                        f"no free VC on link {here}->{move.name}")
-                vc = min(pool)
-                pool.discard(vc)
-                taken.append((here, move, vc))
-                hops.append(Hop(here, move, vc))
-                here = here.step(move)
-        except AdmissionError:
-            for coord, direction, vc in taken:
-                self.vc_pools[(coord, direction)].add(vc)
-            raise
-        src_iface = min(self.tx_pools[src])
-        dst_iface = min(self.rx_pools[dst])
-        self.tx_pools[src].discard(src_iface)
-        self.rx_pools[dst].discard(dst_iface)
-        return src_iface, dst_iface, hops
+        """Reserve a path via the installed strategy; raises
+        :class:`AdmissionError` (pools untouched) when full."""
+        return self._allocator.allocate(self.capacity(), src, dst)
 
     def _free(self, conn: Connection) -> None:
         for hop in conn.hops:
@@ -259,12 +297,16 @@ class ConnectionManager:
         src_iface, dst_iface, hops = self._allocate(src, dst)
         conn = Connection(next(self._ids), src, dst, src_iface, dst_iface,
                           hops, self)
+        progress = _ProgramProgress()
         try:
-            yield from self._program(conn, OP_SETUP, want_ack)
+            yield from self._program(conn, OP_SETUP, want_ack, progress)
         except Exception:
-            # Programming failed: return the reservations so the failure
-            # does not leak VCs or local interfaces.
-            self._free(conn)
+            # Programming failed: reclaim the reservations without
+            # racing the config packets already travelling the BE
+            # network (see _recover), so the failure leaks neither
+            # VCs/interfaces nor stale table entries that would crash a
+            # later open reusing the freed VCs.
+            self._recover(conn, progress)
             raise
         self._bind_endpoints(conn)
         conn.state = "open"
@@ -283,16 +325,32 @@ class ConnectionManager:
         src_na = self.network.adapters[conn.src]
         src_na.unbind_tx(conn.src_iface)
         self.network.adapters[conn.dst].unbind_rx(conn.dst_iface)
-        yield from self._program(conn, OP_TEARDOWN, want_ack)
+        progress = _ProgramProgress()
+        try:
+            yield from self._program(conn, OP_TEARDOWN, want_ack, progress)
+        except Exception:
+            # A failed teardown must not leak the reservations: the
+            # connection is unusable either way (endpoints unbound).
+            # _recover scrubs the table entries its undelivered
+            # teardown packets would have cleared and returns the VCs
+            # and interfaces — but only once nothing of this
+            # connection's programming is still in flight, so the
+            # freed VCs are genuinely reusable by a later open instead
+            # of racing a late config packet.
+            self._recover(conn, progress)
+            conn.state = "error"
+            self.connections.pop(conn.connection_id, None)
+            raise
         self._free(conn)
         conn.state = "closed"
         del self.connections[conn.connection_id]
 
-    def _program(self, conn: Connection, opcode: int,
-                 want_ack: bool) -> Generator:
+    def _program(self, conn: Connection, opcode: int, want_ack: bool,
+                 progress: Optional["_ProgramProgress"] = None) -> Generator:
         src_na = self.network.adapters[conn.src]
         ack_events: List[Event] = []
-        for coord, out_port, vc, entry in self._entries(conn):
+        for index, (coord, out_port, vc, entry) in \
+                enumerate(self._entries(conn)):
             seq = next(self._seqs) & 0xFFF
             ack_route = None
             if want_ack and coord != conn.src:
@@ -304,16 +362,94 @@ class ConnectionManager:
                 connection_id=conn.connection_id, ack_route=ack_route)
             if coord == conn.src:
                 # The own router is programmed through the local port
-                # extension directly (a zero-hop BE route is impossible).
+                # extension directly (a zero-hop BE route is
+                # impossible) — synchronous, nothing left in flight.
                 self.network.routers[coord].programming.execute(words)
             else:
+                event = None
                 if ack_route is not None:
                     event = Event(self.sim)
                     self._pending_acks[seq] = event
                     ack_events.append(event)
-                yield from src_na.send_be(coord, words)
+                try:
+                    yield from src_na.send_be(coord, words)
+                except BaseException:
+                    # This write's packet never entered the network:
+                    # drop its ack registration (the ack can never
+                    # arrive).  Earlier writes' registrations stay —
+                    # their packets are in flight and their acks both
+                    # clean themselves up on arrival and pace recovery.
+                    if event is not None:
+                        self._pending_acks.pop(seq, None)
+                    raise
+                if progress is not None:
+                    progress.sent.append((index, event))
         for event in ack_events:
             yield event
+
+    def _scrub_entry(self, conn: Connection, coord: Coord,
+                     out_port: Direction, vc: int) -> None:
+        """Zero-time removal of one of ``conn``'s table rows, if it is
+        still present and still owned by ``conn`` — the model's
+        operator-reset of a router whose config packet could not be
+        (or was never) delivered."""
+        table = self.network.routers[coord].table
+        entry = table.lookup(out_port, vc)
+        if entry is not None and entry.connection_id == conn.connection_id:
+            table.clear(out_port, vc)
+
+    def _recover(self, conn: Connection,
+                 progress: "_ProgramProgress") -> None:
+        """Reclaim a connection whose programming failed partway.
+
+        Writes whose config packet never entered the network (and the
+        source router's synchronous local write) are scrubbed
+        immediately — nothing can race them.  Writes whose packet *is*
+        in flight must land first: scrubbing under them would crash a
+        late teardown (clearing an already-cleared slot) and freeing
+        their VCs would let a new connection collide with a late
+        setup.  So the final scrub-and-free runs when the last
+        outstanding ack arrives (want_ack programming paces itself),
+        or after :data:`RECOVERY_GRACE_NS` for ack-less programming.
+        Until then the resources stay reserved: a concurrent open sees
+        AdmissionError, never a corrupted table.
+        """
+        writes = self._entries(conn)
+        sent = dict(progress.sent)
+        for index, (coord, out_port, vc, _entry) in enumerate(writes):
+            if index not in sent:
+                self._scrub_entry(conn, coord, out_port, vc)
+
+        def finish(_event=None) -> None:
+            for index in sent:
+                coord, out_port, vc, _entry = writes[index]
+                self._scrub_entry(conn, coord, out_port, vc)
+            self._free(conn)
+
+        if not sent:
+            finish()
+            return
+        pending = [event for event in sent.values()
+                   if event is not None and not event.triggered]
+        if all(event is not None for event in sent.values()):
+            remaining = len(pending)
+            if remaining == 0:
+                finish()
+                return
+            counter = {"n": remaining}
+
+            def one_done(_event) -> None:
+                counter["n"] -= 1
+                if counter["n"] == 0:
+                    finish()
+
+            for event in pending:
+                event.add_callback(one_done)
+        else:
+            # No ack signal to pace on (want_ack=False): reclaim after
+            # a grace period that comfortably covers config-packet
+            # delivery at the loads a recovery is plausible under.
+            self.sim.defer(RECOVERY_GRACE_NS, finish)
 
     def _ack_arrived(self, seq: int) -> None:
         event = self._pending_acks.pop(seq, None)

@@ -30,7 +30,8 @@ class MangoNetwork:
                  config: Optional[RouterConfig] = None,
                  mesh: Optional[Mesh] = None,
                  tracer: Optional[Tracer] = None,
-                 clocks: Optional[Dict[Coord, ClockDomain]] = None):
+                 clocks: Optional[Dict[Coord, ClockDomain]] = None,
+                 allocator="xy"):
         self.config = config or RouterConfig()
         self.mesh = mesh or Mesh(cols, rows,
                                  link_length_mm=self.config.link_length_mm,
@@ -63,7 +64,9 @@ class MangoNetwork:
                 self.sim, coord, self.routers[coord], local_link,
                 clock=clocks.get(coord))
 
-        self.connection_manager = ConnectionManager(self)
+        # ``allocator`` selects the admission/route-search strategy
+        # (repro.alloc); "xy" is the historical hardwired policy.
+        self.connection_manager = ConnectionManager(self, allocator=allocator)
 
     # -- construction helpers ---------------------------------------------------
 

@@ -7,15 +7,17 @@ measurements, and ``registry`` holds the named matrix that the CLI
 the benchmarks all share.
 """
 
-from .spec import (BeTrafficSpec, FailureSpec, GsConnectionSpec,
+from .spec import (BeTrafficSpec, ChurnSpec, FailureSpec, GsConnectionSpec,
                    ScenarioError, ScenarioSpec)
-from .runner import (ConnectionVerdict, ScenarioResult, ScenarioRunner,
-                     build_pattern, flit_hop_fingerprint)
+from .runner import (ChurnDriver, ConnectionVerdict, ScenarioResult,
+                     ScenarioRunner, build_pattern, flit_hop_fingerprint)
 from . import registry
 from .registry import SCENARIOS, get, names, register
 
 __all__ = [
     "BeTrafficSpec",
+    "ChurnDriver",
+    "ChurnSpec",
     "ConnectionVerdict",
     "FailureSpec",
     "GsConnectionSpec",

@@ -72,6 +72,8 @@ SMOKE_FINGERPRINTS: Dict[str, str] = {
     "gs-cbr-16x16-local": "49fae44015bec464",
     "gs-cbr-4x4-uniform": "86c9505519d7846f",
     "gs-cbr-8x8-transpose": "0ae432f053b42f40",
+    "gs-churn-8x8": "9b6ef5ae7566d08e",
+    "gs-churn-saturated-16x16": "8b685eb3ebd39fc0",
     "gs-many-conns-6x6": "038b5f515e801148",
     "gs-under-saturation-4x4": "3ff53da446c382d3",
     "gs-under-saturation-8x8": "b11cebb20b835485",

@@ -6,8 +6,15 @@ scenario matrix --smoke`` run.  The matrix spans the evaluation axes of
 the paper's claims (and of the related QoS-NoC literature): spatial
 pattern (uniform, local-uniform, transpose, bit-complement,
 nearest-neighbour, hotspot) x mesh size (4x4 / 6x6 / 8x8 / 16x16) x
-service mix (BE-only, GS+BE, GS under BE saturation, failure
-injection).
+service mix (BE-only, GS+BE, GS under BE saturation, runtime
+connection churn, failure injection).
+
+Scenarios tagged ``churn`` open and close GS connections *during* the
+run through the real programming protocol (``ChurnSpec``); the
+saturated 16x16 cell deterministically rejects part of each cycle's
+opens under the default ``xy`` admission strategy — replay it with
+``--allocator min-adaptive`` to watch the allocation layer admit them
+(see ``docs/allocation.md``).
 
 ``corner-streams-6x6`` / ``corner-streams-8x8`` reproduce exactly the
 workload the kernel-throughput benchmark has always measured — their
@@ -29,7 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from .spec import (BeTrafficSpec, FailureSpec, GsConnectionSpec,
+from .spec import (BeTrafficSpec, ChurnSpec, FailureSpec, GsConnectionSpec,
                    ScenarioSpec)
 
 __all__ = ["SCENARIOS", "register", "get", "names"]
@@ -362,6 +369,40 @@ register(ScenarioSpec(
     description="A CBR stream routed straight through a saturated BE "
                 "hotspot column.",
     tags=("gs-under-saturation", "hotspot", "cbr")))
+
+# -- connection churn: the pools must breathe at runtime ---------------------
+
+register(ScenarioSpec(
+    name="gs-churn-8x8", cols=8, rows=8,
+    churn=ChurnSpec(
+        pairs=(((0, 0), (7, 7)), ((7, 0), (0, 7)),
+               ((0, 7), (7, 0)), ((3, 3), (4, 4))),
+        cycles=3, flits_per_open=8),
+    be=BeTrafficSpec("uniform", slot_ns=25.0, probability=0.15,
+                     payload_words=2, n_slots=30, pattern_seed=7, seed=9),
+    drain_ns=12000.0,
+    description="Four GS connections opened, streamed and closed every "
+                "cycle through real programming packets (with acks) "
+                "while uniform BE load shares the mesh — the VC and "
+                "interface pools must return to idle every cycle.",
+    tags=("gs+be", "churn", "uniform")))
+
+register(ScenarioSpec(
+    name="gs-churn-saturated-16x16", cols=16, rows=16,
+    churn=ChurnSpec(
+        pairs=tuple(((x, y), (15, 12 + y))
+                    for y in range(3) for x in range(4)),
+        cycles=2, flits_per_open=6),
+    be=BeTrafficSpec("uniform", slot_ns=40.0, probability=0.08,
+                     payload_words=2, n_slots=12, pattern_seed=7, seed=9),
+    drain_ns=40000.0,
+    description="Twelve churned pairs whose XY routes all funnel down "
+                "column 15 (links (15,2..11)->SOUTH carry all twelve): "
+                "with 8 VCs per link the default xy strategy "
+                "deterministically admits 8 and rejects 4 every cycle "
+                "— runtime admission rejections under churn, at "
+                "256-router scale over chained route headers.",
+    tags=("gs+be", "churn", "uniform", "chained", "slow")))
 
 # -- failure injection: errors must never pass silently ---------------------
 

@@ -31,8 +31,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..backends import RouterBackend, get_backend
+from ..backends import BackendCapabilityError, RouterBackend, get_backend
 from ..core.config import RouterConfig
+from ..network.connection import AdmissionError
 from ..network.network import MangoNetwork
 from ..network.topology import Coord, Direction, Mesh
 from ..traffic.generators import BurstySource, CbrSource
@@ -41,9 +42,10 @@ from ..traffic.patterns import (BitComplement, Hotspot, LocalUniform,
                                 UniformRandom)
 from ..traffic.stats import P2Quantile, RunningStats, percentile
 from ..traffic.workload import UniformBeWorkload
-from .spec import BeTrafficSpec, FailureSpec, ScenarioSpec
+from .spec import BeTrafficSpec, ChurnSpec, FailureSpec, ScenarioSpec
 
 __all__ = [
+    "ChurnDriver",
     "ConnectionVerdict",
     "ScenarioResult",
     "ScenarioRunner",
@@ -107,6 +109,89 @@ def flit_hop_fingerprint(network: MangoNetwork) -> str:
     return digest[:16]
 
 
+class ChurnDriver:
+    """Opens and closes GS connections at runtime, through the real
+    programming protocol (:class:`~repro.scenarios.spec.ChurnSpec`).
+
+    Runs as one deterministic kernel process: per cycle it requests
+    every pair through ``ConnectionManager.open`` (admission rejections
+    are counted, not fatal), streams ``flits_per_open`` flits over each
+    admitted connection, polls the sinks until everything is delivered,
+    settles, and closes each connection again — so the VC/interface
+    pools breathe every cycle, which no build-time connection set
+    exercises.
+    """
+
+    def __init__(self, net, churn: ChurnSpec):
+        self.net = net
+        self.churn = churn
+        self.opened = 0
+        self.rejected = 0
+        self.closed = 0
+        self.flits_sent = 0
+        self.delivered = 0
+        self.process = net.sim.process(self._run(), name="churn")
+
+    def _run(self):
+        sim = self.net.sim
+        manager = self.net.connection_manager
+        churn = self.churn
+        payload = 0
+        for _cycle in range(churn.cycles):
+            conns = []
+            for src, dst in churn.pairs:
+                try:
+                    conn = yield from manager.open(
+                        Coord(*src), Coord(*dst), want_ack=churn.want_ack)
+                except AdmissionError:
+                    self.rejected += 1
+                    continue
+                self.opened += 1
+                conns.append(conn)
+            if not churn.want_ack:
+                # Fire-and-forget setup: "open" returned before the
+                # table writes landed; let the config packets program
+                # the path before data chases them.
+                yield sim.timeout(churn.settle_ns)
+            for conn in conns:
+                for index in range(churn.flits_per_open):
+                    conn.send(payload,
+                              last=index == churn.flits_per_open - 1)
+                    payload += 1
+                    self.flits_sent += 1
+            # Poll the sinks up to the per-cycle delivery deadline: a
+            # shortfall is *recorded* (failing the churn verdict via
+            # delivered < flits_sent) rather than polled forever into
+            # the runner's opaque max_ns timeout.
+            deadline = sim.now + churn.deliver_timeout_ns
+            for conn in conns:
+                while conn.sink.count < churn.flits_per_open \
+                        and sim.now < deadline:
+                    yield sim.timeout(churn.poll_ns)
+            # Let trailing unlock/credit signals settle before tearing
+            # the tables down.
+            yield sim.timeout(churn.settle_ns)
+            for conn in conns:
+                self.delivered += conn.sink.count
+                if conn.sink.count < churn.flits_per_open:
+                    # Undelivered flits may still sit in VC buffers;
+                    # leave the connection open (closed < opened also
+                    # fails the verdict) instead of tearing tables out
+                    # from under in-flight traffic.
+                    continue
+                yield from manager.close(conn, want_ack=churn.want_ack)
+                self.closed += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "opened": self.opened,
+            "rejected": self.rejected,
+            "closed": self.closed,
+            "flits_sent": self.flits_sent,
+            "delivered": self.delivered,
+        }
+
+
 @dataclass
 class ConnectionVerdict:
     """Per-GS-connection QoS conformance against its contract."""
@@ -139,6 +224,7 @@ class ScenarioResult:
     cols: int
     rows: int
     backend: str
+    allocator: str
     mode: str
     retain_packets: bool
     sim_ns: float
@@ -157,18 +243,30 @@ class ScenarioResult:
     failure_expected: bool = False
     failure_detected: bool = False
     failure_kind: str = ""
+    churn: Optional[Dict[str, int]] = None
 
     @property
     def be_lost(self) -> int:
         return self.be_sent - self.be_received
 
     @property
+    def churn_ok(self) -> bool:
+        """Every churned flit delivered and every admitted connection
+        closed again (admission rejections are by design)."""
+        if self.churn is None:
+            return True
+        return (self.churn["delivered"] == self.churn["flits_sent"]
+                and self.churn["closed"] == self.churn["opened"])
+
+    @property
     def passed(self) -> bool:
-        """All QoS verdicts hold, nothing was lost, and an injected
-        failure (if any) was loudly detected."""
+        """All QoS verdicts hold, nothing was lost, churn conserved its
+        flits and connections, and an injected failure (if any) was
+        loudly detected."""
         if self.failure_expected:
             return self.failure_detected
-        return self.be_lost == 0 and all(verdict.ok for verdict in self.gs)
+        return (self.be_lost == 0 and self.churn_ok
+                and all(verdict.ok for verdict in self.gs))
 
     def failures(self) -> List[str]:
         """Human-readable list of everything that went wrong."""
@@ -181,6 +279,12 @@ class ScenarioResult:
         if self.be_lost:
             problems.append(f"{self.be_lost} BE packets lost "
                             f"({self.be_received}/{self.be_sent})")
+        if not self.churn_ok:
+            problems.append(
+                f"churn: {self.churn['delivered']}/"
+                f"{self.churn['flits_sent']} flits delivered, "
+                f"{self.churn['closed']}/{self.churn['opened']} "
+                "connections closed")
         for verdict in self.gs:
             if not verdict.complete:
                 problems.append(
@@ -200,6 +304,7 @@ class ScenarioResult:
             "name": self.name,
             "mesh": f"{self.cols}x{self.rows}",
             "backend": self.backend,
+            "allocator": self.allocator,
             "mode": self.mode,
             "retain_packets": self.retain_packets,
             "sim_ns": self.sim_ns,
@@ -218,6 +323,7 @@ class ScenarioResult:
             "failure_expected": self.failure_expected,
             "failure_detected": self.failure_detected,
             "failure_kind": self.failure_kind,
+            "churn": self.churn,
             "passed": self.passed,
         }
 
@@ -228,7 +334,8 @@ class ScenarioRunner:
     def __init__(self, spec: ScenarioSpec,
                  config: Optional[RouterConfig] = None,
                  retain_packets: Optional[bool] = None,
-                 backend: Union[str, RouterBackend] = "mango"):
+                 backend: Union[str, RouterBackend] = "mango",
+                 allocator: str = "xy"):
         spec.validate(config)
         self.backend = get_backend(backend)
         self.backend.check_spec(spec)
@@ -236,12 +343,27 @@ class ScenarioRunner:
         self.config = config
         self.retain_packets = (spec.retain_packets if retain_packets is None
                                else retain_packets)
+        # The admission/route-search strategy (repro.alloc) the mango
+        # network admits GS connections with; "xy" is the bit-identical
+        # default the golden fingerprints pin.
+        self.allocator = allocator
+        if self._allocator_name() != "xy" and \
+                not self.backend.supports_alternate_allocators:
+            raise BackendCapabilityError(
+                f"backend {self.backend.name!r} performs its own "
+                f"admission control; the {self._allocator_name()!r} "
+                "allocation strategy only applies to backends built on "
+                "the MANGO connection manager")
         self.network: Optional[MangoNetwork] = None
         self.connections: List = []
         self.gs_sources: List = []
+        self.churn_driver: Optional[ChurnDriver] = None
         self.workload: Optional[UniformBeWorkload] = None
         self._quantiles: Dict[float, P2Quantile] = {}
         self._expected_error: Optional[type] = None
+
+    def _allocator_name(self) -> str:
+        return getattr(self.allocator, "name", self.allocator)
 
     # -- construction ------------------------------------------------------
 
@@ -256,6 +378,10 @@ class ScenarioRunner:
         spec = self.spec
         net = self.backend.build_network(spec, self.config)
         self.network = net
+        if self._allocator_name() != "xy":
+            # Capability-checked in __init__: this network exposes the
+            # MANGO connection manager.
+            net.connection_manager.allocator = self.allocator
         self.connections = [
             self.backend.open_connection(net, Coord(*gs.src),
                                          Coord(*gs.dst))
@@ -286,6 +412,11 @@ class ScenarioRunner:
                 n_slots=spec.be.n_slots, seed=spec.be.seed,
                 retain_packets=self.retain_packets,
                 latency_observers=tuple(self._quantiles.values()))
+        if spec.churn is not None:
+            # After the static connections and the BE workload, so the
+            # construction order (and with it every golden fingerprint
+            # of the churn-free cells) is untouched.
+            self.churn_driver = ChurnDriver(net, spec.churn)
         if spec.failure is not None:
             self._schedule_failure(net, spec.failure)
         return net
@@ -334,6 +465,8 @@ class ScenarioRunner:
         spec = self.spec
         sources = list(self.workload.sources) if self.workload else []
         sources += self.gs_sources
+        if self.churn_driver is not None:
+            sources.append(self.churn_driver)
         processes = [source.process for source in sources]
 
         failure_detected = False
@@ -445,6 +578,7 @@ class ScenarioRunner:
             cols=spec.cols,
             rows=spec.rows,
             backend=self.backend.name,
+            allocator=self._allocator_name(),
             mode=mode,
             retain_packets=self.retain_packets,
             sim_ns=sim_ns,
@@ -463,4 +597,6 @@ class ScenarioRunner:
             failure_expected=spec.failure is not None,
             failure_detected=failure_detected,
             failure_kind=spec.failure.kind if spec.failure else "",
+            churn=(self.churn_driver.stats()
+                   if self.churn_driver is not None else None),
         )

@@ -28,6 +28,7 @@ __all__ = [
     "GsConnectionSpec",
     "BeTrafficSpec",
     "FailureSpec",
+    "ChurnSpec",
     "ScenarioSpec",
     "PATTERN_NAMES",
     "GS_TRAFFIC_KINDS",
@@ -48,6 +49,7 @@ FAILURE_KINDS = ("malformed_config", "orphan_flit")
 SMOKE_MAX_SLOTS = 6
 SMOKE_MAX_FLITS = 20
 SMOKE_MAX_BURSTS = 2
+SMOKE_MAX_CYCLES = 2
 
 
 class ScenarioError(ValueError):
@@ -58,6 +60,27 @@ def _coord(value) -> Tuple[int, int]:
     """Normalise a coordinate-ish value to an ``(x, y)`` int tuple."""
     x, y = value
     return (int(x), int(y))
+
+
+def _check_endpoints(label: str, src: Tuple[int, int],
+                     dst: Tuple[int, int], cols: int, rows: int) -> None:
+    """Shared endpoint validation for anything that names a GS pair:
+    both ends on the mesh, distinct, and the XY hop count within the
+    chained route-header capacity (one copy of the hop-cap rule, so a
+    header revision cannot silently diverge between spec kinds)."""
+    for which, (x, y) in (("src", src), ("dst", dst)):
+        if not (0 <= x < cols and 0 <= y < rows):
+            raise ScenarioError(
+                f"{label} {which} {(x, y)} outside the {cols}x{rows} mesh")
+    if tuple(src) == tuple(dst):
+        raise ScenarioError(f"{label} {src} -> {dst}: src == dst")
+    (sx, sy), (dx, dy) = src, dst
+    hops = abs(sx - dx) + abs(sy - dy)
+    if hops > max_route_hops():
+        raise ScenarioError(
+            f"{label} {src} -> {dst} needs {hops} hops > the "
+            f"{max_route_hops()}-hop capacity of chained source-route "
+            "headers")
 
 
 @dataclass(frozen=True)
@@ -106,18 +129,7 @@ class GsConnectionSpec:
             raise ScenarioError(
                 f"unknown GS traffic kind {self.traffic!r} "
                 f"(one of {GS_TRAFFIC_KINDS})")
-        for which, (x, y) in (("src", self.src), ("dst", self.dst)):
-            if not (0 <= x < cols and 0 <= y < rows):
-                raise ScenarioError(
-                    f"GS {which} {(x, y)} outside the {cols}x{rows} mesh")
-        if self.src == self.dst:
-            raise ScenarioError(
-                f"GS connection {self.src} -> {self.dst}: src == dst")
-        if self.hops() > max_route_hops():
-            raise ScenarioError(
-                f"GS path {self.src} -> {self.dst} needs {self.hops()} "
-                f"hops > the {max_route_hops()}-hop capacity of chained "
-                "source-route headers")
+        _check_endpoints("GS", self.src, self.dst, cols, rows)
         if self.traffic in ("preload", "cbr") and self.flits < 1:
             raise ScenarioError("GS connection offers no flits")
         if self.traffic == "cbr":
@@ -268,6 +280,63 @@ class FailureSpec:
 
 
 @dataclass(frozen=True)
+class ChurnSpec:
+    """Runtime connection churn: GS connections opened and closed
+    *during* the run through the real programming protocol (BE config
+    packets + acks), not pre-opened at build time.
+
+    Every cycle, each ``(src, dst)`` pair is requested through
+    ``ConnectionManager.open``; admitted connections carry
+    ``flits_per_open`` flits, are drained, and are closed again before
+    the next cycle.  Admission rejections are counted, not fatal — a
+    saturated churn cell deterministically rejects the same opens every
+    cycle.  ``want_ack=False`` exercises the fire-and-forget setup
+    path (the driver waits ``settle_ns`` for the table writes to land
+    before sending).
+    """
+
+    pairs: Tuple[Tuple[Tuple[int, int], Tuple[int, int]], ...]
+    cycles: int = 3
+    flits_per_open: int = 8
+    want_ack: bool = True
+    settle_ns: float = 200.0   # post-drain (and no-ack post-open) wait
+    poll_ns: float = 50.0      # delivery polling interval
+    #: Per-cycle delivery deadline: a connection whose sink has not
+    #: drained by then is recorded as a shortfall (failing the churn
+    #: verdict) instead of being polled forever into the run's max_ns
+    #: timeout, which would mask the loss.
+    deliver_timeout_ns: float = 50000.0
+
+    def validate(self, cols: int, rows: int) -> None:
+        if not self.pairs:
+            raise ScenarioError("churn needs at least one (src, dst) pair")
+        for src, dst in self.pairs:
+            _check_endpoints("churn", src, dst, cols, rows)
+        if self.cycles < 1:
+            raise ScenarioError("churn needs at least one cycle")
+        if self.flits_per_open < 1:
+            raise ScenarioError("churned connections must carry flits")
+        if self.settle_ns < 0:
+            raise ScenarioError("churn settle must be non-negative")
+        if self.poll_ns <= 0:
+            raise ScenarioError("churn poll interval must be positive")
+        if self.deliver_timeout_ns <= 0:
+            raise ScenarioError("churn delivery deadline must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["pairs"] = [[list(src), list(dst)] for src, dst in self.pairs]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChurnSpec":
+        data = dict(data)
+        data["pairs"] = tuple((_coord(src), _coord(dst))
+                              for src, dst in data["pairs"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, reproducible experiment as plain data."""
 
@@ -277,6 +346,7 @@ class ScenarioSpec:
     be: Optional[BeTrafficSpec] = None
     gs: Tuple[GsConnectionSpec, ...] = ()
     failure: Optional[FailureSpec] = None
+    churn: Optional[ChurnSpec] = None
     drain_ns: float = 8000.0
     max_ns: float = 5e6
     retain_packets: bool = False
@@ -290,7 +360,8 @@ class ScenarioSpec:
             raise ScenarioError("mesh dimensions must be positive")
         if self.cols * self.rows < 2:
             raise ScenarioError("a network needs at least two tiles")
-        if self.be is None and not self.gs and self.failure is None:
+        if self.be is None and not self.gs and self.failure is None \
+                and self.churn is None:
             raise ScenarioError(
                 f"scenario {self.name!r} drives no traffic at all")
         if self.drain_ns < 0:
@@ -303,11 +374,14 @@ class ScenarioSpec:
             gs.validate(self.cols, self.rows, config)
         if self.failure is not None:
             self.failure.validate(self.cols, self.rows)
+        if self.churn is not None:
+            self.churn.validate(self.cols, self.rows)
 
     def smoke(self) -> "ScenarioSpec":
         """A scaled-down copy for CI: same mesh, pattern, seeds and
-        checks, but capped slot/flit/burst counts so the whole registry
-        runs in seconds.  Idempotent (smoke of smoke == smoke)."""
+        checks, but capped slot/flit/burst/cycle counts so the whole
+        registry runs in seconds.  Idempotent (smoke of smoke ==
+        smoke)."""
         be = self.be
         if be is not None and be.n_slots > SMOKE_MAX_SLOTS:
             be = dataclasses.replace(be, n_slots=SMOKE_MAX_SLOTS)
@@ -316,7 +390,10 @@ class ScenarioSpec:
                 g, flits=min(g.flits, SMOKE_MAX_FLITS),
                 n_bursts=min(g.n_bursts, SMOKE_MAX_BURSTS))
             for g in self.gs)
-        return dataclasses.replace(self, be=be, gs=gs)
+        churn = self.churn
+        if churn is not None and churn.cycles > SMOKE_MAX_CYCLES:
+            churn = dataclasses.replace(churn, cycles=SMOKE_MAX_CYCLES)
+        return dataclasses.replace(self, be=be, gs=gs, churn=churn)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -327,6 +404,8 @@ class ScenarioSpec:
             "gs": [g.to_dict() for g in self.gs],
             "failure": (self.failure.to_dict()
                         if self.failure is not None else None),
+            "churn": (self.churn.to_dict()
+                      if self.churn is not None else None),
             "drain_ns": self.drain_ns,
             "max_ns": self.max_ns,
             "retain_packets": self.retain_packets,
@@ -344,5 +423,8 @@ class ScenarioSpec:
                            for g in data.get("gs", ()))
         data["failure"] = (FailureSpec.from_dict(failure)
                            if failure is not None else None)
+        churn = data.get("churn")
+        data["churn"] = (ChurnSpec.from_dict(churn)
+                         if churn is not None else None)
         data["tags"] = tuple(data.get("tags", ()))
         return cls(**data)

@@ -1,0 +1,125 @@
+"""Tests for the residual-capacity model."""
+
+import pytest
+
+from repro import AdmissionError, Coord, MangoNetwork, RouterConfig
+from repro.alloc import ResidualCapacity
+from repro.network.topology import Direction
+
+
+class TestFreshModel:
+    def test_pools_match_geometry(self):
+        cap = ResidualCapacity.fresh(3, 2)
+        # 3x2 mesh: 2 horizontal links per row * 2 rows * 2 directions
+        # + 3 vertical pairs * 2 directions = 14 unidirectional links.
+        assert len(cap.vc_pools) == 14
+        assert all(len(pool) == 8 for pool in cap.vc_pools.values())
+        assert len(cap.tx_pools) == 6 and len(cap.rx_pools) == 6
+        assert cap.detached
+
+    def test_config_knobs_respected(self):
+        cap = ResidualCapacity.fresh(2, 2, RouterConfig(
+            vcs_per_port=3, local_gs_interfaces=2))
+        assert cap.total_vcs == 3
+        assert all(len(pool) == 2 for pool in cap.tx_pools.values())
+
+    def test_utilization_and_bandwidth(self):
+        config = RouterConfig(vcs_per_port=4)
+        cap = ResidualCapacity.fresh(2, 1, config)
+        link = (Coord(0, 0), Direction.EAST)
+        assert cap.utilization(*link) == 0.0
+        assert cap.reserved_bandwidth(*link) == 0.0
+        hops = cap.reserve_moves(Coord(0, 0), [Direction.EAST])
+        assert cap.utilization(*link) == 0.25
+        per_vc = 1.0 / (config.link_requesters
+                        * config.timing.link_cycle_ns)
+        assert cap.reserved_bandwidth(*link) == pytest.approx(per_vc)
+        assert hops[0].vc == 0  # lowest free VC first
+
+    def test_reserve_release_round_trip(self):
+        cap = ResidualCapacity.fresh(3, 1)
+        before = {key: set(pool) for key, pool in cap.vc_pools.items()}
+        hops = cap.reserve_moves(Coord(0, 0),
+                                 [Direction.EAST, Direction.EAST])
+        cap.check_ifaces(Coord(0, 0), Coord(2, 0))
+        tx, rx = cap.take_ifaces(Coord(0, 0), Coord(2, 0))
+        cap.release(Coord(0, 0), tx, Coord(2, 0), rx, hops)
+        assert {key: set(pool) for key, pool in cap.vc_pools.items()} \
+            == before
+        assert cap.tx_pools[Coord(0, 0)] == set(range(4))
+
+    def test_reserve_rolls_back_atomically(self):
+        cap = ResidualCapacity.fresh(3, 1, RouterConfig(vcs_per_port=1))
+        cap.reserve_moves(Coord(1, 0), [Direction.EAST])
+        with pytest.raises(AdmissionError):
+            cap.reserve_moves(Coord(0, 0),
+                              [Direction.EAST, Direction.EAST])
+        # The first link's VC came back.
+        assert cap.free_vcs(Coord(0, 0), Direction.EAST) == 1
+
+    def test_clone_is_independent(self):
+        cap = ResidualCapacity.fresh(2, 2)
+        twin = cap.clone()
+        cap.reserve_moves(Coord(0, 0), [Direction.EAST])
+        assert twin.free_vcs(Coord(0, 0), Direction.EAST) == 8
+        assert cap.free_vcs(Coord(0, 0), Direction.EAST) == 7
+
+    def test_snapshot_names_busiest_links(self):
+        cap = ResidualCapacity.fresh(2, 2, RouterConfig(vcs_per_port=2))
+        cap.reserve_moves(Coord(0, 0), [Direction.EAST])
+        cap.reserve_moves(Coord(0, 0), [Direction.EAST])
+        snap = cap.snapshot()
+        assert snap["vcs_reserved"] == 2
+        assert snap["busiest"][0] == "(0,0)->EAST:2/2"
+
+
+class TestManagerView:
+    def test_shares_live_pools(self):
+        net = MangoNetwork(3, 1)
+        cap = net.connection_manager.capacity()
+        assert not cap.detached
+        conn = net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+        assert cap.used_vcs(Coord(0, 0), Direction.EAST) == 1
+        net.close_connection(conn)
+        assert cap.used_vcs(Coord(0, 0), Direction.EAST) == 0
+
+    def test_live_view_refuses_clone(self):
+        net = MangoNetwork(2, 1)
+        with pytest.raises(ValueError, match="live"):
+            net.connection_manager.capacity().clone()
+
+
+class TestRejectionSnapshot:
+    def test_snapshot_pinned_to_rejection_time(self):
+        """The lazy snapshot must report the pools as they were when
+        admission failed, however they move afterwards."""
+        import pytest as _pytest
+        from repro import AdmissionError
+        config = RouterConfig(vcs_per_port=2)
+        net = MangoNetwork(2, 1, config=config)
+        conns = [net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+                 for _ in range(2)]
+        with _pytest.raises(AdmissionError) as excinfo:
+            net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        # Free everything BEFORE first touching .snapshot.
+        for conn in conns:
+            net.close_connection(conn)
+        snap = excinfo.value.snapshot
+        assert snap["vcs_reserved"] == 2
+        assert snap["busiest"][0] == "(0,0)->EAST:2/2"
+        # Cached once resolved.
+        assert excinfo.value.snapshot is snap
+
+    def test_snapshot_excludes_the_rejected_requests_partial_holds(self):
+        """A long request failing at its last link must not count its
+        own rolled-back VCs as committed reservations."""
+        import pytest as _pytest
+        from repro import AdmissionError
+        cap = ResidualCapacity.fresh(4, 1, RouterConfig(vcs_per_port=1))
+        # Commit one real reservation on the final link only.
+        cap.reserve_moves(Coord(2, 0), [Direction.EAST])
+        with _pytest.raises(AdmissionError) as excinfo:
+            cap.reserve_moves(Coord(0, 0), [Direction.EAST] * 3)
+        snap = excinfo.value.snapshot
+        assert snap["vcs_reserved"] == 1          # not 1 + 2 partial holds
+        assert snap["busiest"] == ["(2,0)->EAST:1/1"]

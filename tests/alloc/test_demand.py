@@ -1,0 +1,73 @@
+"""Tests for demand sets and the allocation report."""
+
+import pytest
+
+from repro.alloc import (DemandSet, Demand, compare, comparison_table,
+                         demand_set_names, get_demand_set)
+
+
+class TestDemandSet:
+    def test_named_sets_validate(self):
+        for name in demand_set_names():
+            get_demand_set(name).validate()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown demand set"):
+            get_demand_set("no-such-set")
+
+    def test_json_round_trip(self):
+        dset = get_demand_set("column-saturated-8x8")
+        assert DemandSet.from_json(dset.to_json()) == dset
+
+    def test_vcs_knob_round_trips(self):
+        trap = get_demand_set("greedy-trap-3x3")
+        assert trap.vcs_per_port == 1
+        assert DemandSet.from_json(trap.to_json()).vcs_per_port == 1
+
+    def test_validation_rejects_out_of_mesh(self):
+        bad = DemandSet("bad", 2, 2,
+                        (Demand(src=(0, 0), dst=(5, 5)),))
+        with pytest.raises(ValueError, match="outside"):
+            bad.validate()
+
+    def test_validation_rejects_self_loop(self):
+        bad = DemandSet("bad", 2, 2,
+                        (Demand(src=(1, 1), dst=(1, 1)),))
+        with pytest.raises(ValueError, match="src == dst"):
+            bad.validate()
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            DemandSet("bad", 2, 2, ()).validate()
+
+    def test_column_saturated_geometry(self):
+        """Every demand of the adversarial set crosses the documented
+        bottleneck link under XY routing."""
+        dset = get_demand_set("column-saturated-8x8")
+        assert len(dset) == 16
+        for demand in dset.demands:
+            (sx, sy), (dx, dy) = demand.src, demand.dst
+            assert dx == 7 and sy <= 3 and dy >= 4  # crosses (7,3)->S
+
+
+class TestReport:
+    def test_compare_covers_all_strategies(self):
+        outcomes = compare(get_demand_set("greedy-trap-3x3"))
+        assert [o.strategy for o in outcomes] == \
+            ["xy", "min-adaptive", "ripup"]
+        for outcome in outcomes:
+            assert outcome.total == 5
+            assert 0 <= outcome.admitted <= 5
+            assert outcome.acceptance == outcome.admitted / 5
+            assert outcome.demands_per_s > 0
+
+    def test_table_renders(self):
+        dset = get_demand_set("greedy-trap-3x3")
+        text = comparison_table(dset, compare(dset)).render()
+        assert "ripup" in text and "acceptance" in text
+
+    def test_outcome_dict_is_json_safe(self):
+        import json
+        dset = get_demand_set("greedy-trap-3x3")
+        for outcome in compare(dset):
+            json.dumps(outcome.to_dict())

@@ -1,0 +1,94 @@
+"""Hypothesis properties of the allocation strategies.
+
+For arbitrary demand sequences on arbitrary (small) meshes, every
+registered strategy must produce hop lists that (a) are real routes —
+``encode_route``/``walk_route`` delivers them from src to dst in
+exactly ``len(hops)`` hops — and (b) never double-book a (link, VC)
+pair across simultaneously open connections, while the pools stay
+conserved.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AdmissionError, Coord, RouterConfig
+from repro.alloc import ResidualCapacity, allocator_names, get_allocator
+from repro.network.routing import encode_route, walk_route
+
+
+@st.composite
+def demand_sequences(draw):
+    cols = draw(st.integers(min_value=2, max_value=5))
+    rows = draw(st.integers(min_value=1, max_value=5))
+    vcs = draw(st.integers(min_value=1, max_value=8))
+    coords = st.tuples(st.integers(0, cols - 1), st.integers(0, rows - 1))
+    pairs = draw(st.lists(
+        st.tuples(coords, coords).filter(lambda p: p[0] != p[1]),
+        min_size=1, max_size=12))
+    demands = [(Coord(*src), Coord(*dst)) for src, dst in pairs]
+    return cols, rows, vcs, demands
+
+
+def _check_invariants(capacity, demands, results):
+    booked = set()
+    for (src, dst), result in zip(demands, results):
+        if result is None:
+            continue
+        _tx, _rx, hops = result
+        moves = [hop.out_dir for hop in hops]
+        # (a) the hop list is a real route from src to dst.
+        delivered_at, taken = walk_route(src, encode_route(moves))
+        assert delivered_at == dst
+        assert taken == len(moves)
+        # (b) no (link, VC) booked twice across open connections.
+        for hop in hops:
+            key = (hop.coord, hop.out_dir, hop.vc)
+            assert key not in booked, f"double-booked {key}"
+            booked.add(key)
+    # Pool conservation: everything reserved is exactly what the
+    # accepted hop lists hold.
+    reserved = sum(capacity.used_vcs(c, d) for (c, d) in capacity.vc_pools)
+    assert reserved == len(booked)
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(demand_sequences(), st.sampled_from(["xy", "min-adaptive",
+                                                "ripup"]))
+    def test_sequential_routes_verify_and_never_double_book(
+            self, sequence, name):
+        cols, rows, vcs, demands = sequence
+        capacity = ResidualCapacity.fresh(
+            cols, rows, RouterConfig(vcs_per_port=vcs))
+        allocator = get_allocator(name)
+        results = []
+        for src, dst in demands:
+            try:
+                results.append(allocator.allocate(capacity, src, dst))
+            except AdmissionError:
+                results.append(None)
+        _check_invariants(capacity, demands, results)
+
+    @settings(max_examples=60, deadline=None)
+    @given(demand_sequences())
+    def test_ripup_batch_routes_verify_and_never_double_book(
+            self, sequence):
+        cols, rows, vcs, demands = sequence
+        capacity = ResidualCapacity.fresh(
+            cols, rows, RouterConfig(vcs_per_port=vcs))
+        results = get_allocator("ripup").allocate_batch(capacity, demands)
+        assert len(results) == len(demands)
+        _check_invariants(capacity, demands, results)
+
+    @settings(max_examples=40, deadline=None)
+    @given(demand_sequences())
+    def test_batch_never_admits_fewer_than_greedy(self, sequence):
+        """Rip-up only ever keeps the best round, so it cannot do worse
+        than the greedy pass it starts from."""
+        cols, rows, vcs, demands = sequence
+        config = RouterConfig(vcs_per_port=vcs)
+        greedy = get_allocator("min-adaptive").allocate_batch(
+            ResidualCapacity.fresh(cols, rows, config), demands)
+        ripup = get_allocator("ripup").allocate_batch(
+            ResidualCapacity.fresh(cols, rows, config), demands)
+        assert sum(r is not None for r in ripup) >= \
+            sum(r is not None for r in greedy)

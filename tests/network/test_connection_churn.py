@@ -1,0 +1,245 @@
+"""Leak-proofing of the connection open/close lifecycle, and the
+enriched AdmissionError diagnostics.
+
+The churn scenarios open and close connections hundreds of times per
+run; a single leaked VC, interface or pending-ack entry would
+accumulate into spurious admission failures.  These tests pin the
+invariant directly: after N open/close cycles — with acks, without
+acks, and with a mid-close programming failure — every pool is *exactly*
+its initial state.
+"""
+
+import pytest
+
+from repro import AdmissionError, Coord, MangoNetwork, RouterConfig
+
+
+def pool_snapshot(manager):
+    return (
+        {key: frozenset(pool) for key, pool in manager.vc_pools.items()},
+        {key: frozenset(pool) for key, pool in manager.tx_pools.items()},
+        {key: frozenset(pool) for key, pool in manager.rx_pools.items()},
+    )
+
+
+class TestLeakProofChurn:
+    @pytest.mark.parametrize("want_ack", [True, False])
+    def test_repeated_open_close_restores_pools_exactly(self, want_ack):
+        net = MangoNetwork(4, 3)
+        manager = net.connection_manager
+        initial = pool_snapshot(manager)
+        for cycle in range(10):
+            conn = net.open_connection(Coord(0, 0), Coord(3, 2),
+                                       want_ack=want_ack)
+            net.run(until=net.now + 500.0)  # let table writes land
+            conn.send(cycle)
+            net.run(until=net.now + 1000.0)
+            net.close_connection(conn, want_ack=want_ack)
+            net.run(until=net.now + 500.0)
+            assert pool_snapshot(manager) == initial, f"cycle {cycle}"
+        assert not manager.connections
+        assert not manager._pending_acks
+
+    def test_instant_open_close_churn(self):
+        net = MangoNetwork(3, 3)
+        manager = net.connection_manager
+        initial = pool_snapshot(manager)
+        for _ in range(25):
+            conns = [net.open_connection_instant(Coord(0, 0), Coord(2, 2)),
+                     net.open_connection_instant(Coord(2, 0), Coord(0, 2))]
+            for conn in conns:
+                net.close_connection(conn)
+        assert pool_snapshot(manager) == initial
+
+    def test_mid_close_failure_frees_reservations(self):
+        """A teardown interrupted by a programming failure must not
+        leak the connection's VCs, interfaces, or pending-ack entries."""
+        net = MangoNetwork(3, 1)
+        manager = net.connection_manager
+        initial = pool_snapshot(manager)
+        conn = net.open_connection(Coord(0, 0), Coord(2, 0))
+        src_na = net.adapters[Coord(0, 0)]
+
+        calls = []
+
+        def exploding_send_be(dst, words, vc=0):
+            calls.append(dst)
+            raise RuntimeError("injected BE failure mid-teardown")
+            yield  # pragma: no cover - marks this a generator
+
+        src_na.send_be = exploding_send_be
+        with pytest.raises(RuntimeError, match="mid-teardown"):
+            net.close_connection(conn)
+        assert calls, "the failure injection never fired"
+        assert conn.state == "error"
+        assert conn.connection_id not in manager.connections
+        assert not manager._pending_acks
+        assert pool_snapshot(manager) == initial
+        # Recovery, not just accounting: the scrub removed the stale
+        # table entries, so reusing the freed VCs on the same path
+        # works — no TableError from a half-torn router.
+        for x in range(3):
+            assert len(net.routers[Coord(x, 0)].table) == 0
+        del src_na.send_be  # restore the real adapter method
+        fresh = net.open_connection(Coord(0, 0), Coord(2, 0))
+        fresh.send(7)
+        net.run(until=net.now + 1000.0)
+        assert fresh.sink.payloads == [7]
+
+    def test_mid_open_failure_frees_reservations(self):
+        net = MangoNetwork(3, 1)
+        manager = net.connection_manager
+        initial = pool_snapshot(manager)
+        src_na = net.adapters[Coord(0, 0)]
+
+        def exploding_send_be(dst, words, vc=0):
+            raise RuntimeError("injected BE failure mid-setup")
+            yield  # pragma: no cover - marks this a generator
+
+        src_na.send_be = exploding_send_be
+        with pytest.raises(RuntimeError, match="mid-setup"):
+            net.open_connection(Coord(0, 0), Coord(2, 0))
+        assert not manager.connections
+        assert not manager._pending_acks
+        assert pool_snapshot(manager) == initial
+        # The source router's local-port write landed before the BE
+        # failure; the scrub must have removed it again.
+        for x in range(3):
+            assert len(net.routers[Coord(x, 0)].table) == 0
+        del src_na.send_be
+        fresh = net.open_connection(Coord(0, 0), Coord(2, 0))
+        fresh.send(9)
+        net.run(until=net.now + 1000.0)
+        assert fresh.sink.payloads == [9]
+
+    @pytest.mark.parametrize("phase", ["open", "close"])
+    def test_failure_with_config_packet_in_flight(self, phase):
+        """Programming fails on the second config packet while the
+        first is still travelling the BE network: recovery must wait
+        for the in-flight packet (paced by its ack), not scrub/free
+        under it — then restore the pools exactly and leave the path
+        reusable.  (The late packet executing against a scrubbed table
+        used to crash the simulation.)"""
+        net = MangoNetwork(4, 1)
+        manager = net.connection_manager
+        initial = pool_snapshot(manager)
+        src_na = net.adapters[Coord(0, 0)]
+        real_send_be = src_na.send_be
+        calls = {"n": 0}
+
+        def second_send_explodes(dst, words, vc=0):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected mid-flight failure")
+            yield from real_send_be(dst, words, vc=vc)
+
+        if phase == "open":
+            src_na.send_be = second_send_explodes
+            with pytest.raises(RuntimeError, match="mid-flight"):
+                net.open_connection(Coord(0, 0), Coord(3, 0))
+        else:
+            conn = net.open_connection(Coord(0, 0), Coord(3, 0))
+            calls["n"] = 0
+            src_na.send_be = second_send_explodes
+            with pytest.raises(RuntimeError, match="mid-flight"):
+                net.close_connection(conn)
+        assert calls["n"] == 2, "the failure injection never fired"
+        # The first packet is still in flight: its hop's resources must
+        # not have been reclaimed yet (deferred recovery).
+        assert pool_snapshot(manager) != initial
+        # Let the in-flight packet land and its ack pace the recovery.
+        src_na.send_be = real_send_be
+        net.run(until=net.now + 2000.0)
+        assert pool_snapshot(manager) == initial
+        assert not manager._pending_acks
+        for x in range(4):
+            assert len(net.routers[Coord(x, 0)].table) == 0
+        # The path is genuinely reusable end to end.
+        fresh = net.open_connection(Coord(0, 0), Coord(3, 0))
+        fresh.send(11)
+        net.run(until=net.now + 1500.0)
+        assert fresh.sink.payloads == [11]
+
+    def test_ackless_failure_reclaims_after_grace(self):
+        """Without acks there is no signal to pace recovery on; the
+        resources come back after the documented grace period."""
+        from repro.network.connection import RECOVERY_GRACE_NS
+        net = MangoNetwork(4, 1)
+        manager = net.connection_manager
+        initial = pool_snapshot(manager)
+        src_na = net.adapters[Coord(0, 0)]
+        real_send_be = src_na.send_be
+        calls = {"n": 0}
+
+        def second_send_explodes(dst, words, vc=0):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected mid-flight failure")
+            yield from real_send_be(dst, words, vc=vc)
+
+        src_na.send_be = second_send_explodes
+        with pytest.raises(RuntimeError, match="mid-flight"):
+            net.open_connection(Coord(0, 0), Coord(3, 0),
+                                want_ack=False)
+        assert pool_snapshot(manager) != initial  # deferred
+        src_na.send_be = real_send_be
+        net.run(until=net.now + RECOVERY_GRACE_NS + 100.0)
+        assert pool_snapshot(manager) == initial
+        for x in range(4):
+            assert len(net.routers[Coord(x, 0)].table) == 0
+
+    def test_failed_admission_leaves_pools_untouched(self):
+        config = RouterConfig(vcs_per_port=1)
+        net = MangoNetwork(3, 1, config=config)
+        manager = net.connection_manager
+        net.open_connection_instant(Coord(1, 0), Coord(2, 0))
+        taken = pool_snapshot(manager)
+        for allocator in ("xy", "min-adaptive", "ripup"):
+            manager.allocator = allocator
+            with pytest.raises(AdmissionError):
+                net.open_connection_instant(Coord(0, 0), Coord(2, 0))
+            assert pool_snapshot(manager) == taken, allocator
+
+
+class TestAdmissionDiagnostics:
+    def test_vc_exhaustion_reports_residual_capacity(self):
+        config = RouterConfig(vcs_per_port=2)
+        net = MangoNetwork(2, 1, config=config)
+        net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        with pytest.raises(AdmissionError) as excinfo:
+            net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        message = str(excinfo.value)
+        # The exhausted link, its utilization, and the committed
+        # guaranteed bandwidth are all in the message.
+        assert "no free VC on link (0,0)->EAST" in message
+        assert "2/2 VCs reserved" in message
+        assert "1.000 utilization" in message
+        assert "guaranteed bandwidth committed" in message
+        # ...and machine-readable on the exception itself.
+        from repro.network.topology import Direction
+        assert excinfo.value.resource == \
+            ("vc", Coord(0, 0), Direction.EAST)
+        snap = excinfo.value.snapshot
+        assert snap["vcs_reserved"] == 2
+        assert snap["busiest"][0].startswith("(0,0)->EAST:2/2")
+
+    def test_interface_exhaustion_reports_busy_interfaces(self):
+        net = MangoNetwork(3, 3)
+        for dst in (Coord(1, 0), Coord(2, 0), Coord(0, 1), Coord(1, 1)):
+            net.open_connection_instant(Coord(0, 0), dst)
+        with pytest.raises(AdmissionError) as excinfo:
+            net.open_connection_instant(Coord(0, 0), Coord(2, 2))
+        assert "no free GS source interface at (0,0)" in str(excinfo.value)
+        assert "all 4 local GS interfaces carry open connections" \
+            in str(excinfo.value)
+        assert excinfo.value.resource == ("tx", Coord(0, 0))
+
+    def test_min_adaptive_disconnect_reports_snapshot(self):
+        config = RouterConfig(vcs_per_port=1)
+        net = MangoNetwork(2, 1, config=config, allocator="min-adaptive")
+        net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        with pytest.raises(AdmissionError) as excinfo:
+            net.open_connection_instant(Coord(0, 0), Coord(1, 0))
+        assert "no residual-capacity path" in str(excinfo.value)
+        assert excinfo.value.snapshot["vcs_reserved"] == 1

@@ -172,3 +172,156 @@ class TestScenarioCli:
         assert main(["scenario", "matrix", "--smoke", "--update-golden",
                      "--names", "be-uniform-4x4"]) == 1
         assert "refusing" in capsys.readouterr().out
+
+
+class TestAllocatorFlag:
+    def test_run_with_adaptive_allocator(self, capsys):
+        assert main(["scenario", "run", "gs-churn-8x8", "--smoke",
+                     "--allocator", "min-adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "allocator" in out and "min-adaptive" in out
+        assert "churn open/rejected/closed" in out
+        assert "PASS" in out
+
+    def test_matrix_with_adaptive_allocator_skips_goldens(self, capsys):
+        assert main(["scenario", "matrix", "--smoke",
+                     "--allocator", "min-adaptive",
+                     "--names", "gs-cbr-4x4-uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "no golden" in out
+        assert "1/1 scenarios passed" in out
+
+    def test_update_golden_refuses_non_default_allocator(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--update-golden",
+                     "--allocator", "ripup"]) == 2
+        assert "xy-allocator goldens" in capsys.readouterr().out
+
+    def test_allocator_refused_on_foreign_backend(self, capsys):
+        assert main(["scenario", "run", "be-uniform-4x4", "--smoke",
+                     "--backend", "tdm",
+                     "--allocator", "min-adaptive"]) == 2
+        err = capsys.readouterr().err
+        assert "SKIP" in err and "admission" in err
+
+    def test_matrix_refuses_allocator_on_foreign_backend(self, capsys):
+        """A combination no cell can honor must fail fast, not SKIP
+        every cell and exit green."""
+        assert main(["scenario", "matrix", "--smoke",
+                     "--backend", "tdm",
+                     "--allocator", "min-adaptive"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot apply to any cell" in err
+
+
+class TestAllocCli:
+    def test_demand_set_listing(self, capsys):
+        assert main(["alloc", "demand-set"]) == 0
+        out = capsys.readouterr().out
+        assert "column-saturated-8x8" in out
+        assert "greedy-trap-3x3" in out
+
+    def test_demand_set_prints_json(self, capsys):
+        import json
+        assert main(["alloc", "demand-set", "column-saturated-8x8"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "column-saturated-8x8"
+        assert len(data["demands"]) == 16
+
+    def test_demand_set_unknown_name_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["alloc", "demand-set", "no-such-set"])
+        assert "unknown demand set" in capsys.readouterr().err
+
+    def test_demand_set_round_trips_a_file(self, tmp_path, capsys):
+        """--demands must load the user's file, not fall back to the
+        named-set listing."""
+        import json
+        from repro.alloc import get_demand_set
+        path = tmp_path / "mine.json"
+        path.write_text(get_demand_set("greedy-trap-3x3").to_json())
+        assert main(["alloc", "demand-set", "--demands", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "greedy-trap-3x3"
+
+    def test_demand_set_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "demands.json"
+        assert main(["alloc", "demand-set", "greedy-trap-3x3",
+                     "--out", str(out_path)]) == 0
+        from repro.alloc import DemandSet
+        dset = DemandSet.from_json(out_path.read_text())
+        assert dset.name == "greedy-trap-3x3"
+
+    def test_name_and_demands_conflict_refused(self, tmp_path, capsys):
+        path = tmp_path / "set.json"
+        path.write_text("{}")
+        assert main(["alloc", "report", "column-saturated-8x8",
+                     "--demands", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_demand_set_out_without_name_refused(self, tmp_path, capsys):
+        """--out must never silently write an unnamed default set."""
+        out_path = tmp_path / "demands.json"
+        assert main(["alloc", "demand-set", "--out", str(out_path)]) == 2
+        assert "needs a demand set" in capsys.readouterr().err
+        assert not out_path.exists()
+
+    def test_report_compares_all_strategies(self, capsys):
+        assert main(["alloc", "report", "column-saturated-8x8"]) == 0
+        out = capsys.readouterr().out
+        assert "xy" in out and "min-adaptive" in out and "ripup" in out
+        assert "acceptance" in out
+
+    def test_report_require_improvement_passes_on_adversarial_set(
+            self, capsys):
+        assert main(["alloc", "report", "column-saturated-8x8",
+                     "--require-improvement"]) == 0
+        assert "every adaptive strategy beats xy" \
+            in capsys.readouterr().out
+
+    def test_report_from_demand_file(self, tmp_path, capsys):
+        from repro.alloc import get_demand_set
+        path = tmp_path / "set.json"
+        path.write_text(get_demand_set("greedy-trap-3x3").to_json())
+        assert main(["alloc", "report", "--demands", str(path),
+                     "--allocator", "ripup"]) == 0
+        out = capsys.readouterr().out
+        assert "ripup" in out and "greedy-trap-3x3" in out
+
+    def test_report_single_strategy(self, capsys):
+        assert main(["alloc", "report", "greedy-trap-3x3",
+                     "--allocator", "xy"]) == 0
+        out = capsys.readouterr().out
+        assert "xy" in out and "min-adaptive" not in out
+
+
+class TestAllocFlagScoping:
+    def test_report_refuses_out(self, capsys):
+        assert main(["alloc", "report", "greedy-trap-3x3",
+                     "--out", "nope.json"]) == 2
+        assert "only applies to 'demand-set'" in capsys.readouterr().err
+
+    def test_demand_set_refuses_require_improvement(self, capsys):
+        assert main(["alloc", "demand-set", "greedy-trap-3x3",
+                     "--require-improvement"]) == 2
+        assert "only applies to 'report'" in capsys.readouterr().err
+
+    def test_demands_file_errors_fail_cleanly(self, tmp_path, capsys):
+        """Missing, non-JSON and JSON-but-not-a-demand-set files all
+        exit 2 with a message, never a traceback."""
+        cases = [str(tmp_path / "missing.json")]
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{not json")
+        cases.append(str(bad_json))
+        not_a_set = tmp_path / "notaset.json"
+        not_a_set.write_text("{}")
+        cases.append(str(not_a_set))
+        for path in cases:
+            with pytest.raises(SystemExit) as excinfo:
+                main(["alloc", "report", "--demands", path])
+            assert excinfo.value.code == 2, path
+            assert "cannot load demand set" in capsys.readouterr().err
+
+    def test_demand_set_refuses_allocator(self, capsys):
+        assert main(["alloc", "demand-set", "greedy-trap-3x3",
+                     "--allocator", "ripup"]) == 2
+        assert "only applies to 'report'" in capsys.readouterr().err
