@@ -16,9 +16,16 @@ asserted below, not just printed.
 import math
 
 from repro.analysis.report import Table
-from repro.backends import backend_names
+from repro.backends import backend_names, get_backend
 
 from .common import record, run_once, run_scenario
+
+
+def _mesh_backends():
+    """The mesh cells only compare on backends that build meshes (the
+    fabric backends have their own bench: bench_topology_comparison)."""
+    return [name for name in backend_names()
+            if "mesh" in get_backend(name).topologies]
 
 #: Cells spanning the comparison axes: plain BE, admissible CBR under
 #: moderate load, and the Section 4.1 saturation cells.
@@ -40,7 +47,7 @@ def run_experiment():
                   title="Backend comparison (smoke duration)")
     results = {}
     for name in CELLS:
-        for backend in backend_names():
+        for backend in _mesh_backends():
             result = run_scenario(name, smoke=True, backend=backend)
             results[(name, backend)] = result
             gs_ok = (f"{sum(v.ok for v in result.gs)}/{len(result.gs)}"
@@ -72,5 +79,5 @@ def test_backend_comparison(benchmark):
     assert generic.be_lost == 0
     # Under admissible moderate load every backend meets the reference
     # service level — the contrast is specifically under saturation.
-    for backend in backend_names():
+    for backend in _mesh_backends():
         assert results[("gs-cbr-4x4-uniform", backend)].passed, backend

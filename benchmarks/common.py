@@ -15,18 +15,25 @@ RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
 
 def run_scenario(name: str, smoke: bool = False, mode: str = "event",
-                 config=None, backend: str = "mango"):
+                 config=None, backend=None, topology=None):
     """Run one registry scenario through the :class:`ScenarioRunner`.
 
     The single entry point benchmarks use for workload construction —
     specs live in ``repro.scenarios.registry``, never in per-bench
     driver code — returning the :class:`ScenarioResult` (events, wall
     time, flit hops, fingerprint, QoS verdicts).  ``backend`` selects
-    the router architecture (``repro.backends``) the cell replays on.
+    the router architecture (``repro.backends``) the cell replays on;
+    ``backend=None`` resolves the spec's topology to its default
+    backend, and ``topology`` overrides the spec's fabric first (like
+    the ``--topology`` CLI flag).
     """
+    import dataclasses
+
     from repro.scenarios import ScenarioRunner, get
 
     spec = get(name)
+    if topology is not None:
+        spec = dataclasses.replace(spec, topology=topology)
     if smoke:
         spec = spec.smoke()
     return ScenarioRunner(spec, config=config, backend=backend).run(mode=mode)

@@ -79,12 +79,25 @@ def _fmt_ns(value: float) -> str:
 
 
 def cmd_scenario(args) -> int:
-    from .backends import BackendCapabilityError, get_backend
+    import dataclasses
+
+    from .backends import (BackendCapabilityError,
+                           DEFAULT_BACKEND_BY_TOPOLOGY, backend_for_topology,
+                           get_backend)
     from .scenarios import ScenarioRunner, get, golden, registry
     from .scenarios.golden import (BACKEND_SMOKE_FINGERPRINTS,
                                    SMOKE_FINGERPRINTS)
 
-    backend = get_backend(args.backend)
+    # No --backend means per-cell resolution: each spec's topology picks
+    # its default backend (mesh -> mango, fabrics -> theirs).
+    backend = (get_backend(args.backend)
+               if args.backend is not None else None)
+    backend_label = backend.name if backend is not None else "auto"
+
+    def fabric(spec):
+        """Topology tag for tables: '4x4' on the mesh, '4x4 ring' off it."""
+        size = f"{spec.cols}x{spec.rows}"
+        return size if spec.topology == "mesh" else f"{size} {spec.topology}"
 
     if args.action == "list":
         table = Table(["scenario", "mesh", "GS", "pattern", "tags"],
@@ -93,7 +106,7 @@ def cmd_scenario(args) -> int:
         for name in registry.names():
             spec = get(name)
             pattern = spec.be.pattern if spec.be is not None else "-"
-            table.add_row(name, f"{spec.cols}x{spec.rows}", len(spec.gs),
+            table.add_row(name, fabric(spec), len(spec.gs),
                           pattern, ",".join(spec.tags))
         print(table.render())
         return 0
@@ -102,6 +115,8 @@ def cmd_scenario(args) -> int:
 
     def run_one(name):
         spec = get(name)
+        if args.topology:
+            spec = dataclasses.replace(spec, topology=args.topology)
         if smoke:
             spec = spec.smoke()
         runner = ScenarioRunner(spec, backend=backend,
@@ -130,9 +145,11 @@ def cmd_scenario(args) -> int:
                       title=f"Scenario {result.name} "
                             f"({'smoke' if smoke else 'full'}, "
                             f"{args.mode} drive, "
-                            f"backend {backend.name})")
+                            f"backend {result.backend})")
         table.add_row("mesh", f"{result.cols}x{result.rows}")
-        table.add_row("backend", backend.name)
+        if result.topology != "mesh":
+            table.add_row("topology", result.topology)
+        table.add_row("backend", result.backend)
         if args.allocator != "xy":
             table.add_row("allocator", args.allocator)
         table.add_row("simulated ns", round(result.sim_ns, 1))
@@ -170,35 +187,59 @@ def cmd_scenario(args) -> int:
         return 0 if result.passed else 1
 
     # matrix
-    if args.allocator != "xy" and \
-            not backend.supports_alternate_allocators:
+    if args.allocator != "xy":
         # Per-cell SKIPs are for individually incompatible cells; an
-        # allocator the backend can never honor would green-SKIP the
-        # whole matrix, so refuse it up front.
-        print(f"backend {backend.name!r} performs its own admission "
-              f"control; --allocator {args.allocator} cannot apply to "
-              "any cell (see docs/allocation.md)", file=sys.stderr)
-        return 2
+        # allocator a backend can never honor would green-SKIP the
+        # whole matrix, so refuse it up front.  With auto resolution a
+        # --topology override pins every cell to one fabric backend,
+        # which owns its own admission control.
+        culprit = backend
+        if culprit is None and args.topology:
+            culprit = backend_for_topology(args.topology)
+        if culprit is not None and \
+                not culprit.supports_alternate_allocators:
+            print(f"backend {culprit.name!r} performs its own admission "
+                  f"control; --allocator {args.allocator} cannot apply to "
+                  "any cell (see docs/allocation.md)", file=sys.stderr)
+            return 2
     if args.update_golden and not smoke:
         print("--update-golden only records smoke fingerprints "
               "(full-duration runs are benchmark territory)")
         return 2
-    if args.update_golden and backend.name != "mango":
+    if args.update_golden and backend is not None \
+            and backend.name != "mango":
         print("--update-golden records the mango goldens only; "
               "non-MANGO digests in BACKEND_SMOKE_FINGERPRINTS are "
               "reviewed by hand (see scenarios/golden.py)")
+        return 2
+    if args.update_golden and args.topology:
+        print("--update-golden records each cell on its registered "
+              "topology; a --topology override changes every "
+              "fingerprint by design")
         return 2
     if args.update_golden and args.allocator != "xy":
         print("--update-golden records the default xy-allocator goldens "
               "only; alternate strategies admit different paths by "
               "design (see docs/allocation.md)")
         return 2
-    goldens = (SMOKE_FINGERPRINTS if backend.name == "mango"
-               else BACKEND_SMOKE_FINGERPRINTS.get(backend.name, {}))
-    if args.allocator != "xy":
-        # Non-default admission chooses different paths on purpose; the
-        # verdicts still apply, the xy fingerprints do not.
-        goldens = {}
+
+    def golden_for(name):
+        """The pinned digest a cell should reproduce, or None.
+
+        SMOKE_FINGERPRINTS pins every cell on its *default* backend
+        (mango for mesh cells, the fabric backend elsewhere); explicit
+        foreign backends compare against their hand-reviewed
+        BACKEND_SMOKE_FINGERPRINTS row.  Overridden topologies and
+        non-default allocators change paths on purpose — the verdicts
+        still apply, the xy fingerprints do not.
+        """
+        if args.allocator != "xy" or args.topology:
+            return None
+        default = DEFAULT_BACKEND_BY_TOPOLOGY.get(get(name).topology)
+        ran_on = backend.name if backend is not None else default
+        if ran_on == default:
+            return SMOKE_FINGERPRINTS.get(name)
+        return BACKEND_SMOKE_FINGERPRINTS.get(ran_on, {}).get(name)
     selected = registry.names()
     if args.names:
         selected = resolve([n.strip() for n in args.names.split(",")
@@ -207,7 +248,7 @@ def cmd_scenario(args) -> int:
                    "p99 ns", "fingerprint", "verdict"],
                   title=f"QoS conformance matrix "
                         f"({'smoke' if smoke else 'full'} duration, "
-                        f"{args.mode} drive, backend {backend.name})")
+                        f"{args.mode} drive, backend {backend_label})")
     failed = []
     skipped = 0
     fingerprints = {}
@@ -215,17 +256,17 @@ def cmd_scenario(args) -> int:
         try:
             result = run_one(name)
         except BackendCapabilityError:
-            # MANGO protocol-violation cells are meaningless on foreign
-            # backends: reported, not failed.
+            # Cells a backend cannot build (foreign topology, MANGO
+            # protocol-violation probes) are reported, not failed.
             skipped += 1
-            table.add_row(name, f"{get(name).cols}x{get(name).rows}",
+            table.add_row(name, fabric(get(name)),
                           "-", "-", "-", "-", "SKIP")
             continue
         fingerprints[name] = result.fingerprint
         verdict = "PASS" if result.passed else "FAIL"
         fp_note = result.fingerprint
         if smoke and not args.update_golden:
-            golden_fp = goldens.get(name)
+            golden_fp = golden_for(name)
             if golden_fp is None:
                 fp_note += " (no golden)"
             elif golden_fp != result.fingerprint:
@@ -235,7 +276,7 @@ def cmd_scenario(args) -> int:
             failed.append((name, result.failures()))
         gs_ok = (f"{sum(v.ok for v in result.gs)}/{len(result.gs)}"
                  if result.gs else "-")
-        table.add_row(name, f"{result.cols}x{result.rows}",
+        table.add_row(name, fabric(result),
                       f"{result.be_received}/{result.be_sent}",
                       gs_ok, _fmt_ns(result.latency_p99_ns), fp_note,
                       verdict)
@@ -248,8 +289,9 @@ def cmd_scenario(args) -> int:
                 for problem in problems:
                     print(f"  {name}: {problem}")
             return 1
-        if args.names:
-            # A subset run must not delete the other scenarios' goldens.
+        if args.names or skipped:
+            # A subset run (or per-cell SKIPs) must not delete the
+            # other scenarios' goldens.
             merged = dict(SMOKE_FINGERPRINTS)
             merged.update(fingerprints)
             fingerprints = merged
@@ -261,7 +303,8 @@ def cmd_scenario(args) -> int:
         for problem in problems or ["fingerprint mismatch"]:
             print(f"  - {problem}")
     ran = len(selected) - skipped
-    note = f" ({skipped} skipped: backend {backend.name})" if skipped else ""
+    note = (f" ({skipped} skipped: backend {backend_label})"
+            if skipped else "")
     print(f"{ran - len(failed)}/{ran} scenarios passed{note}")
     return 1 if failed else 0
 
@@ -404,9 +447,17 @@ def main(argv=None) -> int:
                           help="kernel drive style (fingerprints match)")
     from .backends import backend_names
     scenario.add_argument("--backend", choices=backend_names(),
-                          default="mango",
+                          default=None,
                           help="router architecture to replay the "
-                               "scenario on (see docs/backends.md)")
+                               "scenario on (default: the topology's "
+                               "own backend — mango for mesh cells; "
+                               "see docs/backends.md)")
+    from .network import topology_names
+    scenario.add_argument("--topology", choices=topology_names(),
+                          default=None,
+                          help="override the scenario's fabric (reruns "
+                               "the same workload on another topology; "
+                               "see docs/topologies.md)")
     from .alloc import allocator_names
     scenario.add_argument("--allocator", choices=allocator_names(),
                           default="xy",

@@ -28,7 +28,7 @@ from ..analysis.qos import contract_for_path
 from ..core.config import RouterConfig
 from ..network.connection import AdmissionError, Hop
 from ..network.routing import max_route_hops
-from ..network.topology import Coord, Direction, Mesh, NETWORK_DIRECTIONS
+from ..network.topology import Coord, Direction, Mesh, Topology
 
 __all__ = ["ResidualCapacity"]
 
@@ -41,12 +41,14 @@ class ResidualCapacity:
     residual snapshot of the exhausted resource.
     """
 
-    def __init__(self, mesh: Mesh, config: RouterConfig,
-                 vc_pools: Dict[Tuple[Coord, Direction], set],
+    def __init__(self, topology: Topology, config: RouterConfig,
+                 vc_pools: Dict[Tuple[Coord, object], set],
                  tx_pools: Dict[Coord, set],
                  rx_pools: Dict[Coord, set],
                  detached: bool = True):
-        self.mesh = mesh
+        self.topology = topology
+        #: Grid-era alias (the topology layer grew out of the mesh).
+        self.mesh = topology
         self.config = config
         self.vc_pools = vc_pools
         self.tx_pools = tx_pools
@@ -67,18 +69,23 @@ class ResidualCapacity:
 
     @classmethod
     def fresh(cls, cols: int, rows: int,
-              config: Optional[RouterConfig] = None) -> "ResidualCapacity":
-        """A standalone model of an idle ``cols x rows`` mesh."""
+              config: Optional[RouterConfig] = None,
+              topology: Optional[Topology] = None) -> "ResidualCapacity":
+        """A standalone model of an idle ``cols x rows`` fabric (the
+        mesh unless a built ``topology`` is supplied): one VC pool per
+        graph link, one GS-interface pool per tile."""
         config = config or RouterConfig()
-        mesh = Mesh(cols, rows, link_length_mm=config.link_length_mm,
-                    link_stages=config.link_stages)
+        if topology is None:
+            topology = Mesh(cols, rows,
+                            link_length_mm=config.link_length_mm,
+                            link_stages=config.link_stages)
         vcs = config.vcs_per_port
-        vc_pools = {(spec.src, spec.direction): set(range(vcs))
-                    for spec in mesh.links()}
+        vc_pools = {link.key: set(range(vcs))
+                    for link in topology.graph_links()}
         ifaces = config.local_gs_interfaces
-        tx_pools = {coord: set(range(ifaces)) for coord in mesh.tiles()}
-        rx_pools = {coord: set(range(ifaces)) for coord in mesh.tiles()}
-        return cls(mesh, config, vc_pools, tx_pools, rx_pools,
+        tx_pools = {coord: set(range(ifaces)) for coord in topology.tiles()}
+        rx_pools = {coord: set(range(ifaces)) for coord in topology.tiles()}
+        return cls(topology, config, vc_pools, tx_pools, rx_pools,
                    detached=True)
 
     def clone(self) -> "ResidualCapacity":
@@ -89,7 +96,7 @@ class ResidualCapacity:
         if not self.detached:
             raise ValueError("cannot clone a live ConnectionManager view")
         return ResidualCapacity(
-            self.mesh, self.config,
+            self.topology, self.config,
             {key: set(pool) for key, pool in self.vc_pools.items()},
             {key: set(pool) for key, pool in self.tx_pools.items()},
             {key: set(pool) for key, pool in self.rx_pools.items()},
@@ -121,13 +128,12 @@ class ResidualCapacity:
         per_vc = contract_for_path(1, self.config).min_bandwidth_flits_per_ns
         return self.used_vcs(coord, direction) * per_vc
 
-    def exits(self, coord: Coord) -> Iterator[Tuple[Direction, Coord]]:
-        """The outgoing links of a tile, in direction-code order (the
-        deterministic expansion order of the search strategies)."""
-        for direction in NETWORK_DIRECTIONS:
-            nxt = self.mesh.neighbor(coord, direction)
-            if nxt is not None:
-                yield direction, nxt
+    def exits(self, coord: Coord) -> Iterator[Tuple[object, Coord]]:
+        """The outgoing links of a tile, in the topology's port order
+        (direction-code order on the mesh — the deterministic expansion
+        order of the search strategies)."""
+        for port in self.topology.ports(coord):
+            yield port, self.topology.port_neighbor(coord, port)
 
     def snapshot(self, used: Optional[Dict[Tuple[Coord, Direction], int]]
                  = None) -> Dict[str, object]:
@@ -225,7 +231,7 @@ class ResidualCapacity:
             pool.discard(vc)
             taken.append((here, move, vc))
             hops.append(Hop(here, move, vc))
-            here = here.step(move)
+            here = self.topology.port_neighbor(here, move)
         return hops
 
     def take_ifaces(self, src: Coord, dst: Coord) -> Tuple[int, int]:

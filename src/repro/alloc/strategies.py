@@ -31,7 +31,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.connection import AdmissionError, Hop
-from ..network.routing import max_route_hops, xy_moves
+from ..network.routing import max_route_hops
 from ..network.topology import Coord, Direction
 from .capacity import ResidualCapacity
 
@@ -79,18 +79,20 @@ class Allocator(ABC):
 
 
 class XyAllocator(Allocator):
-    """Dimension-ordered XY, lowest free VC per link — the default, and
+    """The topology's deterministic default route, lowest free VC per
+    link — dimension-ordered XY on the mesh (hence the name), the
+    fabric's shortest route elsewhere.  On the mesh this is
     decision-for-decision identical to the historical hardwired policy
     (same check order, same reservation order, same tie-breaks)."""
 
     name = "xy"
-    description = ("dimension-ordered XY path, lowest free VC per link "
-                   "(the historical hardwired policy)")
+    description = ("the topology's deterministic shortest route (XY on "
+                   "the mesh), lowest free VC per link")
 
     def allocate(self, capacity: ResidualCapacity, src: Coord,
                  dst: Coord) -> Allocation:
         capacity.check_pair(src, dst)
-        moves = xy_moves(src, dst)
+        moves = capacity.topology.route_ports(src, dst)
         capacity.check_hop_cap(len(moves))
         capacity.check_ifaces(src, dst)
         hops = capacity.reserve_moves(src, moves)
@@ -105,8 +107,9 @@ class MinAdaptiveAllocator(Allocator):
     fraction), so an empty mesh routes minimal-hop and a loaded mesh
     trades up to one extra hop per fully reserved link avoided.  Links
     with no free VC are not edges at all.  Ties break on (cost, hops,
-    insertion order), and neighbours expand in direction-code order
-    (N, E, S, W) — the search is bit-reproducible.
+    insertion order), and neighbours expand in the topology's port
+    order (direction-code order N, E, S, W on the mesh) — the search
+    is bit-reproducible on any fabric.
     """
 
     name = "min-adaptive"

@@ -18,7 +18,8 @@ from ..circuits.timing import TimingProfile
 from ..core.config import RouterConfig
 
 __all__ = ["QosContract", "TdmQosContract", "contract_for_path",
-           "contract_for_connection", "tdm_contract_for_path"]
+           "contract_for_connection", "loop_contract_for_path",
+           "tdm_contract_for_path"]
 
 
 def _rate_within(rate: float, guaranteed: float) -> bool:
@@ -94,6 +95,31 @@ def contract_for_path(hops: int, config: RouterConfig = RouterConfig()
         flit_bytes=config.flit_width // 8,
         link_cycle_ns=config.timing.link_cycle_ns,
         requesters=config.link_requesters,
+    )
+
+
+def loop_contract_for_path(hops: int, gs_capacity: int,
+                           config: RouterConfig = RouterConfig()
+                           ) -> QosContract:
+    """The contract of a fair-share *fabric* link shared by at most
+    ``gs_capacity`` GS connections (ring / routerless backends).
+
+    Same share-based arithmetic as the MANGO contract — a queued flit
+    departs within one round-robin rotation, so worst-case latency is
+    ``hops x (sharers + 1) x cycle`` and guaranteed bandwidth is one
+    cycle in ``sharers`` — but with the fabric's admission cap as the
+    sharer count instead of the mesh router's ``link_requesters``
+    (Wu's ring router analysis; Indrusiak & Burns' per-loop bound).
+    """
+    if hops < 1:
+        raise ValueError("a connection crosses at least one link")
+    if gs_capacity < 1:
+        raise ValueError("a link admits at least one GS connection")
+    return QosContract(
+        hops=hops,
+        flit_bytes=config.flit_width // 8,
+        link_cycle_ns=config.timing.link_cycle_ns,
+        requesters=gs_capacity,
     )
 
 

@@ -17,7 +17,15 @@ assumptions of each):
 ``generic-vc``  Figure 3 arbitrated-switch VC router — no guarantees
 ``tdm``         ÆTHEREAL-style slot tables — hard but quantised
 ``priority``    Felicijan & Furber [9] static VC priority — differentiated
+``ring``        Wu's 3-port ring routers on ring/hring fabrics
+``routerless``  Indrusiak & Burns overlapping loops, per-loop bounds
 ==============  ==========================================================
+
+Backends declare which topologies they can build
+(:attr:`RouterBackend.topologies`); when no ``--backend`` is given the
+runner resolves the scenario's topology to its default backend through
+:func:`backend_for_topology` — mesh cells run on mango, fabric cells on
+their fabric's backend, so one registry serves every fabric.
 
 New backends subclass :class:`~repro.backends.base.RouterBackend` and
 call :func:`register_backend`.
@@ -29,25 +37,33 @@ from typing import Dict, List, Union
 
 from .base import BackendCapabilityError, RouterBackend
 from .generic_vc import GenericVcBackend, GenericVcNetwork
+from .graphnet import (BaseGraphNetwork, BaseMeshNetwork, FairShareNetwork,
+                       MeshAdapter, MeshConnection)
 from .mango import MangoBackend
-from .meshnet import BaseMeshNetwork, MeshAdapter, MeshConnection
 from .priority import PriorityBackend
+from .ring import RingBackend
+from .routerless import RouterlessBackend
 from .tdm import DEFAULT_TABLE_SIZE, TdmBackend, TdmNetwork
 
 __all__ = [
     "BACKENDS",
     "BackendCapabilityError",
+    "BaseGraphNetwork",
     "BaseMeshNetwork",
     "DEFAULT_TABLE_SIZE",
+    "FairShareNetwork",
     "GenericVcBackend",
     "GenericVcNetwork",
     "MangoBackend",
     "MeshAdapter",
     "MeshConnection",
     "PriorityBackend",
+    "RingBackend",
     "RouterBackend",
+    "RouterlessBackend",
     "TdmBackend",
     "TdmNetwork",
+    "backend_for_topology",
     "backend_names",
     "get_backend",
     "register_backend",
@@ -84,7 +100,32 @@ def backend_names() -> List[str]:
     return sorted(BACKENDS)
 
 
+#: The backend a scenario runs on when none is named explicitly, keyed
+#: by its spec's topology.  The mesh keeps mango (golden fingerprints
+#: pinned against it); each fabric maps to the backend that models it.
+DEFAULT_BACKEND_BY_TOPOLOGY: Dict[str, str] = {
+    "mesh": "mango",
+    "ring": "ring",
+    "ring-uni": "ring",
+    "hring": "ring",
+    "routerless": "routerless",
+}
+
+
+def backend_for_topology(topology: str) -> RouterBackend:
+    """The default backend for a topology name."""
+    try:
+        return BACKENDS[DEFAULT_BACKEND_BY_TOPOLOGY[topology]]
+    except KeyError:
+        known = ", ".join(sorted(DEFAULT_BACKEND_BY_TOPOLOGY))
+        raise KeyError(
+            f"no default backend for topology {topology!r} "
+            f"(known: {known})") from None
+
+
 register_backend(MangoBackend())
 register_backend(GenericVcBackend())
 register_backend(TdmBackend())
 register_backend(PriorityBackend())
+register_backend(RingBackend())
+register_backend(RouterlessBackend())

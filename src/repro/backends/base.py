@@ -47,7 +47,7 @@ last=False)``, ``n_hops`` and a :class:`~repro.network.connection.GsSink`
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..core.config import RouterConfig
 from ..network.topology import Coord
@@ -76,6 +76,11 @@ class RouterBackend(ABC):
 
     #: Paper section(s) the model reproduces or is contrasted against.
     paper_section: str = ""
+
+    #: Topology names (:attr:`ScenarioSpec.topology` values) the
+    #: backend's network model can be built on.  The mesh-router
+    #: backends are grid-only; the fabric backends list their fabrics.
+    topologies: Tuple[str, ...] = ("mesh",)
 
     #: Whether the backend provides an *architectural* latency/bandwidth
     #: guarantee.  When False, :meth:`latency_bound_ns` returns the
@@ -129,6 +134,13 @@ class RouterBackend(ABC):
     def check_spec(self, spec) -> None:
         """Raise :class:`BackendCapabilityError` for spec features the
         backend cannot model.  Called by the runner before building."""
+        topology = getattr(spec, "topology", "mesh")
+        if topology not in self.topologies:
+            raise BackendCapabilityError(
+                f"backend {self.name!r} builds "
+                f"{'/'.join(self.topologies)} networks; scenario "
+                f"{spec.name!r} is defined on the {topology!r} topology "
+                "(drop --backend to auto-select the fabric's backend)")
         if spec.failure is not None and not self.supports_failure_injection:
             raise BackendCapabilityError(
                 f"backend {self.name!r} models no MANGO programming "

@@ -41,8 +41,7 @@ from ..core.config import RouterConfig
 from ..network.packet import BePacket
 from ..network.topology import Coord, Direction
 from .base import RouterBackend
-from .meshnet import (BaseMeshNetwork, MeshAdapter, MeshConnection,
-                      xy_next_direction)
+from .graphnet import BaseMeshNetwork, MeshAdapter, MeshConnection
 
 __all__ = ["MeshRoutedFlit", "GenericVcNetwork", "GenericVcBackend"]
 
@@ -98,7 +97,7 @@ class GenericVcNetwork(BaseMeshNetwork):
         if flit.dst == here:
             flit.output = int(Direction.LOCAL)
         else:
-            flit.output = int(xy_next_direction(here, flit.dst))
+            flit.output = int(self.topology.next_port(here, flit.dst))
 
     def _forwarder(self, coord: Coord, direction: Direction):
         """Sink for a network output: count the link crossing, re-steer

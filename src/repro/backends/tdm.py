@@ -47,8 +47,7 @@ from ..network.connection import AdmissionError
 from ..network.packet import BePacket
 from ..network.topology import Coord, Direction
 from .base import RouterBackend
-from .meshnet import (BaseMeshNetwork, MeshAdapter, MeshConnection,
-                      xy_next_direction)
+from .graphnet import BaseMeshNetwork, MeshAdapter, MeshConnection
 
 __all__ = ["TdmFlit", "TdmLink", "TdmNetwork", "TdmBackend",
            "DEFAULT_TABLE_SIZE"]
@@ -219,7 +218,8 @@ class TdmNetwork(BaseMeshNetwork):
         stored in TDM routers — paper Section 6), then the payload, one
         slot apart at the injection port."""
         first = self.tdm_links[(adapter.coord,
-                                xy_next_direction(adapter.coord, dst))]
+                                self.topology.next_port(adapter.coord,
+                                                        dst))]
         words = [packet.header] + packet.words
         for index, word in enumerate(words):
             first.enqueue(TdmFlit(payload=word, dst=dst, kind="be",
@@ -238,7 +238,7 @@ class TdmNetwork(BaseMeshNetwork):
                 flit.packet.arrive_time = self.sim.now
                 self.adapters[coord].deliver_packet(flit.packet)
             return
-        self.tdm_links[(coord, xy_next_direction(coord, flit.dst))
+        self.tdm_links[(coord, self.topology.next_port(coord, flit.dst))
                        ].enqueue(flit)
 
 

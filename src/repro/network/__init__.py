@@ -8,7 +8,18 @@ modules here — eager imports would create a package-init cycle.
 
 from importlib import import_module
 
-from .topology import Coord, Direction, Mesh, NETWORK_DIRECTIONS
+from .topology import (
+    Coord,
+    Direction,
+    GraphLink,
+    Mesh,
+    NETWORK_DIRECTIONS,
+    Port,
+    Topology,
+    build_topology,
+    register_topology,
+    topology_names,
+)
 from .packet import (
     BeFlit,
     BePacket,
@@ -41,6 +52,9 @@ from .routing import (
 
 _LAZY = {
     "AdmissionError": ".connection",
+    "HierarchicalRingTopology": ".fabrics",
+    "RingTopology": ".fabrics",
+    "RouterlessTopology": ".fabrics",
     "ClockDomain": ".adapter",
     "Connection": ".connection",
     "ConnectionManager": ".connection",
@@ -63,16 +77,20 @@ __all__ = [
     "Coord",
     "Direction",
     "FLIT_DATA_BITS",
+    "GraphLink",
     "GsFlit",
     "LINK_FLIT_BITS",
     "MAX_HOPS",
     "MAX_ROUTE_WORDS",
     "Mesh",
     "NETWORK_DIRECTIONS",
+    "Port",
     "RouteError",
     "Steering",
     "SteeringError",
+    "Topology",
     "allowed_output_ports",
+    "build_topology",
     "decode_route",
     "decode_steering",
     "encode_route",
@@ -81,10 +99,12 @@ __all__ = [
     "header_direction",
     "make_be_packet",
     "max_route_hops",
+    "register_topology",
     "reverse_moves",
     "rotate_header",
     "route_for",
     "route_words_for",
+    "topology_names",
     "walk_route",
     "xy_moves",
 ] + sorted(_LAZY)

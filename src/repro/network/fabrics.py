@@ -1,0 +1,309 @@
+"""Non-grid fabrics: ring, hierarchical ring, and routerless NoCs.
+
+Three :class:`~repro.network.topology.Topology` instances over the same
+``cols x rows`` tile array as the mesh, differing only in the link
+graph and the deterministic route function:
+
+* :class:`RingTopology` (``ring`` / ``ring-uni``) — all tiles on one
+  ring in boustrophedon (snake) order, after Wu's ring router
+  microarchitecture: a 3-port router (CW, CCW, local) is much cheaper
+  than a 5-port mesh router, trading diameter for area.  The
+  bidirectional variant routes along the *shorter arc* and can fall
+  back to the longer one under admission pressure; ``ring-uni`` keeps
+  only the clockwise links.
+* :class:`HierarchicalRingTopology` (``hring``) — one unidirectional
+  local ring per row plus a unidirectional global ring through the
+  column-0 hub tiles; routes are local-arc -> global-arc -> local-arc.
+* :class:`RouterlessTopology` (``routerless``) — overlapping
+  unidirectional loops per Indrusiak & Burns: a global snake loop over
+  every tile plus one loop per row and per column.  Tiles have no
+  routing logic at all — a flit picks a loop at injection and rides it
+  to the destination, so the route function reduces to a deterministic
+  loop choice (fewest hops, lowest loop id).
+
+All three are *circulant-style* graphs: every route is a run of equal
+port labels, so the per-hop steering is trivial and the analytical
+latency bound is ``hops x (per-link GS sharers + 1) x cycle`` under
+fair-share arbitration (see ``docs/topologies.md``).
+
+Importing this module registers the fabrics; :func:`build_topology`
+does so lazily on first non-mesh lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .topology import (Coord, GraphLink, Port, Topology, register_topology)
+
+__all__ = [
+    "GraphTopology",
+    "HierarchicalRingTopology",
+    "RingTopology",
+    "RouterlessTopology",
+    "snake_order",
+]
+
+
+def snake_order(cols: int, rows: int) -> List[Coord]:
+    """The boustrophedon tile order: row 0 west->east, row 1 east->west,
+    ... — consecutive tiles are always grid neighbours, so a ring laid
+    out along it has unit-length links everywhere except the wrap."""
+    order: List[Coord] = []
+    for y in range(rows):
+        xs = range(cols) if y % 2 == 0 else range(cols - 1, -1, -1)
+        order.extend(Coord(x, y) for x in xs)
+    return order
+
+
+class GraphTopology(Topology):
+    """Base for fabrics built as an explicit link table.
+
+    Subclasses call :meth:`_add_link` from ``__init__`` in a
+    deterministic order; ports, adjacency and :meth:`graph_links` all
+    derive from that insertion order, so every downstream iteration
+    (link counter maps, VC pools, fingerprints, route searches) is
+    reproducible by construction.
+    """
+
+    def __init__(self, cols: int, rows: int,
+                 link_length_mm: float = 1.5, link_stages: int = 1):
+        if cols < 1 or rows < 1:
+            raise ValueError(f"{self.name} dimensions must be >= 1")
+        if cols * rows < 2:
+            raise ValueError(
+                f"a {self.name} fabric needs at least 2 tiles")
+        if link_length_mm <= 0:
+            raise ValueError("link length must be positive")
+        self.cols = cols
+        self.rows = rows
+        self.link_length_mm = link_length_mm
+        self.link_stages = link_stages
+        self._adjacency: Dict[Tuple[Coord, Port], Coord] = {}
+        self._ports: Dict[Coord, List[Port]] = {}
+        self._links: List[GraphLink] = []
+
+    def _add_link(self, src: Coord, port: Port, dst: Coord,
+                  length_mm: Optional[float] = None) -> None:
+        key = (src, port)
+        if key in self._adjacency:
+            raise ValueError(f"duplicate link {port} at {src}")
+        if length_mm is None:
+            # Snake-adjacent hops are unit links; wrap-around links are
+            # as long as the grid distance they span.
+            length_mm = max(1, self.manhattan(src, dst)) \
+                * self.link_length_mm
+        self._adjacency[key] = dst
+        self._ports.setdefault(src, []).append(port)
+        self._links.append(
+            GraphLink(src, port, dst, length_mm, self.link_stages))
+
+    # -- Topology interface ------------------------------------------------
+
+    def ports(self, node: Coord) -> Tuple[Port, ...]:
+        return tuple(self._ports.get(node, ()))
+
+    def port_neighbor(self, node: Coord, port) -> Optional[Coord]:
+        return self._adjacency.get((node, port))
+
+    def graph_links(self) -> Iterator[GraphLink]:
+        return iter(self._links)
+
+    def _no_route(self, src: Coord, dst: Coord):
+        from .routing import RouteError
+        if src == dst:
+            raise RouteError(
+                "same-tile traffic does not traverse the network; the "
+                "adapter loops it back locally (see DESIGN.md)")
+        raise RouteError(f"no {self.name} route from {src} to {dst}")
+
+
+class RingTopology(GraphTopology):
+    """All tiles on one ring in snake order (Wu's ring router fabric).
+
+    Bidirectional by default: every tile has a clockwise (``CW``) and a
+    counter-clockwise (``CCW``) port, and the route function takes the
+    shorter arc (clockwise on ties).  ``unidirectional=True`` drops the
+    CCW links, halving the wiring at the cost of worst-case routes of
+    ``N - 1`` hops.
+    """
+
+    name = "ring"
+
+    CW = Port("CW")
+    CCW = Port("CCW")
+
+    def __init__(self, cols: int, rows: int,
+                 link_length_mm: float = 1.5, link_stages: int = 1,
+                 unidirectional: bool = False):
+        super().__init__(cols, rows, link_length_mm, link_stages)
+        self.unidirectional = unidirectional
+        if unidirectional:
+            self.name = "ring-uni"
+        order = snake_order(cols, rows)
+        self._position = {coord: i for i, coord in enumerate(order)}
+        n = len(order)
+        for i, coord in enumerate(order):
+            self._add_link(coord, self.CW, order[(i + 1) % n])
+        if not unidirectional:
+            for i, coord in enumerate(order):
+                self._add_link(coord, self.CCW, order[(i - 1) % n])
+
+    def _arc(self, src: Coord, dst: Coord, port: Port) -> List[Port]:
+        gap = self._position[dst] - self._position[src]
+        hops = gap % self.n_tiles if port is self.CW \
+            else (-gap) % self.n_tiles
+        return [port] * hops
+
+    def route_ports(self, src: Coord, dst: Coord) -> List[Port]:
+        if src == dst or src not in self or dst not in self:
+            self._no_route(src, dst)
+        cw = (self._position[dst] - self._position[src]) % self.n_tiles
+        if self.unidirectional or cw <= self.n_tiles - cw:
+            return [self.CW] * cw
+        return [self.CCW] * (self.n_tiles - cw)
+
+    def candidate_routes(self, src: Coord,
+                         dst: Coord) -> Iterator[List[Port]]:
+        preferred = self.route_ports(src, dst)
+        yield preferred
+        if not self.unidirectional:
+            # The longer arc is a real alternative path: yield it so
+            # capacity-aware admission can route around a full link.
+            other = self.CCW if preferred[0] is self.CW else self.CW
+            yield self._arc(src, dst, other)
+
+    def next_port(self, here: Coord, dst: Coord) -> Port:
+        if here == dst:
+            self._no_route(here, dst)
+        if self.unidirectional:
+            return self.CW
+        cw = (self._position[dst] - self._position[here]) % self.n_tiles
+        return self.CW if cw <= self.n_tiles - cw else self.CCW
+
+    def min_hops(self, src: Coord, dst: Coord) -> int:
+        cw = (self._position[dst] - self._position[src]) % self.n_tiles
+        if self.unidirectional:
+            return cw
+        return min(cw, self.n_tiles - cw)
+
+
+class HierarchicalRingTopology(GraphTopology):
+    """Per-row local rings bridged by a global ring of hub tiles.
+
+    Every row is a unidirectional ring in x order (port ``L``); the
+    column-0 tile of each row is its *hub*, and the hubs form a
+    unidirectional global ring in y order (port ``G``).  A cross-row
+    route is local-arc to the source hub, global-arc to the destination
+    row's hub, then local-arc out to the destination — the classic
+    two-level hierarchy that keeps routers at 3 ports while bounding
+    routes by ``cols - 1 + rows - 1 + cols - 1`` hops.
+    """
+
+    name = "hring"
+    unidirectional = True
+
+    LOCAL = Port("L")
+    GLOBAL = Port("G")
+
+    def __init__(self, cols: int, rows: int,
+                 link_length_mm: float = 1.5, link_stages: int = 1):
+        if cols < 2 or rows < 2:
+            raise ValueError(
+                "a hierarchical ring needs cols >= 2 and rows >= 2 "
+                "(one local ring per row plus a global ring of hubs)")
+        super().__init__(cols, rows, link_length_mm, link_stages)
+        for y in range(rows):
+            for x in range(cols):
+                self._add_link(Coord(x, y), self.LOCAL,
+                               Coord((x + 1) % cols, y))
+        for y in range(rows):
+            self._add_link(Coord(0, y), self.GLOBAL,
+                           Coord(0, (y + 1) % rows))
+
+    def route_ports(self, src: Coord, dst: Coord) -> List[Port]:
+        if src == dst or src not in self or dst not in self:
+            self._no_route(src, dst)
+        if src.y == dst.y:
+            return [self.LOCAL] * ((dst.x - src.x) % self.cols)
+        to_hub = (-src.x) % self.cols
+        across = (dst.y - src.y) % self.rows
+        from_hub = dst.x % self.cols
+        return ([self.LOCAL] * to_hub + [self.GLOBAL] * across
+                + [self.LOCAL] * from_hub)
+
+
+class RouterlessTopology(GraphTopology):
+    """Overlapping unidirectional loops (Indrusiak & Burns).
+
+    Loop 0 is the global snake cycle over every tile; loops
+    ``1..rows`` circle each row in x order; loops ``rows+1..rows+cols``
+    circle each column in y order (row/column loops exist only when
+    they have >= 2 tiles).  A tile's port onto loop ``k`` is named
+    ``Lk``; a flit joins exactly one loop at injection and rides it to
+    the destination, so the deterministic route picks the loop shared
+    by source and destination with the fewest forward hops (lowest loop
+    id on ties) and :meth:`candidate_routes` offers the remaining
+    shared loops as admission fallbacks.
+    """
+
+    name = "routerless"
+    unidirectional = True
+
+    def __init__(self, cols: int, rows: int,
+                 link_length_mm: float = 1.5, link_stages: int = 1):
+        super().__init__(cols, rows, link_length_mm, link_stages)
+        # Loop id -> tile cycle; positions double as forward distances.
+        self._loops: List[List[Coord]] = [snake_order(cols, rows)]
+        for y in range(rows):
+            if cols >= 2:
+                self._loops.append([Coord(x, y) for x in range(cols)])
+        for x in range(cols):
+            if rows >= 2:
+                self._loops.append([Coord(x, y) for y in range(rows)])
+        self._loop_position: List[Dict[Coord, int]] = []
+        for loop_id, cycle in enumerate(self._loops):
+            port = Port(f"L{loop_id}")
+            n = len(cycle)
+            for i, coord in enumerate(cycle):
+                self._add_link(coord, port, cycle[(i + 1) % n])
+            self._loop_position.append(
+                {coord: i for i, coord in enumerate(cycle)})
+
+    def loop_choices(self, src: Coord,
+                     dst: Coord) -> List[Tuple[int, int]]:
+        """``(hops, loop_id)`` for every loop through both tiles,
+        sorted by preference (fewest forward hops, lowest id)."""
+        choices = []
+        for loop_id, position in enumerate(self._loop_position):
+            if src in position and dst in position:
+                hops = (position[dst] - position[src]) \
+                    % len(self._loops[loop_id])
+                choices.append((hops, loop_id))
+        choices.sort()
+        return choices
+
+    def route_ports(self, src: Coord, dst: Coord) -> List[Port]:
+        if src == dst or src not in self or dst not in self:
+            self._no_route(src, dst)
+        hops, loop_id = self.loop_choices(src, dst)[0]
+        return [Port(f"L{loop_id}")] * hops
+
+    def candidate_routes(self, src: Coord,
+                         dst: Coord) -> Iterator[List[Port]]:
+        if src == dst or src not in self or dst not in self:
+            self._no_route(src, dst)
+        for hops, loop_id in self.loop_choices(src, dst):
+            yield [Port(f"L{loop_id}")] * hops
+
+
+def _build_ring_uni(cols: int, rows: int, link_length_mm: float = 1.5,
+                    link_stages: int = 1) -> RingTopology:
+    return RingTopology(cols, rows, link_length_mm, link_stages,
+                        unidirectional=True)
+
+
+register_topology("ring", RingTopology)
+register_topology("ring-uni", _build_ring_uni)
+register_topology("hring", HierarchicalRingTopology)
+register_topology("routerless", RouterlessTopology)

@@ -1,22 +1,54 @@
-"""Grid topology for MANGO networks.
+"""Network topologies: the graph layer, with the grid as one instance.
 
-Routers are connected by point-to-point links in a grid-type structure
-(paper Section 3), homogeneous or heterogeneous (per-link lengths and
-pipelining differ).  Coordinates are ``(x, y)`` with x growing east and y
-growing south; ``(0, 0)`` is the north-west corner.
+Routers are connected by point-to-point links; the MANGO paper (Section
+3) evaluates a grid, but nothing in the router architecture requires
+one.  :class:`Topology` is the abstraction the layers above build
+against — a node set (tile coordinates), per-node *ordered* ports,
+directed port-to-port adjacency and per-link physical attributes
+(length, pipeline stages) — plus a deterministic route function that
+returns routes as **port sequences**.  :class:`Mesh` merely
+instantiates it with 4-neighbour grid adjacency and dimension-ordered
+XY routing; the ring and routerless fabrics live in
+:mod:`repro.network.fabrics` (see ``docs/topologies.md``).
+
+Nodes are always :class:`Coord` tiles of a ``cols x rows`` array —
+every fabric wires the same tile grid, only the link graph differs —
+so the spatial traffic patterns, the per-tile adapters and the
+flit-hop fingerprint geometry are comparable across fabrics.
+
+Coordinates are ``(x, y)`` with x growing east and y growing south;
+``(0, 0)`` is the north-west corner.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+from typing import (Callable, Dict, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
-__all__ = ["Direction", "Coord", "Mesh", "NETWORK_DIRECTIONS"]
+__all__ = [
+    "Coord",
+    "Direction",
+    "GraphLink",
+    "Mesh",
+    "NETWORK_DIRECTIONS",
+    "Port",
+    "TOPOLOGIES",
+    "Topology",
+    "build_topology",
+    "register_topology",
+    "topology_names",
+]
 
 
 class Direction(IntEnum):
-    """Router port directions; LOCAL is the port facing the tile's NA."""
+    """Router port directions; LOCAL is the port facing the tile's NA.
+
+    On the mesh the four network directions *are* the ports (they
+    satisfy the generic port protocol: hashable, ordered, ``.name``).
+    """
 
     NORTH = 0
     EAST = 1
@@ -66,9 +98,28 @@ class Coord(NamedTuple):
         return f"({self.x},{self.y})"
 
 
+@dataclass(frozen=True, order=True)
+class Port:
+    """A named output port of a node on a non-grid fabric.
+
+    The generic counterpart of :class:`Direction`: hashable, totally
+    ordered (by name) and carrying ``.name`` — the three properties the
+    link maps, the deterministic searches and the flit-hop fingerprint
+    rely on.  Instances with equal names are equal, so a fabric can
+    reuse one ``Port("CW")`` across every node of a ring.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
 @dataclass
 class LinkSpec:
-    """Physical description of one unidirectional link."""
+    """Physical description of one unidirectional *grid* link (kept for
+    the mesh's heterogeneous-link overrides; the topology-generic view
+    is :class:`GraphLink`)."""
 
     src: Coord
     direction: Direction
@@ -80,27 +131,55 @@ class LinkSpec:
         return self.src.step(self.direction)
 
 
-@dataclass
-class Mesh:
-    """A cols x rows grid of tiles.
+@dataclass(frozen=True)
+class GraphLink:
+    """One directed link of a topology graph: ``(src, port) -> dst``
+    with its physical length and pipeline depth."""
 
-    ``link_length_mm`` sets the default physical length of every link;
-    ``link_overrides`` allows heterogeneous grids (longer, pipelined links
-    between distant tiles).
+    src: Coord
+    port: object                 # Direction or Port
+    dst: Coord
+    length_mm: float
+    stages: int = 1
+
+    @property
+    def key(self) -> Tuple[Coord, object]:
+        """The ``(source node, output port)`` key the link maps use."""
+        return (self.src, self.port)
+
+
+class Topology(ABC):
+    """A node set with per-node ordered ports and directed adjacency.
+
+    The contract every layer above builds against:
+
+    * nodes are the :class:`Coord` tiles of a ``cols x rows`` array
+      (:meth:`tiles`, :meth:`__contains__`) — fabrics differ in *links*,
+      not in tile placement, so spatial traffic patterns stay
+      comparable;
+    * :meth:`ports` lists a node's outgoing network ports in a fixed,
+      deterministic order (the expansion order of route searches);
+    * :meth:`port_neighbor` is the directed adjacency — which node a
+      port's link reaches;
+    * :meth:`graph_links` enumerates every directed link with its
+      physical attributes, keyed ``(node, port)`` everywhere (link
+      counter maps, VC pools, fingerprints);
+    * :meth:`route_ports` is the fabric's *deterministic default route
+      function*, returning the route as a port sequence (XY on the
+      mesh, shortest-arc on rings, lowest-(hops, loop) on routerless).
     """
+
+    #: Registry key (``--topology`` value / ``ScenarioSpec.topology``).
+    name: str = ""
+
+    #: True when reverse links are deliberately absent (unidirectional
+    #: rings / loops); the Hypothesis invariants key off this.
+    unidirectional: bool = False
 
     cols: int
     rows: int
-    link_length_mm: float = 1.5
-    link_stages: int = 1
-    link_overrides: Dict[Tuple[Coord, Direction], LinkSpec] = field(
-        default_factory=dict)
 
-    def __post_init__(self):
-        if self.cols < 1 or self.rows < 1:
-            raise ValueError("mesh dimensions must be >= 1")
-        if self.link_length_mm <= 0:
-            raise ValueError("link length must be positive")
+    # -- node set ----------------------------------------------------------
 
     def __contains__(self, coord: Coord) -> bool:
         return 0 <= coord.x < self.cols and 0 <= coord.y < self.rows
@@ -113,6 +192,103 @@ class Mesh:
         for y in range(self.rows):
             for x in range(self.cols):
                 yield Coord(x, y)
+
+    def manhattan(self, a: Coord, b: Coord) -> int:
+        """Grid distance between two tiles — the *spatial* metric the
+        traffic patterns use; link-graph distance is :meth:`min_hops`."""
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+    def node_set_summary(self) -> str:
+        """Human description of the node set, for admission errors."""
+        return (f"{self.n_tiles} nodes (0,0)..."
+                f"({self.cols - 1},{self.rows - 1})")
+
+    # -- link graph --------------------------------------------------------
+
+    @abstractmethod
+    def ports(self, node: Coord) -> Tuple[object, ...]:
+        """The node's outgoing network ports with live links, in the
+        fabric's fixed deterministic order."""
+
+    @abstractmethod
+    def port_neighbor(self, node: Coord, port) -> Optional[Coord]:
+        """The node across ``port``'s link, or None when the port does
+        not exist at ``node``."""
+
+    @abstractmethod
+    def graph_links(self) -> Iterator[GraphLink]:
+        """Every directed link of the fabric, in deterministic order."""
+
+    # -- routing -----------------------------------------------------------
+
+    @abstractmethod
+    def route_ports(self, src: Coord, dst: Coord) -> List[object]:
+        """The fabric's deterministic default route ``src -> dst`` as a
+        port sequence (raises :class:`~repro.network.routing.RouteError`
+        when ``src == dst``)."""
+
+    def candidate_routes(self, src: Coord,
+                         dst: Coord) -> Iterator[List[object]]:
+        """Admissible routes in preference order — the default route
+        first; fabrics with path diversity (both ring arcs, overlapping
+        loops) yield fallbacks for capacity-aware admission."""
+        yield self.route_ports(src, dst)
+
+    def next_port(self, here: Coord, dst: Coord):
+        """The first port of the default route (fabrics with O(1)
+        steering override this)."""
+        return self.route_ports(here, dst)[0]
+
+    def min_hops(self, src: Coord, dst: Coord) -> int:
+        """Length of the default route, in links."""
+        return len(self.route_ports(src, dst))
+
+    def route_links(self, src: Coord, ports: Sequence
+                    ) -> List[Tuple[Coord, object]]:
+        """Walk a port sequence from ``src`` and return the ``(node,
+        port)`` key of every link crossed (raises ``ValueError`` when
+        the sequence leaves the declared adjacency)."""
+        keys: List[Tuple[Coord, object]] = []
+        here = src
+        for port in ports:
+            nxt = self.port_neighbor(here, port)
+            if nxt is None:
+                raise ValueError(
+                    f"route leaves the {self.name!r} adjacency: no port "
+                    f"{port} at {here}")
+            keys.append((here, port))
+            here = nxt
+        return keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.cols}x{self.rows}>"
+
+
+@dataclass
+class Mesh(Topology):
+    """A cols x rows grid of tiles — the paper's fabric, now one
+    :class:`Topology` instance among several.
+
+    ``link_length_mm`` sets the default physical length of every link;
+    ``link_overrides`` allows heterogeneous grids (longer, pipelined
+    links between distant tiles).
+    """
+
+    cols: int
+    rows: int
+    link_length_mm: float = 1.5
+    link_stages: int = 1
+    link_overrides: Dict[Tuple[Coord, Direction], LinkSpec] = field(
+        default_factory=dict)
+
+    name = "mesh"
+    unidirectional = False
+
+    def __post_init__(self):
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        if self.link_length_mm <= 0:
+            raise ValueError("link length must be positive")
 
     def neighbor(self, coord: Coord, direction: Direction
                  ) -> Optional[Coord]:
@@ -144,5 +320,87 @@ class Mesh:
         return LinkSpec(coord, direction, self.link_length_mm,
                         self.link_stages)
 
-    def manhattan(self, a: Coord, b: Coord) -> int:
-        return abs(a.x - b.x) + abs(a.y - b.y)
+    # -- Topology interface ------------------------------------------------
+
+    def ports(self, node: Coord) -> Tuple[Direction, ...]:
+        return tuple(direction for direction in NETWORK_DIRECTIONS
+                     if self.neighbor(node, direction) is not None)
+
+    def port_neighbor(self, node: Coord, port) -> Optional[Coord]:
+        if port not in NETWORK_DIRECTIONS:
+            return None
+        return self.neighbor(node, port)
+
+    def graph_links(self) -> Iterator[GraphLink]:
+        for spec in self.links():
+            yield GraphLink(spec.src, spec.direction, spec.dst,
+                            spec.length_mm, spec.stages)
+
+    def route_ports(self, src: Coord, dst: Coord) -> List[Direction]:
+        # Function-level import: routing imports this module eagerly,
+        # so the mesh's route function resolves its encoder-side twin
+        # lazily instead of creating an import cycle.
+        from .routing import xy_moves
+        return xy_moves(src, dst)
+
+    def next_port(self, here: Coord, dst: Coord) -> Direction:
+        """The next hop of the dimension-ordered (X then Y) route — the
+        same discipline :func:`repro.network.routing.xy_moves` encodes
+        into MANGO source-route headers, applied per hop by destination
+        coordinate.  O(1); the single copy of per-hop XY steering."""
+        if here.x != dst.x:
+            return Direction.EAST if dst.x > here.x else Direction.WEST
+        if here.y != dst.y:
+            return Direction.SOUTH if dst.y > here.y else Direction.NORTH
+        raise ValueError(f"no next hop: already at {dst}")
+
+    def min_hops(self, src: Coord, dst: Coord) -> int:
+        return self.manhattan(src, dst)
+
+
+# -- topology registry -------------------------------------------------------
+
+#: Registered fabrics, keyed by ``ScenarioSpec.topology`` / ``--topology``
+#: value.  Factories take ``(cols, rows, link_length_mm, link_stages)``
+#: keywords and return a :class:`Topology`.
+TOPOLOGIES: Dict[str, Callable[..., Topology]] = {}
+
+
+def register_topology(name: str,
+                      factory: Callable[..., Topology]) -> None:
+    """Add a fabric factory under a unique, non-empty name."""
+    if not name:
+        raise ValueError("a topology needs a name")
+    if name in TOPOLOGIES:
+        raise ValueError(f"topology {name!r} already registered")
+    TOPOLOGIES[name] = factory
+
+
+def build_topology(name: str, cols: int, rows: int,
+                   link_length_mm: float = 1.5,
+                   link_stages: int = 1) -> Topology:
+    """Instantiate a registered fabric over a ``cols x rows`` tile
+    array.  Raises ``KeyError`` (listing the known fabrics) for an
+    unknown name."""
+    if name not in TOPOLOGIES:
+        # The bundled non-grid fabrics register themselves on import;
+        # pulling them in lazily keeps this leaf module dependency-free.
+        from . import fabrics  # noqa: F401  (import-time registration)
+    try:
+        factory = TOPOLOGIES[name]
+    except KeyError:
+        known = ", ".join(topology_names())
+        raise KeyError(
+            f"unknown topology {name!r} (known: {known})") from None
+    return factory(cols=cols, rows=rows, link_length_mm=link_length_mm,
+                   link_stages=link_stages)
+
+
+def topology_names() -> List[str]:
+    """Registered fabric names, sorted (CLI choices, test params)."""
+    if len(TOPOLOGIES) <= 1:
+        from . import fabrics  # noqa: F401  (import-time registration)
+    return sorted(TOPOLOGIES)
+
+
+register_topology("mesh", Mesh)

@@ -1,9 +1,11 @@
 """Golden flit-hop fingerprints of every registry scenario at smoke
 duration (event-mode drive, the spec's own ``retain_packets``).
 
-``SMOKE_FINGERPRINTS`` pins the default ``mango`` backend across the
-whole registry.  Regenerate after an *intentional* workload change
-with::
+``SMOKE_FINGERPRINTS`` pins every cell on its *default* backend —
+``mango`` for mesh cells, the fabric's own backend for ``ring``/
+``hring``/``routerless`` cells (see
+``repro.backends.DEFAULT_BACKEND_BY_TOPOLOGY``).  Regenerate after an
+*intentional* workload change with::
 
     PYTHONPATH=src python -m repro scenario matrix --smoke --update-golden
 
@@ -78,4 +80,9 @@ SMOKE_FINGERPRINTS: Dict[str, str] = {
     "gs-under-saturation-4x4": "3ff53da446c382d3",
     "gs-under-saturation-8x8": "b11cebb20b835485",
     "gs-under-saturation-hotspot-8x8": "ccb22e42ea22448e",
+    "hring-cbr-8x8": "2ec7178df5e74374",
+    "ring-cbr-8x8": "19a6d05743fc0189",
+    "ring-uni-cbr-4x4": "d743b7e10e8d854c",
+    "routerless-cbr-8x8": "8d721927ca1f9212",
+    "routerless-hotspot-4x4": "46343da65a896f11",
 }

@@ -404,6 +404,76 @@ register(ScenarioSpec(
                 "256-router scale over chained route headers.",
     tags=("gs+be", "churn", "uniform", "chained", "slow")))
 
+# -- non-mesh fabrics: ring and routerless cells, scored against their ------
+# -- own architectural bounds (docs/topologies.md) --------------------------
+
+register(ScenarioSpec(
+    name="ring-cbr-8x8", cols=8, rows=8, topology="ring",
+    gs=(GsConnectionSpec(src=(0, 0), dst=(7, 0), traffic="cbr",
+                         flits=80, period_ns=140.0),
+        GsConnectionSpec(src=(0, 7), dst=(7, 7), traffic="cbr",
+                         flits=80, period_ns=140.0)),
+    be=BeTrafficSpec("uniform", slot_ns=25.0, probability=0.2,
+                     payload_words=3, n_slots=30, pattern_seed=7, seed=9),
+    drain_ns=30000.0,
+    description="Two 7-hop CBR streams on the bidirectional 64-node "
+                "snake ring, scored against the ring-hop fair-share "
+                "bound, under uniform BE riding the same arcs.",
+    tags=("gs+be", "uniform", "cbr", "fabric", "ring")))
+
+register(ScenarioSpec(
+    name="ring-uni-cbr-4x4", cols=4, rows=4, topology="ring-uni",
+    gs=(GsConnectionSpec(src=(0, 0), dst=(3, 0), traffic="cbr",
+                         flits=100, period_ns=120.0),
+        GsConnectionSpec(src=(3, 3), dst=(0, 0), traffic="cbr",
+                         flits=100, period_ns=120.0)),
+    be=BeTrafficSpec("uniform", slot_ns=20.0, probability=0.3,
+                     payload_words=3, n_slots=40, pattern_seed=7, seed=9),
+    description="CBR streams on the unidirectional 16-node ring: every "
+                "route winds clockwise, wrap-around pairs pay the full "
+                "arc and the bound prices it.",
+    tags=("gs+be", "uniform", "cbr", "fabric", "ring")))
+
+register(ScenarioSpec(
+    name="hring-cbr-8x8", cols=8, rows=8, topology="hring",
+    gs=(GsConnectionSpec(src=(0, 0), dst=(7, 7), traffic="cbr",
+                         flits=60, period_ns=200.0),
+        GsConnectionSpec(src=(7, 1), dst=(1, 6), traffic="cbr",
+                         flits=60, period_ns=200.0)),
+    be=BeTrafficSpec("uniform", slot_ns=25.0, probability=0.2,
+                     payload_words=2, n_slots=30, pattern_seed=7, seed=9),
+    drain_ns=30000.0,
+    description="CBR streams climbing local row rings onto the global "
+                "column ring and back down (Wu's hierarchical-ring "
+                "router), with uniform BE sharing every ring.",
+    tags=("gs+be", "uniform", "cbr", "fabric", "hring")))
+
+register(ScenarioSpec(
+    name="routerless-cbr-8x8", cols=8, rows=8, topology="routerless",
+    gs=(GsConnectionSpec(src=(0, 3), dst=(7, 3), traffic="cbr",
+                         flits=80, period_ns=140.0),
+        GsConnectionSpec(src=(3, 0), dst=(3, 7), traffic="cbr",
+                         flits=80, period_ns=140.0)),
+    be=BeTrafficSpec("uniform", slot_ns=25.0, probability=0.2,
+                     payload_words=3, n_slots=30, pattern_seed=7, seed=9),
+    drain_ns=30000.0,
+    description="Row-loop and column-loop CBR streams on the "
+                "routerless overlapping-loop fabric, scored against the "
+                "Indrusiak-Burns per-loop real-time bound.",
+    tags=("gs+be", "uniform", "cbr", "fabric", "routerless")))
+
+register(ScenarioSpec(
+    name="routerless-hotspot-4x4", cols=4, rows=4, topology="routerless",
+    gs=(GsConnectionSpec(src=(0, 0), dst=(3, 3), traffic="cbr",
+                         flits=80, period_ns=120.0),),
+    be=BeTrafficSpec("hotspot", slot_ns=30.0, probability=0.2,
+                     payload_words=2, n_slots=30, hotspot=(2, 2),
+                     fraction=0.5, pattern_seed=3, seed=5),
+    description="A corner-to-corner CBR stream riding the global snake "
+                "loop while half of all BE traffic converges on tile "
+                "(2,2) over the row/column loops.",
+    tags=("gs+be", "hotspot", "cbr", "fabric", "routerless")))
+
 # -- failure injection: errors must never pass silently ---------------------
 
 register(ScenarioSpec(

@@ -31,7 +31,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..backends import BackendCapabilityError, RouterBackend, get_backend
+from ..backends import (BackendCapabilityError, RouterBackend,
+                        backend_for_topology, get_backend)
 from ..core.config import RouterConfig
 from ..network.connection import AdmissionError
 from ..network.network import MangoNetwork
@@ -225,6 +226,7 @@ class ScenarioResult:
     rows: int
     backend: str
     allocator: str
+    topology: str
     mode: str
     retain_packets: bool
     sim_ns: float
@@ -305,6 +307,7 @@ class ScenarioResult:
             "mesh": f"{self.cols}x{self.rows}",
             "backend": self.backend,
             "allocator": self.allocator,
+            "topology": self.topology,
             "mode": self.mode,
             "retain_packets": self.retain_packets,
             "sim_ns": self.sim_ns,
@@ -334,10 +337,16 @@ class ScenarioRunner:
     def __init__(self, spec: ScenarioSpec,
                  config: Optional[RouterConfig] = None,
                  retain_packets: Optional[bool] = None,
-                 backend: Union[str, RouterBackend] = "mango",
+                 backend: Union[None, str, RouterBackend] = None,
                  allocator: str = "xy"):
         spec.validate(config)
-        self.backend = get_backend(backend)
+        # No explicit backend -> the spec's topology picks its default
+        # (mesh cells run on mango, fabric cells on their fabric's
+        # backend), so one registry drives every fabric.
+        if backend is None:
+            self.backend = backend_for_topology(spec.topology)
+        else:
+            self.backend = get_backend(backend)
         self.backend.check_spec(spec)
         self.spec = spec
         self.config = config
@@ -579,6 +588,7 @@ class ScenarioRunner:
             rows=spec.rows,
             backend=self.backend.name,
             allocator=self._allocator_name(),
+            topology=spec.topology,
             mode=mode,
             retain_packets=self.retain_packets,
             sim_ns=sim_ns,

@@ -19,9 +19,10 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from ..analysis.qos import contract_for_path
+from ..analysis.qos import contract_for_path, loop_contract_for_path
 from ..core.config import RouterConfig
 from ..network.routing import max_route_hops
+from ..network.topology import Coord, Topology, build_topology
 
 __all__ = [
     "ScenarioError",
@@ -62,25 +63,45 @@ def _coord(value) -> Tuple[int, int]:
     return (int(x), int(y))
 
 
+def _is_mesh(topology: Optional[Topology]) -> bool:
+    """Whether validation runs under mesh semantics (the default when
+    no topology object is supplied — legacy two-argument calls)."""
+    return topology is None or topology.name == "mesh"
+
+
 def _check_endpoints(label: str, src: Tuple[int, int],
-                     dst: Tuple[int, int], cols: int, rows: int) -> None:
+                     dst: Tuple[int, int], cols: int, rows: int,
+                     topology: Optional[Topology] = None) -> None:
     """Shared endpoint validation for anything that names a GS pair:
-    both ends on the mesh, distinct, and the XY hop count within the
-    chained route-header capacity (one copy of the hop-cap rule, so a
-    header revision cannot silently diverge between spec kinds)."""
+    both ends nodes of the chosen topology, distinct, and (on the mesh)
+    the XY hop count within the chained route-header capacity (one copy
+    of the hop-cap rule, so a header revision cannot silently diverge
+    between spec kinds).  A bad endpoint is a *spec* error naming the
+    topology and its node set — never a late ``KeyError`` deep in the
+    runner."""
     for which, (x, y) in (("src", src), ("dst", dst)):
         if not (0 <= x < cols and 0 <= y < rows):
+            if _is_mesh(topology):
+                raise ScenarioError(
+                    f"{label} {which} {(x, y)} outside the "
+                    f"{cols}x{rows} mesh")
             raise ScenarioError(
-                f"{label} {which} {(x, y)} outside the {cols}x{rows} mesh")
+                f"{label} {which} {(x, y)} is not a node of the "
+                f"{topology.name!r} topology, which has "
+                f"{topology.node_set_summary()}")
     if tuple(src) == tuple(dst):
         raise ScenarioError(f"{label} {src} -> {dst}: src == dst")
-    (sx, sy), (dx, dy) = src, dst
-    hops = abs(sx - dx) + abs(sy - dy)
-    if hops > max_route_hops():
-        raise ScenarioError(
-            f"{label} {src} -> {dst} needs {hops} hops > the "
-            f"{max_route_hops()}-hop capacity of chained source-route "
-            "headers")
+    if _is_mesh(topology):
+        # Mesh routes ride chained source-route headers; the other
+        # fabrics carry no route header (flits follow their admitted
+        # port sequence), so no hop cap applies there.
+        (sx, sy), (dx, dy) = src, dst
+        hops = abs(sx - dx) + abs(sy - dy)
+        if hops > max_route_hops():
+            raise ScenarioError(
+                f"{label} {src} -> {dst} needs {hops} hops > the "
+                f"{max_route_hops()}-hop capacity of chained "
+                "source-route headers")
 
 
 @dataclass(frozen=True)
@@ -124,25 +145,35 @@ class GsConnectionSpec:
         return abs(sx - dx) + abs(sy - dy)
 
     def validate(self, cols: int, rows: int,
-                 config: Optional[RouterConfig] = None) -> None:
+                 config: Optional[RouterConfig] = None,
+                 topology: Optional[Topology] = None) -> None:
         if self.traffic not in GS_TRAFFIC_KINDS:
             raise ScenarioError(
                 f"unknown GS traffic kind {self.traffic!r} "
                 f"(one of {GS_TRAFFIC_KINDS})")
-        _check_endpoints("GS", self.src, self.dst, cols, rows)
+        _check_endpoints("GS", self.src, self.dst, cols, rows, topology)
         if self.traffic in ("preload", "cbr") and self.flits < 1:
             raise ScenarioError("GS connection offers no flits")
         if self.traffic == "cbr":
             if self.period_ns <= 0:
                 raise ScenarioError("CBR period must be positive")
-            contract = contract_for_path(self.hops(),
-                                         config or RouterConfig())
+            config = config or RouterConfig()
+            if _is_mesh(topology):
+                contract = contract_for_path(self.hops(), config)
+            else:
+                # Fabric links are shared by at most vcs_per_port GS
+                # connections; the admissible rate follows the fabric's
+                # own share-based contract over its route length.
+                contract = loop_contract_for_path(
+                    topology.min_hops(Coord(*self.src), Coord(*self.dst)),
+                    gs_capacity=config.vcs_per_port, config=config)
             rate = 1.0 / self.period_ns
             if not contract.admits_rate(rate):
                 raise ScenarioError(
                     f"CBR rate {rate:.5f} flits/ns exceeds the guaranteed "
                     f"{contract.min_bandwidth_flits_per_ns:.5f} flits/ns "
-                    f"over {self.hops()} hops — the contract cannot hold")
+                    f"over {contract.hops} hops — the contract cannot "
+                    "hold")
         if self.traffic == "bursty":
             if self.burst_len < 1 or self.n_bursts < 1:
                 raise ScenarioError("bursts must be non-empty")
@@ -179,7 +210,8 @@ class BeTrafficSpec:
     hotspot: Optional[Tuple[int, int]] = None  # hotspot only
     fraction: float = 0.5                      # hotspot only
 
-    def validate(self, cols: int, rows: int) -> None:
+    def validate(self, cols: int, rows: int,
+                 topology: Optional[Topology] = None) -> None:
         if self.pattern not in PATTERN_NAMES:
             raise ScenarioError(f"unknown pattern {self.pattern!r} "
                                 f"(one of {PATTERN_NAMES})")
@@ -194,7 +226,7 @@ class BeTrafficSpec:
         if self.pattern == "local_uniform":
             if self.radius < 1:
                 raise ScenarioError("local_uniform radius must be >= 1 hop")
-            if self.radius > max_route_hops():
+            if _is_mesh(topology) and self.radius > max_route_hops():
                 raise ScenarioError(
                     f"local_uniform radius {self.radius} exceeds the "
                     f"{max_route_hops()}-hop chained source-route "
@@ -205,16 +237,24 @@ class BeTrafficSpec:
             if self.hotspot is not None:
                 x, y = self.hotspot
                 if not (0 <= x < cols and 0 <= y < rows):
+                    if _is_mesh(topology):
+                        raise ScenarioError(
+                            f"hotspot {(x, y)} outside the "
+                            f"{cols}x{rows} mesh")
                     raise ScenarioError(
-                        f"hotspot {(x, y)} outside the {cols}x{rows} mesh")
+                        f"hotspot {(x, y)} is not a node of the "
+                        f"{topology.name!r} topology, which has "
+                        f"{topology.node_set_summary()}")
         # Uniform, transpose, bit-complement and hotspot can all draw
         # full-diameter routes (transpose/hotspot via their uniform
         # fallback component).  Chained route headers carry any route up
         # to max_route_hops(), so full-diameter traffic is legal on
         # every mesh the chain can span — 16x16 (30-hop diameter)
-        # included.
-        if self.pattern not in ("nearest_neighbor", "local_uniform") and \
-                (cols - 1) + (rows - 1) > max_route_hops():
+        # included.  The non-grid fabrics carry no route header, so the
+        # cap is mesh-only.
+        if _is_mesh(topology) and \
+                self.pattern not in ("nearest_neighbor", "local_uniform") \
+                and (cols - 1) + (rows - 1) > max_route_hops():
             raise ScenarioError(
                 f"pattern {self.pattern!r} draws routes up to the "
                 f"{(cols - 1) + (rows - 1)}-hop mesh diameter, beyond "
@@ -343,6 +383,10 @@ class ScenarioSpec:
     name: str
     cols: int
     rows: int
+    #: Fabric the scenario runs on (a registered topology name; see
+    #: :func:`repro.network.topology.topology_names`).  The runner
+    #: resolves it to a default backend when none is named explicitly.
+    topology: str = "mesh"
     be: Optional[BeTrafficSpec] = None
     gs: Tuple[GsConnectionSpec, ...] = ()
     failure: Optional[FailureSpec] = None
@@ -353,6 +397,22 @@ class ScenarioSpec:
     description: str = ""
     tags: Tuple[str, ...] = ()
 
+    def make_topology(self, config: Optional[RouterConfig] = None
+                      ) -> Topology:
+        """Instantiate the spec's fabric (raises :class:`ScenarioError`
+        for unknown names or dimensions the fabric cannot wire)."""
+        config = config or RouterConfig()
+        try:
+            return build_topology(self.topology, self.cols, self.rows,
+                                  link_length_mm=config.link_length_mm,
+                                  link_stages=config.link_stages)
+        except KeyError as exc:
+            raise ScenarioError(
+                f"scenario {self.name!r}: {exc.args[0]}") from None
+        except ValueError as exc:
+            raise ScenarioError(
+                f"scenario {self.name!r}: {exc}") from None
+
     def validate(self, config: Optional[RouterConfig] = None) -> None:
         if not self.name:
             raise ScenarioError("a scenario needs a name")
@@ -360,6 +420,7 @@ class ScenarioSpec:
             raise ScenarioError("mesh dimensions must be positive")
         if self.cols * self.rows < 2:
             raise ScenarioError("a network needs at least two tiles")
+        topology = self.make_topology(config)
         if self.be is None and not self.gs and self.failure is None \
                 and self.churn is None:
             raise ScenarioError(
@@ -369,9 +430,9 @@ class ScenarioSpec:
         if self.max_ns <= 0:
             raise ScenarioError("max_ns must be positive")
         if self.be is not None:
-            self.be.validate(self.cols, self.rows)
+            self.be.validate(self.cols, self.rows, topology)
         for gs in self.gs:
-            gs.validate(self.cols, self.rows, config)
+            gs.validate(self.cols, self.rows, config, topology)
         if self.failure is not None:
             self.failure.validate(self.cols, self.rows)
         if self.churn is not None:
@@ -400,6 +461,7 @@ class ScenarioSpec:
             "name": self.name,
             "cols": self.cols,
             "rows": self.rows,
+            "topology": self.topology,
             "be": self.be.to_dict() if self.be is not None else None,
             "gs": [g.to_dict() for g in self.gs],
             "failure": (self.failure.to_dict()

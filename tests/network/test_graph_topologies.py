@@ -1,0 +1,157 @@
+"""Properties of the non-mesh fabrics and the graph topology layer.
+
+Every registered topology must be internally consistent — links only
+between declared ports, routes that walk the declared adjacency, a
+reverse link for every link unless the fabric says it is
+unidirectional — and the residual-capacity pools must conserve VCs on
+arbitrary fabric graphs exactly as they always have on the mesh.  The
+mesh itself must remain *one instance* of the abstraction: its routes
+are ``xy_moves`` and the pre-refactor golden fingerprints pin its
+behaviour bit-for-bit.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Coord, RouterConfig
+from repro.alloc import ResidualCapacity
+from repro.network import Mesh, build_topology, topology_names
+from repro.network.routing import xy_moves
+
+FABRICS = ["ring", "ring-uni", "hring", "routerless"]
+
+
+@st.composite
+def fabric_cases(draw):
+    """A built fabric topology plus one valid (src != dst) pair."""
+    name = draw(st.sampled_from(FABRICS))
+    cols = draw(st.integers(min_value=2, max_value=5))
+    min_rows = 2 if name == "hring" else 1
+    rows = draw(st.integers(min_value=min_rows, max_value=5))
+    topology = build_topology(name, cols, rows)
+    coords = st.tuples(st.integers(0, cols - 1), st.integers(0, rows - 1))
+    src, dst = draw(st.tuples(coords, coords)
+                    .filter(lambda p: p[0] != p[1]))
+    return topology, Coord(*src), Coord(*dst)
+
+
+class TestRegistry:
+    def test_all_fabrics_registered(self):
+        assert set(topology_names()) >= {"mesh"} | set(FABRICS)
+
+    def test_unknown_topology_lists_known(self):
+        with pytest.raises(KeyError, match="mesh"):
+            build_topology("torus", 4, 4)
+
+
+class TestGraphInvariants:
+    @given(fabric_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_links_connect_declared_ports(self, case):
+        topology, _src, _dst = case
+        for link in topology.graph_links():
+            assert link.src in topology and link.dst in topology
+            assert link.port in topology.ports(link.src)
+            assert topology.port_neighbor(link.src, link.port) == link.dst
+            assert link.length_mm > 0 and link.stages >= 1
+
+    @given(fabric_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_every_link_reversed_or_declared_unidirectional(self, case):
+        topology, _src, _dst = case
+        forward = {(link.src, link.dst) for link in topology.graph_links()}
+        if topology.unidirectional:
+            return
+        for src, dst in forward:
+            assert (dst, src) in forward, \
+                f"{topology.name}: link {src}->{dst} has no reverse"
+
+    @given(fabric_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_routes_walk_declared_adjacency(self, case):
+        topology, src, dst = case
+        route = topology.route_ports(src, dst)
+        assert len(route) == topology.min_hops(src, dst) >= 1
+        assert route[0] == topology.next_port(src, dst)
+        here = src
+        for port in route:
+            assert port in topology.ports(here)
+            here = topology.port_neighbor(here, port)
+        assert here == dst
+        # route_links walks the same adjacency and keys every hop.
+        keys = topology.route_links(src, route)
+        assert len(keys) == len(route)
+        assert keys[0] == (src, route[0])
+
+    @given(fabric_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_candidate_routes_all_reach_dst(self, case):
+        topology, src, dst = case
+        candidates = list(topology.candidate_routes(src, dst))
+        assert candidates, "at least the deterministic route"
+        for route in candidates:
+            here = src
+            for port in route:
+                here = topology.port_neighbor(here, port)
+            assert here == dst
+
+    @given(fabric_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_residual_capacity_conserves_pools(self, case):
+        topology, src, dst = case
+        config = RouterConfig()
+        capacity = ResidualCapacity.fresh(
+            topology.cols, topology.rows, config=config, topology=topology)
+
+        def free_total():
+            return sum(len(pool) for pool in capacity.vc_pools.values())
+
+        n_links = len(list(topology.graph_links()))
+        full = free_total()
+        assert full == n_links * config.vcs_per_port
+
+        route = topology.route_ports(src, dst)
+        hops = capacity.reserve_moves(src, route)
+        src_iface, dst_iface = capacity.take_ifaces(src, dst)
+        assert free_total() == full - len(route)
+        capacity.release(src, src_iface, dst, dst_iface, hops)
+        assert free_total() == full
+        assert all(len(capacity.tx_pools[tile]) ==
+                   config.local_gs_interfaces
+                   for tile in topology.tiles())
+
+
+class TestMeshEquivalence:
+    """The mesh is one Topology instance — same routes, same goldens."""
+
+    @given(st.tuples(st.integers(2, 6), st.integers(2, 6),
+                     st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                     st.tuples(st.integers(0, 5), st.integers(0, 5))))
+    @settings(max_examples=100, deadline=None)
+    def test_mesh_routes_are_xy_moves(self, case):
+        cols, rows, (sx, sy), (dx, dy) = case
+        src = Coord(sx % cols, sy % rows)
+        dst = Coord(dx % cols, dy % rows)
+        if src == dst:
+            return
+        mesh = Mesh(cols, rows)
+        assert mesh.route_ports(src, dst) == xy_moves(src, dst)
+        assert mesh.next_port(src, dst) == xy_moves(src, dst)[0]
+        assert mesh.min_hops(src, dst) == mesh.manhattan(src, dst)
+
+    def test_mesh_is_the_registered_default(self):
+        topology = build_topology("mesh", 4, 4)
+        assert isinstance(topology, Mesh)
+        assert topology.name == "mesh" and not topology.unidirectional
+
+    @pytest.mark.parametrize("name", ["be-uniform-4x4",
+                                      "gs-cbr-4x4-uniform"])
+    def test_mesh_goldens_survive_the_graph_stack(self, name):
+        """The pre-refactor golden digests, reproduced through the
+        topology-parameterised backend — the refactor moved the mesh,
+        it did not change it."""
+        from repro.scenarios import ScenarioRunner, get
+        from repro.scenarios.golden import SMOKE_FINGERPRINTS
+        result = ScenarioRunner(get(name).smoke()).run()
+        assert result.fingerprint == SMOKE_FINGERPRINTS[name]
+        assert result.topology == "mesh" and result.backend == "mango"

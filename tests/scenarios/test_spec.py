@@ -240,3 +240,65 @@ class TestValidation:
         assert smoke.gs[0].flits < 500
         assert smoke.gs[1].n_bursts < 50
         assert smoke.cols == spec.cols and smoke.be.seed == spec.be.seed
+
+
+class TestTopologyValidation:
+    """Fabric specs fail at validation time with the topology named —
+    never as a late KeyError inside the runner."""
+
+    def test_topology_round_trips(self):
+        spec = ScenarioSpec(
+            name="ring-cell", cols=4, rows=4, topology="ring",
+            be=BeTrafficSpec("uniform"))
+        spec.validate()
+        data = spec.to_dict()
+        assert data["topology"] == "ring"
+        assert ScenarioSpec.from_dict(data).topology == "ring"
+        # Old serialized specs (no topology key) default to the mesh.
+        del data["topology"]
+        assert ScenarioSpec.from_dict(data).topology == "mesh"
+
+    def test_unknown_topology_lists_known(self):
+        with pytest.raises(ScenarioError,
+                           match=r"unknown topology 'torus'.*mesh.*ring"):
+            ScenarioSpec(name="t", cols=4, rows=4, topology="torus",
+                         be=BeTrafficSpec("uniform")).validate()
+
+    def test_gs_endpoint_outside_fabric_names_topology_and_nodes(self):
+        spec = ScenarioSpec(
+            name="oob", cols=4, rows=4, topology="ring",
+            gs=(GsConnectionSpec(src=(0, 0), dst=(9, 9),
+                                 traffic="preload", flits=5),))
+        with pytest.raises(
+                ScenarioError,
+                match=r"dst \(9, 9\) is not a node of the 'ring' "
+                      r"topology, which has 16 nodes \(0,0\)\.\.\.\(3,3\)"):
+            spec.validate()
+
+    def test_hotspot_outside_fabric_names_topology(self):
+        spec = ScenarioSpec(
+            name="oob-hot", cols=4, rows=4, topology="routerless",
+            be=BeTrafficSpec("hotspot", hotspot=(7, 7)))
+        with pytest.raises(ScenarioError,
+                           match="'routerless' topology"):
+            spec.validate()
+
+    def test_fabric_cbr_rate_checked_against_loop_contract(self):
+        # 12 hops round the unidirectional ring; one flit per ns is
+        # far beyond the fair-share guarantee over that arc.
+        spec = ScenarioSpec(
+            name="hot-rate", cols=4, rows=4, topology="ring-uni",
+            gs=(GsConnectionSpec(src=(0, 0), dst=(3, 3), traffic="cbr",
+                                 flits=5, period_ns=1.0),))
+        with pytest.raises(ScenarioError,
+                           match="over 12 hops — the contract cannot"):
+            spec.validate()
+
+    def test_registered_fabric_cells_validate(self):
+        from repro.scenarios import registry
+        fabric_cells = registry.names(tags=("fabric",))
+        assert len(fabric_cells) >= 4
+        for name in fabric_cells:
+            spec = registry.get(name)
+            assert spec.topology != "mesh"
+            spec.validate()

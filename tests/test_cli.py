@@ -325,3 +325,59 @@ class TestAllocFlagScoping:
         assert main(["alloc", "demand-set", "greedy-trap-3x3",
                      "--allocator", "ripup"]) == 2
         assert "only applies to 'report'" in capsys.readouterr().err
+
+
+class TestTopologyCli:
+    """Fabric cells and the --topology override (docs/topologies.md)."""
+
+    def test_list_shows_fabric_cells(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "8x8 ring" in out
+        assert "4x4 routerless" in out
+
+    def test_fabric_cell_resolves_its_own_backend(self, capsys):
+        assert main(["scenario", "run", "ring-uni-cbr-4x4",
+                     "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "backend ring" in out  # the title names the resolved backend
+        assert "topology" in out and "ring-uni" in out
+        assert "PASS" in out
+
+    def test_topology_override_reruns_a_mesh_cell(self, capsys):
+        assert main(["scenario", "run", "be-uniform-4x4", "--smoke",
+                     "--topology", "routerless"]) == 0
+        out = capsys.readouterr().out
+        assert "backend routerless" in out
+        assert "topology" in out
+
+    def test_fabric_cell_on_mesh_backend_skips(self, capsys):
+        assert main(["scenario", "run", "ring-cbr-8x8", "--smoke",
+                     "--backend", "mango"]) == 2
+        assert "topology" in capsys.readouterr().err
+
+    def test_matrix_explicit_backend_skips_foreign_topologies(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--backend", "mango",
+                     "--names", "be-uniform-4x4,ring-cbr-8x8"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 scenarios passed (1 skipped: backend mango)" in out
+
+    def test_matrix_fabric_subset_checks_goldens(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--names",
+                     "ring-uni-cbr-4x4,routerless-hotspot-4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 scenarios passed" in out
+        assert "no golden" not in out
+
+    def test_update_golden_refuses_topology_override(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--update-golden",
+                     "--topology", "ring"]) == 2
+        assert "topology" in capsys.readouterr().out
+
+    def test_matrix_topology_override_drops_goldens(self, capsys):
+        assert main(["scenario", "matrix", "--smoke",
+                     "--topology", "ring",
+                     "--names", "be-uniform-4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "no golden" in out
+        assert "1/1 scenarios passed" in out
