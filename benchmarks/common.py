@@ -4,14 +4,25 @@ Each bench regenerates one table/figure/claim from the paper (see the
 experiment index in DESIGN.md).  Results are printed and appended to
 ``benchmarks/results.txt`` so the paper-vs-measured record survives pytest
 output capturing; EXPERIMENTS.md is written from that file.
+
+The machine-readable perf trajectory lives next door: fleet runs write
+``BENCH_*.json`` files (``repro.bench``), with the CI baseline committed
+under ``benchmarks/baselines/`` — see ``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
 
 import os
 import sys
+import time
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+#: Committed ``BENCH_*.json`` baselines (the CI ``fleet-smoke`` job
+#: compares a fresh record against the newest file in here).
+BASELINES_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+_run_header_written = False
 
 
 def run_scenario(name: str, smoke: bool = False, mode: str = "event",
@@ -40,11 +51,40 @@ def run_scenario(name: str, smoke: bool = False, mode: str = "event",
 
 
 def record(experiment_id: str, title: str, body: str) -> None:
-    """Print and persist one experiment's output block."""
-    block = (f"\n=== {experiment_id}: {title} ===\n{body}\n")
+    """Print and persist one experiment's output block.
+
+    The block is committed with a single ``O_APPEND`` write — the
+    kernel appends it atomically, so concurrently recording processes
+    can never interleave half-blocks — and the first record of each
+    process stamps a run-boundary header, so ``results.txt`` reads as a
+    sequence of delimited runs rather than one unbounded accretion.
+    Fleet workers (``repro.scenarios.fleet``) never call this: they
+    return outcome dicts and the parent does any recording.
+    """
+    global _run_header_written
+    block = f"\n=== {experiment_id}: {title} ===\n{body}\n"
+    if not _run_header_written:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+        block = (f"\n##### run {stamp} (pid {os.getpid()}, "
+                 f"python {sys.version.split()[0]}) #####\n") + block
+        _run_header_written = True
     print(block, file=sys.stderr)
-    with open(RESULTS_PATH, "a") as handle:
-        handle.write(block)
+    fd = os.open(RESULTS_PATH,
+                 os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, block.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def latest_baseline() -> str:
+    """Path of the newest committed ``BENCH_*.json`` baseline, or an
+    empty string when none has been recorded yet."""
+    if not os.path.isdir(BASELINES_DIR):
+        return ""
+    names = sorted(name for name in os.listdir(BASELINES_DIR)
+                   if name.startswith("BENCH_") and name.endswith(".json"))
+    return os.path.join(BASELINES_DIR, names[-1]) if names else ""
 
 
 def run_once(benchmark, fn):

@@ -6,7 +6,11 @@ Commands:
 * ``contract``   — QoS contract for a connection of N hops
 * ``simulate``   — a quick mixed GS/BE simulation on a small mesh
 * ``scenario``   — the declarative scenario matrix: ``list``, ``run`` one
-  scenario, or drive the whole conformance ``matrix``
+  scenario, or drive the whole conformance ``matrix`` (``--jobs N``
+  shards it over worker processes)
+* ``bench``      — the persisted perf trajectory: ``record`` a
+  machine-readable ``BENCH_*.json`` from a fleet run, or ``compare``
+  a run against a recorded baseline (the CI regression gate)
 * ``alloc``      — connection allocation: print a named adversarial
   ``demand-set`` as JSON, or ``report`` the acceptance-rate comparison
   of the registered strategies on a demand set
@@ -98,6 +102,19 @@ def cmd_scenario(args) -> int:
         """Topology tag for tables: '4x4' on the mesh, '4x4 ring' off it."""
         size = f"{spec.cols}x{spec.rows}"
         return size if spec.topology == "mesh" else f"{size} {spec.topology}"
+
+    # Fleet flags are matrix-only; refused elsewhere, never ignored.
+    if args.action != "matrix" and args.jobs != 1:
+        print("--jobs only applies to 'matrix' (see docs/benchmarks.md)",
+              file=sys.stderr)
+        return 2
+    if args.action != "matrix" and args.cache_dir:
+        print("--cache-dir only applies to 'matrix' "
+              "(see docs/benchmarks.md)", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
 
     if args.action == "list":
         table = Table(["scenario", "mesh", "GS", "pattern", "tags"],
@@ -244,6 +261,12 @@ def cmd_scenario(args) -> int:
     if args.names:
         selected = resolve([n.strip() for n in args.names.split(",")
                             if n.strip()])
+    from .scenarios.fleet import FleetCell, run_fleet
+    cells = [FleetCell(name=name, backend=args.backend,
+                       allocator=args.allocator, topology=args.topology,
+                       smoke=smoke, mode=args.mode)
+             for name in selected]
+    outcomes = run_fleet(cells, jobs=args.jobs, cache_dir=args.cache_dir)
     table = Table(["scenario", "mesh", "BE recv/sent", "GS ok",
                    "p99 ns", "fingerprint", "verdict"],
                   title=f"QoS conformance matrix "
@@ -251,34 +274,45 @@ def cmd_scenario(args) -> int:
                         f"{args.mode} drive, backend {backend_label})")
     failed = []
     skipped = 0
+    errored = 0
+    cached = sum(1 for outcome in outcomes if outcome.cached)
     fingerprints = {}
-    for name in selected:
-        try:
-            result = run_one(name)
-        except BackendCapabilityError:
+    for name, outcome in zip(selected, outcomes):
+        if outcome.status == "skip":
             # Cells a backend cannot build (foreign topology, MANGO
             # protocol-violation probes) are reported, not failed.
             skipped += 1
             table.add_row(name, fabric(get(name)),
                           "-", "-", "-", "-", "SKIP")
             continue
-        fingerprints[name] = result.fingerprint
-        verdict = "PASS" if result.passed else "FAIL"
-        fp_note = result.fingerprint
+        if outcome.status == "error":
+            # A crashing cell is one ERROR row (and a non-zero exit),
+            # never an aborted matrix losing the partial table.
+            errored += 1
+            failed.append((name, [f"ERROR: {outcome.reason}"]))
+            table.add_row(name, fabric(get(name)),
+                          "-", "-", "-", "-", "ERROR")
+            continue
+        result = outcome.result
+        fingerprints[name] = result["fingerprint"]
+        verdict = "PASS" if result["passed"] else "FAIL"
+        fp_note = result["fingerprint"]
         if smoke and not args.update_golden:
             golden_fp = golden_for(name)
             if golden_fp is None:
                 fp_note += " (no golden)"
-            elif golden_fp != result.fingerprint:
+            elif golden_fp != result["fingerprint"]:
                 fp_note += " != golden"
                 verdict = "FAIL"
         if verdict == "FAIL":
-            failed.append((name, result.failures()))
-        gs_ok = (f"{sum(v.ok for v in result.gs)}/{len(result.gs)}"
-                 if result.gs else "-")
-        table.add_row(name, fabric(result),
-                      f"{result.be_received}/{result.be_sent}",
-                      gs_ok, _fmt_ns(result.latency_p99_ns), fp_note,
+            failed.append((name, outcome.failures))
+        gs = result["gs"]
+        gs_ok = (f"{sum(v['ok'] for v in gs)}/{len(gs)}" if gs else "-")
+        mesh = (result["mesh"] if result["topology"] == "mesh"
+                else f"{result['mesh']} {result['topology']}")
+        table.add_row(name, mesh,
+                      f"{result['be_received']}/{result['be_sent']}",
+                      gs_ok, _fmt_ns(result["latency_p99_ns"]), fp_note,
                       verdict)
     print(table.render())
     if args.update_golden:
@@ -305,8 +339,120 @@ def cmd_scenario(args) -> int:
     ran = len(selected) - skipped
     note = (f" ({skipped} skipped: backend {backend_label})"
             if skipped else "")
+    if cached:
+        note += f" ({cached} cached: {args.cache_dir})"
     print(f"{ran - len(failed)}/{ran} scenarios passed{note}")
+    if ran == 0:
+        # A fully-skipped matrix proved nothing; a capability-gated CI
+        # job must not go silently green on it (distinct exit code so
+        # callers can tell "nothing ran" from "something failed").
+        print(f"warning: nothing ran — all {len(selected)} selected "
+              f"scenario(s) skipped (backend {backend_label}); an "
+              "all-SKIP matrix is not a pass", file=sys.stderr)
+        return 3
     return 1 if failed else 0
+
+
+def cmd_bench(args) -> int:
+    import time
+
+    from .bench import (DEFAULT_TOLERANCE, bench_payload, compare_benches,
+                        load_bench, write_bench)
+    from .scenarios import registry
+    from .scenarios.fleet import FleetCell, run_fleet
+
+    # Flags scoped to the other action are refused, not ignored.
+    if args.action == "record":
+        for flag, value in (("--against", args.against),
+                            ("--current", args.current),
+                            ("--tolerance", args.tolerance)):
+            if value is not None:
+                print(f"{flag} only applies to 'compare'", file=sys.stderr)
+                return 2
+    if args.action == "compare" and args.out is not None:
+        print("--out only applies to 'record'", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
+
+    def collect():
+        """Run the fleet now (no result cache: recorded wall times must
+        be measurements, not replays) and assemble the payload."""
+        selected = registry.names()
+        if args.names:
+            names = [n.strip() for n in args.names.split(",")
+                     if n.strip()]
+            unknown = [n for n in names if n not in registry.SCENARIOS]
+            if unknown:
+                print(f"unknown scenario(s): {', '.join(unknown)}",
+                      file=sys.stderr)
+                raise SystemExit(2)
+            selected = names
+        cells = [FleetCell(name=name, backend=args.backend,
+                           allocator=args.allocator, smoke=args.smoke)
+                 for name in selected]
+        start = time.perf_counter()
+        outcomes = run_fleet(cells, jobs=args.jobs)
+        wall = time.perf_counter() - start
+        run_info = {"smoke": args.smoke, "mode": "event",
+                    "jobs": args.jobs, "backend": args.backend or "auto",
+                    "allocator": args.allocator,
+                    "names": args.names or "all"}
+        return bench_payload(outcomes, run_info, fleet_wall_s=wall)
+
+    if args.action == "record":
+        payload = collect()
+        path = write_bench(payload, args.out or ".")
+        totals = payload["totals"]
+        print(f"recorded {totals['cells']} cells ({totals['passed']} "
+              f"passed, {totals['failed']} failed, {totals['skipped']} "
+              f"skipped, {totals['errors']} errors) in "
+              f"{totals['fleet_wall_s']:.1f}s -> {path}")
+        if totals["failed"] or totals["errors"]:
+            return 1
+        if totals["passed"] == 0:
+            print("warning: nothing ran — every cell skipped; this "
+                  "trajectory point proves nothing", file=sys.stderr)
+            return 3
+        return 0
+
+    # compare
+    if not args.against:
+        print("compare needs --against FILE (a recorded BENCH_*.json)",
+              file=sys.stderr)
+        return 2
+    tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    if not 0 <= tolerance < 1:
+        print(f"--tolerance must be in [0, 1) (got {tolerance})",
+              file=sys.stderr)
+        return 2
+    try:
+        baseline = load_bench(args.against)
+    except (OSError, ValueError) as error:
+        print(f"cannot load baseline: {error}", file=sys.stderr)
+        return 2
+    if args.current:
+        try:
+            current = load_bench(args.current)
+        except (OSError, ValueError) as error:
+            print(f"cannot load current run: {error}", file=sys.stderr)
+            return 2
+    else:
+        current = collect()
+    regressions, notes = compare_benches(current, baseline,
+                                         tolerance=tolerance)
+    for note in notes:
+        print(f"note: {note}")
+    for regression in regressions:
+        print(f"REGRESSION: {regression}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) vs {args.against} "
+              f"(tolerance {tolerance:.0%})")
+        return 1
+    print(f"no regressions vs {args.against} (tolerance {tolerance:.0%})")
+    return 0
 
 
 def cmd_alloc(args) -> int:
@@ -469,6 +615,47 @@ def main(argv=None) -> int:
     scenario.add_argument("--update-golden", action="store_true",
                           help="record smoke fingerprints into "
                                "scenarios/golden.py")
+    scenario.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for 'matrix' (1 = the "
+                               "in-process serial loop; verdicts and "
+                               "fingerprints are identical either way; "
+                               "see docs/benchmarks.md)")
+    scenario.add_argument("--cache-dir", default=None,
+                          help="per-cell result cache for 'matrix', "
+                               "keyed on spec+backend+allocator+"
+                               "topology+code fingerprint (see "
+                               "docs/benchmarks.md)")
+
+    bench = sub.add_parser(
+        "bench", help="perf trajectory: record/compare BENCH_*.json "
+                      "(see docs/benchmarks.md)")
+    bench.add_argument("action", choices=("record", "compare"))
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI-sized durations (capped slots/flits)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="fleet worker processes")
+    bench.add_argument("--names",
+                       help="comma-separated scenario subset")
+    bench.add_argument("--backend", choices=backend_names(), default=None,
+                       help="router architecture to record on "
+                            "(default: each cell's topology default)")
+    bench.add_argument("--allocator", choices=allocator_names(),
+                       default="xy",
+                       help="GS admission strategy (mango-manager "
+                            "backends only)")
+    bench.add_argument("--out", default=None,
+                       help="directory for the BENCH_*.json file "
+                            "('record' only; default: current dir)")
+    bench.add_argument("--against",
+                       help="baseline BENCH_*.json to compare the "
+                            "current run to ('compare' only)")
+    bench.add_argument("--current",
+                       help="compare this recorded file instead of "
+                            "running the matrix now ('compare' only)")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="allowed fractional per-cell throughput "
+                            "drop before 'compare' flags a regression "
+                            "(default 0.3)")
 
     alloc = sub.add_parser(
         "alloc", help="connection allocation: demand sets + "
@@ -500,7 +687,7 @@ def main(argv=None) -> int:
                      "(see: scenario list)")
     handlers = {"report": cmd_report, "contract": cmd_contract,
                 "simulate": cmd_simulate, "scenario": cmd_scenario,
-                "alloc": cmd_alloc}
+                "bench": cmd_bench, "alloc": cmd_alloc}
     return handlers[args.command](args)
 
 

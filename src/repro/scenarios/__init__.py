@@ -12,14 +12,17 @@ from .spec import (BeTrafficSpec, ChurnSpec, FailureSpec, GsConnectionSpec,
 from .runner import (ChurnDriver, ConnectionVerdict, ScenarioResult,
                      ScenarioRunner, build_pattern, flit_hop_fingerprint)
 from . import registry
+from .fleet import CellOutcome, FleetCell, run_cell, run_fleet
 from .registry import SCENARIOS, get, names, register
 
 __all__ = [
     "BeTrafficSpec",
+    "CellOutcome",
     "ChurnDriver",
     "ChurnSpec",
     "ConnectionVerdict",
     "FailureSpec",
+    "FleetCell",
     "GsConnectionSpec",
     "SCENARIOS",
     "ScenarioError",
@@ -32,4 +35,6 @@ __all__ = [
     "names",
     "register",
     "registry",
+    "run_cell",
+    "run_fleet",
 ]

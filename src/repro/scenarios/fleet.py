@@ -1,0 +1,366 @@
+"""Sharded scenario fleet: run matrix cells on N worker processes.
+
+The conformance matrix (``python -m repro scenario matrix``) grew to
+~37 registry cells x 6 backends x 3 allocators, all driven by one
+sequential loop.  This module is the parallel executor behind
+``--jobs N`` and ``python -m repro bench record``:
+
+* a :class:`FleetCell` names one (scenario, backend, allocator,
+  topology, smoke, mode) matrix cell as plain JSON-safe data, so any
+  cross-product is a list comprehension away;
+* :func:`run_cell` executes one cell and captures the outcome — ``ok``
+  with the full :class:`~repro.scenarios.runner.ScenarioResult` dict,
+  ``skip`` for :class:`~repro.backends.BackendCapabilityError`, or
+  ``error`` with the traceback — so one crashing cell becomes an
+  ``ERROR`` row instead of aborting the whole run;
+* :func:`run_fleet` fans the cells out over a spawn-safe
+  ``ProcessPoolExecutor`` (``jobs=1`` stays in-process, byte-identical
+  to the historical serial loop) and returns outcomes in input order,
+  so tables, golden checks and fingerprints are independent of
+  completion order;
+* results can be cached per cell, keyed on ``(spec JSON, backend,
+  allocator, topology, mode, code fingerprint)`` — any source change
+  under ``repro/`` invalidates every entry — with straggler-safe
+  ``flock`` + atomic-rename publishing in the cache directory.
+
+Workers never write shared files themselves (``benchmarks/results.txt``
+included); all output funnels through the parent via the returned
+outcome dicts.  See ``docs/benchmarks.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "CellOutcome",
+    "FleetCell",
+    "cell_id",
+    "code_fingerprint",
+    "run_cell",
+    "run_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetCell:
+    """One matrix cell: a registry scenario replayed on one backend /
+    allocator / topology combination, at smoke or full duration.
+
+    ``backend=None`` resolves the spec's topology to its default
+    backend (mesh cells on ``mango``, fabric cells on their fabric's
+    backend); ``topology=None`` keeps the spec's own fabric — the same
+    semantics as the ``scenario matrix`` flags.
+    """
+
+    name: str
+    backend: Optional[str] = None
+    allocator: str = "xy"
+    topology: Optional[str] = None
+    smoke: bool = True
+    mode: str = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FleetCell":
+        return cls(**data)
+
+    def resolve_spec(self):
+        """The exact spec this cell runs (topology override applied
+        first, then the smoke scaling — the serial loop's order)."""
+        from .registry import get
+
+        spec = get(self.name)
+        if self.topology:
+            spec = dataclasses.replace(spec, topology=self.topology)
+        if self.smoke:
+            spec = spec.smoke()
+        return spec
+
+
+def cell_id(cell: FleetCell) -> str:
+    """Stable human-readable id, unique across a cross-product fleet
+    (``BENCH_*.json`` cell key): the scenario name, qualified with any
+    non-default axis, e.g. ``be-uniform-4x4[backend=tdm]``."""
+    axes = []
+    if cell.backend:
+        axes.append(f"backend={cell.backend}")
+    if cell.allocator != "xy":
+        axes.append(f"allocator={cell.allocator}")
+    if cell.topology:
+        axes.append(f"topology={cell.topology}")
+    if not cell.smoke:
+        axes.append("full")
+    if cell.mode != "event":
+        axes.append(f"mode={cell.mode}")
+    if not axes:
+        return cell.name
+    return f"{cell.name}[{','.join(axes)}]"
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell.
+
+    ``status`` is ``"ok"`` (``result`` holds the
+    :meth:`~repro.scenarios.runner.ScenarioResult.to_dict` payload and
+    ``failures`` the verdict problems), ``"skip"`` (capability-gated:
+    ``reason`` names the incompatibility) or ``"error"`` (``reason`` is
+    the exception, ``traceback`` the full trace).  ``wall_s`` covers
+    build + run inside the worker; ``cached`` marks outcomes served
+    from the result cache instead of a fresh run.
+    """
+
+    cell: FleetCell
+    status: str
+    result: Optional[Dict[str, Any]] = None
+    failures: List[str] = field(default_factory=list)
+    reason: str = ""
+    traceback: str = ""
+    wall_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "ok" and bool(self.result["passed"])
+
+    @property
+    def verdict(self) -> str:
+        if self.status == "skip":
+            return "SKIP"
+        if self.status == "error":
+            return "ERROR"
+        return "PASS" if self.passed else "FAIL"
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        return self.result["fingerprint"] if self.status == "ok" else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell.to_dict(),
+            "status": self.status,
+            "result": self.result,
+            "failures": list(self.failures),
+            "reason": self.reason,
+            "traceback": self.traceback,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellOutcome":
+        data = dict(data)
+        data["cell"] = FleetCell.from_dict(data["cell"])
+        return cls(**data)
+
+
+def run_cell(cell: FleetCell) -> CellOutcome:
+    """Execute one cell, capturing every failure mode as data.
+
+    This is the only place the fleet touches the runner, and it never
+    raises: capability gaps become ``skip``, everything else —
+    construction errors, simulation deadlocks, verdict machinery bugs —
+    becomes ``error`` with the traceback preserved, so a single
+    crashing cell reports an ``ERROR`` row instead of losing the whole
+    partial table.
+    """
+    from ..backends import BackendCapabilityError
+    from .runner import ScenarioRunner
+
+    start = time.perf_counter()
+    try:
+        spec = cell.resolve_spec()
+        runner = ScenarioRunner(spec, backend=cell.backend,
+                                allocator=cell.allocator)
+        result = runner.run(mode=cell.mode)
+    except BackendCapabilityError as error:
+        return CellOutcome(cell, "skip", reason=str(error),
+                           wall_s=time.perf_counter() - start)
+    except Exception as error:
+        return CellOutcome(cell, "error",
+                           reason=f"{type(error).__name__}: {error}",
+                           traceback=traceback.format_exc(),
+                           wall_s=time.perf_counter() - start)
+    return CellOutcome(cell, "ok", result=result.to_dict(),
+                       failures=result.failures(),
+                       wall_s=time.perf_counter() - start)
+
+
+def _worker(cell_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Spawn-safe pool entry point: plain dicts in, plain dicts out."""
+    return run_cell(FleetCell.from_dict(cell_data)).to_dict()
+
+
+# -- result cache ----------------------------------------------------------
+
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (relative path + bytes).
+
+    Part of every cache key: any change anywhere in the package —
+    kernel, backends, specs, this module — invalidates every cached
+    cell, so the cache can never serve results from stale code.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:16]
+
+
+def cache_key(cell: FleetCell, code_fp: str) -> str:
+    """The cache key: resolved spec JSON + every run axis + code digest
+    (the resolved spec covers smoke scaling and topology overrides)."""
+    payload = json.dumps({
+        "spec": cell.resolve_spec().to_dict(),
+        "backend": cell.backend,
+        "allocator": cell.allocator,
+        "topology": cell.topology,
+        "mode": cell.mode,
+        "code": code_fp,
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@contextlib.contextmanager
+def _locked(lock_path: str):
+    """Exclusive advisory lock, straggler-safe: ``flock`` is released
+    by the kernel when the holder dies, so a crashed worker can never
+    wedge the cache directory."""
+    import fcntl
+
+    fd = os.open(lock_path, os.O_CREAT | os.O_WRONLY, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        os.close(fd)  # closing drops the flock
+
+
+class FleetCache:
+    """Per-cell result cache: one JSON file per cache key.
+
+    Writes publish via temp-file + ``os.replace`` under a per-key
+    ``flock``, so readers only ever see complete entries; unreadable or
+    truncated files are treated as misses and overwritten.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        with _locked(self._path(key) + ".lock"):
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
+
+
+# -- the fleet -------------------------------------------------------------
+
+def run_fleet(cells: Sequence[FleetCell], jobs: int = 1,
+              cache_dir: Optional[str] = None) -> List[CellOutcome]:
+    """Run every cell and return outcomes in input order.
+
+    ``jobs=1`` executes in-process, sequentially — the exact behaviour
+    (and fingerprints) of the historical serial matrix loop.  ``jobs>1``
+    fans out over a ``spawn`` ``ProcessPoolExecutor``: every cell is an
+    independent simulation with its own RNG seeds, so parallel outcomes
+    are bit-identical to serial ones (asserted by
+    ``tests/scenarios/test_fleet.py`` and ``benchmarks/bench_fleet.py``).
+
+    With ``cache_dir``, ``ok``/``skip`` outcomes are persisted keyed on
+    :func:`cache_key` and replayed on later runs (``cached=True``);
+    ``error`` outcomes are never cached, so transient failures (OOM,
+    interrupts) retry next time.
+    """
+    cells = list(cells)
+    cache = FleetCache(cache_dir) if cache_dir else None
+    code_fp = code_fingerprint() if cache else ""
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    pending = []
+    for index, cell in enumerate(cells):
+        key = None
+        if cache is not None:
+            try:
+                key = cache_key(cell, code_fp)
+            except Exception:
+                key = None  # unresolvable spec: the worker reports it
+            hit = cache.load(key) if key else None
+            if hit is not None:
+                try:
+                    outcome = CellOutcome.from_dict(hit)
+                except (KeyError, TypeError):
+                    outcome = None  # stale schema: rerun
+                if outcome is not None:
+                    outcome.cached = True
+                    outcomes[index] = outcome
+                    continue
+        pending.append((index, cell, key))
+
+    def publish(index, key, outcome):
+        outcomes[index] = outcome
+        if cache is not None and key and outcome.status != "error":
+            cache.store(key, outcome.to_dict())
+
+    if jobs <= 1 or len(pending) <= 1:
+        for index, cell, key in pending:
+            publish(index, key, run_cell(cell))
+    else:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        context = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = {pool.submit(_worker, cell.to_dict()): (index, cell,
+                                                              key)
+                       for index, cell, key in pending}
+            for future in as_completed(futures):
+                index, cell, key = futures[future]
+                try:
+                    outcome = CellOutcome.from_dict(future.result())
+                except Exception as error:
+                    # The worker process itself died (e.g. OOM-killed):
+                    # still one ERROR row, not a lost table.
+                    outcome = CellOutcome(
+                        cell, "error",
+                        reason=f"worker failed: {error!r}")
+                publish(index, key, outcome)
+    return outcomes

@@ -311,6 +311,7 @@ class ScenarioResult:
             "mode": self.mode,
             "retain_packets": self.retain_packets,
             "sim_ns": self.sim_ns,
+            "wall_s": self.wall_s,
             "events": self.events,
             "flit_hops": self.flit_hops,
             "fingerprint": self.fingerprint,

@@ -1,0 +1,126 @@
+"""The persisted perf trajectory (``repro.bench``): BENCH_*.json
+schema round-trip and the regression comparator."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (BENCH_SCHEMA, bench_filename, bench_payload,
+                         compare_benches, host_fingerprint, load_bench,
+                         write_bench)
+from repro.scenarios.fleet import FleetCell, run_fleet
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_fleet([FleetCell(name="be-uniform-4x4"),
+                      FleetCell(name="gs-cbr-4x4-uniform"),
+                      FleetCell(name="gs-churn-8x8", backend="tdm")])
+
+
+@pytest.fixture(scope="module")
+def payload(outcomes):
+    return bench_payload(outcomes, {"smoke": True, "jobs": 1},
+                         fleet_wall_s=1.25)
+
+
+class TestPayload:
+    def test_schema_and_totals(self, payload):
+        assert payload["schema"] == BENCH_SCHEMA
+        totals = payload["totals"]
+        assert totals["cells"] == 3
+        assert totals["passed"] == 2
+        assert totals["skipped"] == 1
+        assert totals["errors"] == 0
+        assert totals["fleet_wall_s"] == 1.25
+        assert totals["events"] > 0
+        assert totals["events_per_s"] == round(totals["events"] / 1.25, 1)
+
+    def test_ok_cells_carry_perf_fields(self, payload):
+        cell = payload["cells"]["be-uniform-4x4"]
+        assert cell["status"] == "ok" and cell["verdict"] == "PASS"
+        for field in ("wall_s", "events", "events_per_s", "flit_hops",
+                      "sim_ns", "fingerprint"):
+            assert cell[field], field
+
+    def test_skip_cells_carry_the_reason(self, payload):
+        cell = payload["cells"]["gs-churn-8x8[backend=tdm]"]
+        assert cell["status"] == "skip" and cell["verdict"] == "SKIP"
+        assert cell["reason"]
+        assert "events_per_s" not in cell
+
+    def test_filename_embeds_date_and_host(self, payload):
+        name = bench_filename(payload)
+        date = payload["recorded_at"].split("T", 1)[0]
+        assert name == f"BENCH_{date}_{host_fingerprint()}.json"
+
+    def test_write_load_round_trip(self, payload, tmp_path):
+        path = write_bench(payload, str(tmp_path / "benches"))
+        assert load_bench(path) == json.loads(json.dumps(payload))
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError, match="repro-bench"):
+            load_bench(str(bad))
+        not_a_dict = tmp_path / "list.json"
+        not_a_dict.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_bench(str(not_a_dict))
+
+
+class TestCompare:
+    def test_identical_runs_have_no_regressions(self, payload):
+        regressions, notes = compare_benches(payload, payload)
+        assert regressions == []
+        assert any("total throughput" in note for note in notes)
+
+    def test_throughput_drop_beyond_tolerance_flags(self, payload):
+        current = copy.deepcopy(payload)
+        cell = current["cells"]["be-uniform-4x4"]
+        cell["events_per_s"] = cell["events_per_s"] * 0.5
+        regressions, _ = compare_benches(current, payload, tolerance=0.3)
+        assert len(regressions) == 1
+        assert "be-uniform-4x4" in regressions[0]
+        assert "events/s" in regressions[0]
+        # ...and a generous tolerance absorbs the same drop.
+        regressions, _ = compare_benches(current, payload, tolerance=0.6)
+        assert regressions == []
+
+    def test_verdict_downgrade_flags_regardless_of_speed(self, payload):
+        current = copy.deepcopy(payload)
+        current["cells"]["gs-cbr-4x4-uniform"]["verdict"] = "FAIL"
+        regressions, _ = compare_benches(current, payload, tolerance=0.99)
+        assert any("PASS -> FAIL" in r for r in regressions)
+
+    def test_missing_cell_flags(self, payload):
+        current = copy.deepcopy(payload)
+        del current["cells"]["be-uniform-4x4"]
+        regressions, _ = compare_benches(current, payload)
+        assert any("missing" in r for r in regressions)
+
+    def test_skip_cells_in_baseline_are_not_compared(self, payload):
+        current = copy.deepcopy(payload)
+        del current["cells"]["gs-churn-8x8[backend=tdm]"]
+        regressions, _ = compare_benches(current, payload)
+        assert regressions == []
+
+    def test_fingerprint_drift_is_a_note_not_a_regression(self, payload):
+        current = copy.deepcopy(payload)
+        current["cells"]["be-uniform-4x4"]["fingerprint"] = "0" * 16
+        regressions, notes = compare_benches(current, payload)
+        assert regressions == []
+        assert any("fingerprint" in note for note in notes)
+
+    def test_new_cells_are_a_note(self, payload):
+        current = copy.deepcopy(payload)
+        current["cells"]["brand-new-cell"] = \
+            dict(current["cells"]["be-uniform-4x4"])
+        regressions, notes = compare_benches(current, payload)
+        assert regressions == []
+        assert any("new cell" in note for note in notes)
+
+    def test_bad_tolerance_rejected(self, payload):
+        with pytest.raises(ValueError):
+            compare_benches(payload, payload, tolerance=1.0)

@@ -174,6 +174,206 @@ class TestScenarioCli:
         assert "refusing" in capsys.readouterr().out
 
 
+class TestMatrixExitCodes:
+    """The full exit-code contract of ``scenario matrix``: 0 all-pass,
+    1 any FAIL/ERROR cell, 2 usage errors, 3 nothing-ran — so a
+    capability-gated CI job can never go silently green."""
+
+    def test_pass_exits_zero(self, capsys):
+        assert main(["scenario", "matrix", "--smoke",
+                     "--names", "be-uniform-4x4"]) == 0
+        assert "1/1 scenarios passed" in capsys.readouterr().out
+
+    def test_all_skip_exits_three_with_warning(self, capsys):
+        """The verified hole: every selected cell SKIPs and the matrix
+        used to exit 0 — a fully-skipped run must be loud, and distinct
+        from a verdict failure."""
+        assert main(["scenario", "matrix", "--smoke", "--backend", "tdm",
+                     "--names", "gs-churn-8x8"]) == 3
+        captured = capsys.readouterr()
+        assert "0/0 scenarios passed" in captured.out
+        assert "nothing ran" in captured.err
+        assert "all-SKIP" in captured.err
+
+    def test_fail_cell_exits_one(self, monkeypatch, capsys):
+        from repro.scenarios import ScenarioRunner
+        real_run = ScenarioRunner.run
+
+        def doomed(self, mode="event", batch_events=8192):
+            result = real_run(self, mode=mode, batch_events=batch_events)
+            result.be_sent += 1  # fake a lost packet
+            return result
+
+        monkeypatch.setattr(ScenarioRunner, "run", doomed)
+        assert main(["scenario", "matrix", "--smoke",
+                     "--names", "be-uniform-4x4"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL be-uniform-4x4" in out
+        assert "lost" in out
+
+    def test_error_cell_renders_row_and_keeps_partial_table(
+            self, monkeypatch, capsys):
+        """A crashing cell must not abort the matrix mid-loop: the
+        other cells still run, the table still renders, the exit is
+        non-zero."""
+        from repro.scenarios import ScenarioRunner
+        real_run = ScenarioRunner.run
+
+        def crashy(self, mode="event", batch_events=8192):
+            if self.spec.name == "gs-cbr-4x4-uniform":
+                raise RuntimeError("event heap drained unexpectedly")
+            return real_run(self, mode=mode, batch_events=batch_events)
+
+        monkeypatch.setattr(ScenarioRunner, "run", crashy)
+        assert main(["scenario", "matrix", "--smoke", "--names",
+                     "be-uniform-4x4,gs-cbr-4x4-uniform,"
+                     "chained-route-17x1"]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+        assert "heap drained" in out
+        # The partial table survived: both healthy cells ran and PASSed.
+        assert out.count("PASS") >= 2
+        assert "2/3 scenarios passed" in out
+
+    def test_error_cell_refuses_update_golden(self, monkeypatch, capsys):
+        import repro.__main__ as cli
+        from repro.scenarios import ScenarioRunner
+        monkeypatch.setattr(
+            ScenarioRunner, "run",
+            lambda self, **kw: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        monkeypatch.setattr(
+            cli, "_write_golden",
+            lambda *a: pytest.fail("must not record goldens off errors"))
+        assert main(["scenario", "matrix", "--smoke", "--update-golden",
+                     "--names", "be-uniform-4x4"]) == 1
+        assert "refusing" in capsys.readouterr().out
+
+
+class TestFleetCli:
+    def test_matrix_jobs_matches_serial_output(self, capsys):
+        names = "be-uniform-4x4,gs-cbr-4x4-uniform"
+        assert main(["scenario", "matrix", "--smoke",
+                     "--names", names]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["scenario", "matrix", "--smoke", "--names", names,
+                     "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "2/2 scenarios passed" in parallel_out
+
+    def test_matrix_cache_dir_reports_cached_cells(self, tmp_path,
+                                                   capsys):
+        args = ["scenario", "matrix", "--smoke",
+                "--names", "be-uniform-4x4",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "(1 cached:" in capsys.readouterr().out
+
+    def test_jobs_refused_outside_matrix(self, capsys):
+        assert main(["scenario", "run", "be-uniform-4x4", "--smoke",
+                     "--jobs", "2"]) == 2
+        assert "only applies to 'matrix'" in capsys.readouterr().err
+
+    def test_cache_dir_refused_outside_matrix(self, tmp_path, capsys):
+        assert main(["scenario", "list",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "only applies to 'matrix'" in capsys.readouterr().err
+
+    def test_nonpositive_jobs_refused(self, capsys):
+        assert main(["scenario", "matrix", "--smoke", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def test_record_writes_schema_checked_file(self, tmp_path, capsys):
+        assert main(["bench", "record", "--smoke",
+                     "--names", "be-uniform-4x4,gs-cbr-4x4-uniform",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 2 cells" in out and "2 passed" in out
+        from repro.bench import load_bench
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        payload = load_bench(str(files[0]))
+        cell = payload["cells"]["be-uniform-4x4"]
+        assert cell["verdict"] == "PASS"
+        assert cell["events_per_s"] > 0
+
+    def test_record_all_skip_exits_three(self, tmp_path, capsys):
+        assert main(["bench", "record", "--smoke", "--backend", "tdm",
+                     "--names", "gs-churn-8x8",
+                     "--out", str(tmp_path)]) == 3
+        assert "nothing ran" in capsys.readouterr().err
+
+    def test_compare_same_file_passes(self, tmp_path, capsys):
+        assert main(["bench", "record", "--smoke",
+                     "--names", "be-uniform-4x4",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = str(next(tmp_path.glob("BENCH_*.json")))
+        assert main(["bench", "compare", "--against", path,
+                     "--current", path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_flags_injected_regression(self, tmp_path, capsys):
+        import json
+        assert main(["bench", "record", "--smoke",
+                     "--names", "be-uniform-4x4",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        path = next(tmp_path.glob("BENCH_*.json"))
+        doctored = json.loads(path.read_text())
+        doctored["cells"]["be-uniform-4x4"]["events_per_s"] *= 0.01
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(doctored))
+        assert main(["bench", "compare", "--against", str(path),
+                     "--current", str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "events/s" in out
+        # A wide-open tolerance absorbs it again.
+        assert main(["bench", "compare", "--against", str(path),
+                     "--current", str(slow), "--tolerance", "0.999"]) == 0
+
+    def test_compare_needs_against(self, capsys):
+        assert main(["bench", "compare"]) == 2
+        assert "--against" in capsys.readouterr().err
+
+    def test_compare_rejects_bad_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["bench", "compare", "--against", str(bad)]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+        assert main(["bench", "compare",
+                     "--against", str(tmp_path / "missing.json")]) == 2
+
+    def test_compare_rejects_bad_tolerance(self, tmp_path, capsys):
+        bad = tmp_path / "irrelevant.json"
+        bad.write_text("{}")
+        assert main(["bench", "compare", "--against", str(bad),
+                     "--tolerance", "1.5"]) == 2
+        assert "--tolerance" in capsys.readouterr().err
+
+    def test_record_refuses_compare_flags(self, tmp_path, capsys):
+        assert main(["bench", "record", "--against", "x.json"]) == 2
+        assert "only applies to 'compare'" in capsys.readouterr().err
+        assert main(["bench", "record", "--tolerance", "0.5"]) == 2
+        assert main(["bench", "record", "--current", "x.json"]) == 2
+
+    def test_compare_refuses_out(self, tmp_path, capsys):
+        assert main(["bench", "compare", "--against", "x.json",
+                     "--out", str(tmp_path)]) == 2
+        assert "only applies to 'record'" in capsys.readouterr().err
+
+    def test_record_unknown_names_fail_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "record", "--names", "typo",
+                  "--out", str(tmp_path)])
+        assert "unknown scenario" in capsys.readouterr().err
+
+
 class TestAllocatorFlag:
     def test_run_with_adaptive_allocator(self, capsys):
         assert main(["scenario", "run", "gs-churn-8x8", "--smoke",
