@@ -16,9 +16,16 @@ Schema (``docs/benchmarks.md`` documents every field)::
      "recorded_at": "...", "host": {...}, "code_fingerprint": "...",
      "run": {"smoke": ..., "mode": ..., "jobs": ..., ...},
      "cells": {"<cell id>": {"status": "ok", "verdict": "PASS",
-               "wall_s": ..., "events": ..., "events_per_s": ...,
-               "flit_hops": ..., "sim_ns": ..., "fingerprint": ...}},
+               "wall_s": ..., "concurrency": ..., "events": ...,
+               "events_per_s": ..., "flit_hops": ..., "sim_ns": ...,
+               "fingerprint": ...}},
      "totals": {...}}
+
+``concurrency`` is the mean number of fleet cells executing
+concurrently with that cell (1.0 = uncontended; recorded only for
+fresh, timestamped outcomes), and ``compare`` warns when the two
+records were taken at different ``--jobs`` values — both guard against
+silently comparing events/sec numbers skewed by worker contention.
 """
 
 from __future__ import annotations
@@ -57,12 +64,40 @@ def host_fingerprint() -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:8]
 
 
-def _cell_entry(outcome: CellOutcome) -> Dict[str, Any]:
+def _mean_concurrency(outcome: CellOutcome,
+                      outcomes: Sequence[CellOutcome]) -> Optional[float]:
+    """Mean number of fleet cells running concurrently with ``outcome``
+    (itself included), time-averaged over its own execution window.
+
+    1.0 means the cell ran alone — its events/sec is uncontended;
+    anything higher quantifies how much the recording's ``--jobs``
+    parallelism shared the machine with this cell.  ``None`` when the
+    cell was served from cache (its stamps belong to some earlier run)
+    or predates the timestamped schema.
+    """
+    if outcome.cached or outcome.ended_at <= outcome.started_at:
+        return None
+    span = outcome.ended_at - outcome.started_at
+    shared = 0.0
+    for other in outcomes:
+        if other is outcome or other.cached:
+            continue
+        overlap = (min(outcome.ended_at, other.ended_at)
+                   - max(outcome.started_at, other.started_at))
+        if overlap > 0:
+            shared += overlap
+    return round(1.0 + shared / span, 2)
+
+
+def _cell_entry(outcome: CellOutcome,
+                concurrency: Optional[float] = None) -> Dict[str, Any]:
     entry: Dict[str, Any] = {
         "status": outcome.status,
         "verdict": outcome.verdict,
         "wall_s": round(outcome.wall_s, 6),
     }
+    if concurrency is not None:
+        entry["concurrency"] = concurrency
     if outcome.status == "ok":
         result = outcome.result
         wall = outcome.wall_s
@@ -85,7 +120,8 @@ def bench_payload(outcomes: Sequence[CellOutcome],
                   run_info: Optional[Dict[str, Any]] = None,
                   fleet_wall_s: Optional[float] = None) -> Dict[str, Any]:
     """Assemble the ``BENCH_*.json`` document for one fleet run."""
-    cells = {cell_id(outcome.cell): _cell_entry(outcome)
+    cells = {cell_id(outcome.cell):
+             _cell_entry(outcome, _mean_concurrency(outcome, outcomes))
              for outcome in outcomes}
     ok = [o for o in outcomes if o.status == "ok"]
     events = sum(o.result["events"] for o in ok)
@@ -174,6 +210,14 @@ def compare_benches(current: Dict[str, Any], baseline: Dict[str, Any],
         raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
     regressions: List[str] = []
     notes: List[str] = []
+    cur_jobs = (current.get("run") or {}).get("jobs")
+    base_jobs = (baseline.get("run") or {}).get("jobs")
+    if cur_jobs != base_jobs:
+        notes.append(
+            f"WARNING: job counts differ (current --jobs {cur_jobs}, "
+            f"baseline --jobs {base_jobs}) — parallel recording skews "
+            "per-cell events/sec, so throughput deltas below are not "
+            "like-for-like")
     current_cells = current["cells"]
     for name, base in sorted(baseline["cells"].items()):
         if base.get("status") != "ok":

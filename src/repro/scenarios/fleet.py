@@ -120,6 +120,15 @@ class CellOutcome:
     the exception, ``traceback`` the full trace).  ``wall_s`` covers
     build + run inside the worker; ``cached`` marks outcomes served
     from the result cache instead of a fresh run.
+
+    ``started_at`` / ``ended_at`` are ``time.monotonic()`` stamps taken
+    inside the worker.  ``CLOCK_MONOTONIC`` is system-wide, so stamps
+    from different worker processes of one fleet run are directly
+    comparable — the bench layer uses them to compute each cell's mean
+    worker contention (how many cells ran concurrently with it), which
+    contextualises events/sec recorded at ``--jobs > 1``.  They are
+    meaningless across runs, so cached outcomes are excluded from
+    contention math.
     """
 
     cell: FleetCell
@@ -129,6 +138,8 @@ class CellOutcome:
     reason: str = ""
     traceback: str = ""
     wall_s: float = 0.0
+    started_at: float = 0.0
+    ended_at: float = 0.0
     cached: bool = False
 
     @property
@@ -156,6 +167,8 @@ class CellOutcome:
             "reason": self.reason,
             "traceback": self.traceback,
             "wall_s": self.wall_s,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
         }
 
     @classmethod
@@ -179,22 +192,27 @@ def run_cell(cell: FleetCell) -> CellOutcome:
     from .runner import ScenarioRunner
 
     start = time.perf_counter()
+    started_at = time.monotonic()
+
+    def done(outcome: CellOutcome) -> CellOutcome:
+        outcome.wall_s = time.perf_counter() - start
+        outcome.started_at = started_at
+        outcome.ended_at = time.monotonic()
+        return outcome
+
     try:
         spec = cell.resolve_spec()
         runner = ScenarioRunner(spec, backend=cell.backend,
                                 allocator=cell.allocator)
         result = runner.run(mode=cell.mode)
     except BackendCapabilityError as error:
-        return CellOutcome(cell, "skip", reason=str(error),
-                           wall_s=time.perf_counter() - start)
+        return done(CellOutcome(cell, "skip", reason=str(error)))
     except Exception as error:
-        return CellOutcome(cell, "error",
-                           reason=f"{type(error).__name__}: {error}",
-                           traceback=traceback.format_exc(),
-                           wall_s=time.perf_counter() - start)
-    return CellOutcome(cell, "ok", result=result.to_dict(),
-                       failures=result.failures(),
-                       wall_s=time.perf_counter() - start)
+        return done(CellOutcome(cell, "error",
+                                reason=f"{type(error).__name__}: {error}",
+                                traceback=traceback.format_exc()))
+    return done(CellOutcome(cell, "ok", result=result.to_dict(),
+                            failures=result.failures()))
 
 
 def _worker(cell_data: Dict[str, Any]) -> Dict[str, Any]:

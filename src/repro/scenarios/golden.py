@@ -85,4 +85,6 @@ SMOKE_FINGERPRINTS: Dict[str, str] = {
     "ring-uni-cbr-4x4": "d743b7e10e8d854c",
     "routerless-cbr-8x8": "8d721927ca1f9212",
     "routerless-hotspot-4x4": "46343da65a896f11",
+    "soak-ring-8x8": "002fa9c4b3eba4cd",
+    "soak-uniform-8x8": "657fe69dbdafe11a",
 }

@@ -27,9 +27,14 @@ hotspot BE and the 30-hop corner-to-corner GS-CBR pair) plus
 ``chained-route-17x1``, the cheap non-``slow`` cell that keeps the
 extension path in every smoke run.
 
-Scenarios tagged ``slow`` (the 16x16 cells) are deselected from quick
-local loops with ``-m "not slow"``; everything else runs in well under a
-second at smoke duration.
+Scenarios tagged ``soak`` form the endurance tier: >=10^8 scheduler
+events per cell at full duration, ``retain_packets=False``, streaming
+stats only (see ``docs/kernel.md``).  They carry ``slow`` and run in CI
+at smoke profile via the ``soak-smoke`` job.
+
+Scenarios tagged ``slow`` (the 16x16 cells and the soak tier) are
+deselected from quick local loops with ``-m "not slow"``; everything
+else runs in well under a second at smoke duration.
 """
 
 from __future__ import annotations
@@ -473,6 +478,49 @@ register(ScenarioSpec(
                 "loop while half of all BE traffic converges on tile "
                 "(2,2) over the row/column loops.",
     tags=("gs+be", "hotspot", "cbr", "fabric", "routerless")))
+
+# -- soak tier: >=1e8-event endurance runs (kernel speed round 2) -----------
+#
+# Full-duration soak cells stream ~10^8 scheduler events each with
+# ``retain_packets=False`` (the spec default), so memory stays bounded
+# and all statistics come from the streaming P^2 / WindowedRate
+# estimators.  They are tagged ``slow`` (several minutes each at full
+# duration) and run in CI only at smoke profile; drive the real thing
+# with ``python -m repro scenario run soak-uniform-8x8``.  Calibration:
+# the mesh cell generates ~1.4k events per BE slot, the ring cell ~0.9k,
+# so the slot counts below land both comfortably past 10^8 events.
+
+register(ScenarioSpec(
+    name="soak-uniform-8x8", cols=8, rows=8,
+    gs=(GsConnectionSpec(src=(0, 0), dst=(7, 7), traffic="cbr",
+                         flits=14000, period_ns=140.0),
+        GsConnectionSpec(src=(7, 0), dst=(0, 7), traffic="cbr",
+                         flits=14000, period_ns=140.0)),
+    be=BeTrafficSpec("uniform", slot_ns=25.0, probability=0.1,
+                     payload_words=3, n_slots=80000,
+                     pattern_seed=7, seed=9),
+    drain_ns=30000.0,
+    description="Endurance run on the 8x8 mesh: two crossing CBR "
+                "streams held open for the whole 2 ms injection window "
+                "under 10% uniform BE load — ~10^8 events with bounded "
+                "memory and streaming stats only.",
+    tags=("gs+be", "uniform", "cbr", "soak", "slow")))
+
+register(ScenarioSpec(
+    name="soak-ring-8x8", cols=8, rows=8, topology="ring",
+    gs=(GsConnectionSpec(src=(0, 0), dst=(7, 0), traffic="cbr",
+                         flits=21000, period_ns=140.0),
+        GsConnectionSpec(src=(0, 7), dst=(7, 7), traffic="cbr",
+                         flits=21000, period_ns=140.0)),
+    be=BeTrafficSpec("uniform", slot_ns=25.0, probability=0.1,
+                     payload_words=3, n_slots=120000,
+                     pattern_seed=7, seed=9),
+    drain_ns=30000.0,
+    description="Endurance run on the 64-node bidirectional ring: two "
+                "row-hugging CBR streams held open for the 3 ms "
+                "injection window under 10% uniform BE load — ~10^8 "
+                "events exercising the fabric backend at soak scale.",
+    tags=("gs+be", "uniform", "cbr", "fabric", "ring", "soak", "slow")))
 
 # -- failure injection: errors must never pass silently ---------------------
 

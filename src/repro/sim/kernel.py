@@ -17,19 +17,38 @@ Hot-path design notes (the kernel dominates large-mesh runtime):
   when several waiters pile up, and the ``_PROCESSED`` sentinel once the
   event has been dispatched.  This avoids a list allocation per event and
   an append per yield.
-* :class:`Timeout` construction and :meth:`Event.succeed` push onto the
-  heap directly instead of going through :meth:`Simulator._enqueue`.
+* Pending entries live in a pluggable *scheduler* (``docs/kernel.md``).
+  The default is :class:`CalendarQueue`, a calendar/bucket queue tuned to
+  wire-delay granularity: entries hash into fixed-width time buckets
+  (width auto-calibrated from the inter-event deltas of the first pushes),
+  the due bucket is sorted once and consumed by pointer, and far-future
+  timers overflow into a plain binary-heap fallback.  ``scheduler="heap"``
+  (or ``REPRO_SCHEDULER=heap``) selects the PR 1 ``heapq`` scheduler —
+  still the reference model, no longer the canonical hot path — and both
+  drain in the identical (time, priority, seq) total order, so simulation
+  output is byte-for-byte the same under either backend.
+* :class:`Timeout` construction and :meth:`Event.succeed` push through the
+  prebound ``Simulator._push`` instead of going through
+  :meth:`Simulator._enqueue`.
 * :meth:`Simulator.defer` schedules a plain ``fn(*args)`` with no
   :class:`Event` allocation at all — links use it for flit delivery and
   unlock/credit wires, the highest-volume scheduling in the system.
-* The drive loops (:meth:`Simulator.run`, :meth:`Simulator.run_batch`,
-  :meth:`Simulator.run_until_triggered`, :meth:`Simulator.run_process`)
-  share one tight inner loop, :meth:`Simulator._drain`, rather than
-  calling :meth:`Simulator.step` per event.
+* :meth:`Simulator._drain` is the *only* drive loop: :meth:`Simulator.run`
+  and :meth:`Simulator.run_until_triggered` are thin wrappers over it (via
+  :meth:`Simulator.run_batch`), never separate stepping paths.
+* ``events_processed`` counts *logical* events dispatched: scheduler
+  entries, synchronous :func:`fire` deliveries, inline consumptions of
+  already-processed events, and wire hops condensed away by link-segment
+  batching (``repro.backends.graphnet``).  All four were scheduler
+  round-trips in the seed kernel; counting them keeps events/sec
+  comparable as optimisations move work off the scheduler.
 """
 
 from __future__ import annotations
 
+import os
+from bisect import insort
+from functools import partial
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -45,6 +64,10 @@ __all__ = [
     "PRIORITY_URGENT",
     "PRIORITY_NORMAL",
     "PRIORITY_LATE",
+    "CalendarQueue",
+    "HeapQueue",
+    "SCHEDULERS",
+    "DEFAULT_SCHEDULER",
 ]
 
 # Scheduling priorities: lower value pops first at equal timestamps.
@@ -74,8 +97,9 @@ def fire(event: "Event", value: Any = None) -> None:
     """
     if event._value is not _PENDING:
         # Without this guard a double trigger would run callbacks twice
-        # and leave a stale heap entry that crashes far from the cause.
+        # and leave a stale scheduler entry that crashes far from the cause.
         raise SimulationError("event already triggered")
+    event.sim.events_processed += 1
     event._ok = True
     event._value = value
     cbs = event.callbacks
@@ -153,7 +177,7 @@ class Event:
         self._value = value
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, priority, seq, self))
+        sim._push((sim._now + delay, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0,
@@ -174,7 +198,7 @@ class Event:
         self._value = exception
         sim = self.sim
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, priority, seq, self))
+        sim._push((sim._now + delay, priority, seq, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -226,7 +250,8 @@ class Timeout(Event):
 
     Construction is the single hottest allocation in the system (every
     ``yield sim.timeout(...)`` makes one), so it writes its slots and
-    pushes onto the heap directly, bypassing the generic init chain.
+    pushes through the prebound scheduler fast path, bypassing the
+    generic init chain.
     """
 
     __slots__ = ()
@@ -240,7 +265,7 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, PRIORITY_NORMAL, seq, self))
+        sim._push((sim._now + delay, PRIORITY_NORMAL, seq, self))
 
 
 class _ConditionValue:
@@ -427,24 +452,284 @@ class Process(Event):
                     next_event.callbacks = [cbs, resume]
                 self._target = next_event
                 return
-            # Already processed: consume its value immediately.
+            # Already processed: consume its value immediately.  This is
+            # a logical event delivered without a scheduler round-trip
+            # (Event.completed fast path), so it counts as processed.
+            self.sim.events_processed += 1
             event = next_event
 
 
-class Simulator:
-    """Event loop: a heap of (time, priority, sequence, event).
+class HeapQueue:
+    """The PR 1 scheduler: one binary heap of mixed-width entry tuples.
 
-    Deferred plain calls (see :meth:`defer`) ride the same heap as
-    ``(time, priority, sequence, None, fn, args)`` entries — the first
-    three elements alone order the heap, so entry widths may mix.
+    Kept as the reference model for the calendar queue (and selectable
+    with ``scheduler="heap"`` for A/B benchmarks): ``heapq`` pops entries
+    in exact (time, priority, seq) order because ``seq`` is globally
+    unique, so tuple comparison never reaches the mixed-width tail.
     """
+
+    name = "heap"
+
+    __slots__ = ("_heap", "push")
 
     def __init__(self):
         self._heap: list = []
+        # C-level partial: Timeout construction calls this once per event,
+        # so the heap backend pays no Python-frame overhead on push.
+        self.push = partial(heappush, self._heap)
+
+    def pop_due(self, until: float):
+        """Pop and return the earliest entry with time <= ``until``,
+        or ``None`` when nothing is due."""
+        heap = self._heap
+        if heap and heap[0][0] <= until:
+            return heappop(heap)
+        return None
+
+    def peek(self) -> float:
+        heap = self._heap
+        return heap[0][0] if heap else _INF
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class CalendarQueue:
+    """Calendar/bucket scheduler tuned to wire-delay granularity.
+
+    Entries hash into fixed-width time buckets (``idx = int(t / width)``,
+    a dict so empty buckets cost nothing); a lazy min-heap of bucket
+    indices orders the buckets; the due bucket is sorted once and consumed
+    through a pointer, with same-bucket pushes ``insort``-ed behind the
+    pointer.  Entries beyond ``horizon`` buckets overflow into a plain
+    binary heap — the far-future fallback for drain deadlines and watchdog
+    timers that would otherwise bloat the bucket index space.
+
+    The bucket width is auto-calibrated: the first ``calibration`` pushes
+    ride the overflow heap while their timestamps are sampled, then the
+    width is set to a small multiple of the mean non-zero inter-event
+    delta.  Pass an explicit ``width`` to skip calibration (tests do).
+
+    Drain order is *exactly* the (time, priority, seq) tuple order of the
+    ``heapq`` reference: ``int(t / width)`` is monotone in ``t``, so
+    bucket order respects time order, and each bucket is sorted by full
+    tuple comparison.  Determinism is non-negotiable — the golden
+    fingerprints pin it across both schedulers.
+
+    The invariant making pointer-consumption safe is that pushes never go
+    backwards in time: the kernel rejects negative delays, so every push
+    lands at or after the last popped entry.
+    """
+
+    name = "calendar"
+
+    __slots__ = ("_width", "_inv", "_horizon", "_buckets", "_bucket_heap",
+                 "_cur_list", "_cur_ptr", "_cur_idx", "_far", "_far_limit",
+                 "_len", "_samples", "_calibration", "width_factor")
+
+    def __init__(self, width: Optional[float] = None, horizon: int = 8192,
+                 calibration: int = 128, width_factor: float = 4.0):
+        self._buckets: dict = {}        # bucket idx -> unsorted entry list
+        self._bucket_heap: list = []    # lazy min-heap of bucket indices
+        self._cur_list: list = []       # sorted bucket being consumed
+        self._cur_ptr = 0
+        self._cur_idx = -1
+        self._far: list = []            # binary-heap fallback
+        self._len = 0
+        self._horizon = horizon
+        self._calibration = calibration
+        self.width_factor = width_factor
+        if width is not None:
+            if width <= 0:
+                raise ValueError(f"bucket width must be positive: {width}")
+            self._width = width
+            self._inv = 1.0 / width
+            self._far_limit = horizon * width
+            self._samples: Optional[list] = None
+        else:
+            self._width = 0.0
+            self._inv = 0.0
+            self._far_limit = -1.0      # everything far until calibrated
+            self._samples = []
+
+    @property
+    def bucket_width(self) -> Optional[float]:
+        """Calibrated bucket width in ns (``None`` before calibration)."""
+        return self._width or None
+
+    def _calibrate(self) -> None:
+        samples = sorted(self._samples)
+        self._samples = None
+        deltas = [b - a for a, b in zip(samples, samples[1:]) if b > a]
+        if deltas:
+            width = self.width_factor * (sum(deltas) / len(deltas))
+        else:
+            width = 1.0                 # degenerate: all-equal timestamps
+        self._width = max(width, 1e-9)
+        self._inv = 1.0 / self._width
+        # Buckets start from wherever the pending entries sit; the far
+        # heap drains into them through the migration path in _pop_slow.
+        base = int(self._far[0][0] * self._inv) if self._far else 0
+        self._far_limit = (base + self._horizon) * self._width
+
+    def push(self, entry) -> None:
+        self._len += 1
+        t = entry[0]
+        if t >= self._far_limit:        # far future (or pre-calibration)
+            heappush(self._far, entry)
+            samples = self._samples
+            if samples is not None:
+                samples.append(t)
+                if len(samples) >= self._calibration:
+                    self._calibrate()
+            return
+        idx = int(t * self._inv)
+        ci = self._cur_idx
+        if idx <= ci:
+            # Lands in (or, through float rounding, at the edge of) the
+            # bucket being consumed: insort behind the pointer keeps full
+            # tuple order.  Everything before the pointer is already
+            # dispatched and has time <= t, so lo=ptr is safe.
+            insort(self._cur_list, entry, self._cur_ptr)
+            return
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [entry]
+            heappush(self._bucket_heap, idx)
+        else:
+            bucket.append(entry)
+
+    def pop_due(self, until: float):
+        """Pop and return the earliest entry with time <= ``until``,
+        or ``None`` when nothing is due."""
+        lst = self._cur_list
+        ptr = self._cur_ptr
+        if ptr < len(lst):
+            entry = lst[ptr]
+            if entry[0] <= until:
+                self._cur_ptr = ptr + 1
+                self._len -= 1
+                return entry
+            return None
+        return self._pop_slow(until)
+
+    def _pop_slow(self, until: float):
+        buckets = self._buckets
+        bucket_heap = self._bucket_heap
+        far = self._far
+        while True:
+            while bucket_heap and bucket_heap[0] not in buckets:
+                heappop(bucket_heap)    # stale index of a consumed bucket
+            if not bucket_heap:
+                # Pure-heap mode: pre-calibration, or only far entries
+                # left.  The far heap is globally ordered on its own.
+                if far and far[0][0] <= until:
+                    self._len -= 1
+                    return heappop(far)
+                return None
+            nb = bucket_heap[0]
+            if far and far[0][0] < (nb + 1) * self._width:
+                # Far entries due inside (or before) the next bucket:
+                # migrate their whole bucket, then reselect.
+                fidx = int(far[0][0] * self._inv)
+                bucket = buckets.get(fidx)
+                if bucket is None:
+                    buckets[fidx] = bucket = []
+                    heappush(bucket_heap, fidx)
+                while far and int(far[0][0] * self._inv) == fidx:
+                    bucket.append(heappop(far))
+                continue
+            lst = buckets.pop(nb)
+            heappop(bucket_heap)
+            lst.sort()
+            self._cur_list = lst
+            self._cur_idx = nb
+            entry = lst[0]
+            if entry[0] <= until:
+                self._cur_ptr = 1
+                self._len -= 1
+                return entry
+            self._cur_ptr = 0
+            return None
+
+    def peek(self) -> float:
+        lst = self._cur_list
+        ptr = self._cur_ptr
+        if ptr < len(lst):
+            return lst[ptr][0]
+        buckets = self._buckets
+        bucket_heap = self._bucket_heap
+        while bucket_heap and bucket_heap[0] not in buckets:
+            heappop(bucket_heap)
+        best = _INF
+        if bucket_heap:
+            best = min(buckets[bucket_heap[0]])[0]
+        far = self._far
+        if far and far[0][0] < best:
+            best = far[0][0]
+        return best
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+
+#: Scheduler registry: name -> zero-arg factory.  ``Simulator`` resolves
+#: ``scheduler=None`` through :data:`DEFAULT_SCHEDULER`, overridable per
+#: process with the ``REPRO_SCHEDULER`` environment variable (benchmarks
+#: A/B the backends without threading a parameter through every network
+#: constructor).
+SCHEDULERS: dict = {"heap": HeapQueue, "calendar": CalendarQueue}
+
+DEFAULT_SCHEDULER = "calendar"
+
+
+def _resolve_scheduler(scheduler):
+    if scheduler is None:
+        scheduler = os.environ.get("REPRO_SCHEDULER", "") or DEFAULT_SCHEDULER
+    if isinstance(scheduler, str):
+        try:
+            return SCHEDULERS[scheduler]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; "
+                f"registered: {sorted(SCHEDULERS)}") from None
+    return scheduler                    # instance with push/pop_due/peek
+
+
+class Simulator:
+    """Event loop over a pluggable scheduler of (time, priority, seq, ...)
+    entries.
+
+    Deferred plain calls (see :meth:`defer`) ride the same scheduler as
+    ``(time, priority, sequence, None, fn, args)`` entries — the first
+    three elements alone order the queue, so entry widths may mix.
+
+    ``scheduler`` is a name from :data:`SCHEDULERS` (``"calendar"`` /
+    ``"heap"``), a pre-built queue instance, or ``None`` for the
+    ``REPRO_SCHEDULER`` / :data:`DEFAULT_SCHEDULER` resolution chain.
+    Both backends drain in the identical total order; the choice affects
+    wall-clock speed only, never simulation output.
+    """
+
+    def __init__(self, scheduler=None):
+        sched = _resolve_scheduler(scheduler)
+        self._sched = sched
+        #: Scheduler backend name, surfaced in benchmark run headers.
+        self.scheduler = sched.name
+        # Prebound push fast path shared by Timeout/succeed/fail/defer.
+        self._push = sched.push
         self._seq = 0
         self._now = 0.0
-        #: Heap entries dispatched so far (events + deferred calls);
-        #: benchmarks report simulated events per wall-clock second.
+        #: Logical events dispatched so far: scheduler entries, fire()
+        #: deliveries, inline consumptions of already-processed events,
+        #: and hops condensed by link-segment batching (see the module
+        #: docstring); benchmarks report events per wall-clock second.
         self.events_processed = 0
         # Shared ok/None event handed to every process's first resume.
         self._boot_event = Event.completed(self)
@@ -478,7 +763,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now + delay, priority, seq, event))
+        self._push((self._now + delay, priority, seq, event))
 
     def defer(self, delay: float, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` to run after ``delay`` ns.
@@ -490,36 +775,36 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
         self._seq = seq = self._seq + 1
-        heappush(self._heap,
-                 (self._now + delay, PRIORITY_NORMAL, seq, None, fn, args))
+        self._push((self._now + delay, PRIORITY_NORMAL, seq, None, fn, args))
 
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the heap is empty."""
-        return self._heap[0][0] if self._heap else _INF
+        """Time of the next event, or ``inf`` if nothing is scheduled."""
+        return self._sched.peek()
 
     # -- the event loop ----------------------------------------------------
 
     def _drain(self, until: float, max_entries: Optional[int],
                stop_event: Optional[Event]) -> int:
-        """Dispatch heap entries with time <= ``until``.
+        """Dispatch scheduler entries with time <= ``until``.
 
         Stops early after ``max_entries`` dispatches or once
         ``stop_event`` has triggered.  Returns the number dispatched.
         This single tight loop backs every public drive method.
         """
-        heap = self._heap
-        pop = heappop
+        pop_due = self._sched.pop_due
         count = 0
         bounded = max_entries is not None or stop_event is not None
         try:
-            while heap and heap[0][0] <= until:
+            while True:
                 if bounded:
                     if count == max_entries:
                         break
                     if stop_event is not None and \
                             stop_event._value is not _PENDING:
                         break
-                entry = pop(heap)
+                entry = pop_due(until)
+                if entry is None:
+                    break
                 self._now = entry[0]
                 count += 1
                 event = entry[3]
@@ -544,20 +829,17 @@ class Simulator:
 
     def step(self) -> None:
         """Process one event (advance time to it, run its callbacks)."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
+        if not self._sched:
+            raise SimulationError("step() on an empty event queue")
         self._drain(_INF, 1, None)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or simulated time reaches ``until``."""
-        if until is None:
-            self._drain(_INF, None, None)
-            return
-        if until < self._now:
-            raise SimulationError(f"until={until} is before now={self._now}")
-        self._drain(until, None, None)
-        if self._now < until:
-            self._now = until
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        A thin wrapper over :meth:`run_batch` (and thereby the single
+        :meth:`_drain` loop) — no separate stepping path.
+        """
+        self.run_batch(until=until)
 
     def run_batch(self, until: Optional[float] = None,
                   max_events: Optional[int] = None) -> int:
@@ -576,8 +858,7 @@ class Simulator:
         if limit < self._now:
             raise SimulationError(f"until={until} is before now={self._now}")
         count = self._drain(limit, max_events, None)
-        heap = self._heap
-        if until is not None and (not heap or heap[0][0] > until):
+        if until is not None and self._sched.peek() > until:
             if self._now < until:
                 self._now = until
         return count

@@ -1,0 +1,303 @@
+"""The calendar-queue scheduler against its ``heapq`` reference model.
+
+Kernel speed round 2 made :class:`~repro.sim.kernel.CalendarQueue` the
+default event queue; these tests pin the property everything else rests
+on — *any* pushed entry sequence drains in exactly the (time, priority,
+seq) order the :class:`~repro.sim.kernel.HeapQueue` reference produces —
+plus the structural edges a bucket scheduler can get wrong: timestamps
+landing exactly on bucket boundaries, far-future overflow into the
+fallback heap, empty-bucket skip cost, and interleaved push/pop.
+
+The last class pins the *kernel-level* wakeup order contract across
+both backends: ``Simulator.defer`` entries and plain events scheduled
+at the same (time, priority) interleave by global schedule order
+(``seq``), so a scheduler swap can never silently reorder wakeups.
+"""
+
+import itertools
+from heapq import heappop, heappush
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import (DEFAULT_SCHEDULER, SCHEDULERS, CalendarQueue,
+                              HeapQueue, Simulator)
+
+INF = float("inf")
+
+
+def entries(times, priority=0):
+    """Entry tuples in kernel wire format, seq assigned by push order."""
+    return [(t, priority, seq, None) for seq, t in enumerate(times)]
+
+
+def drain(queue, until=INF):
+    out = []
+    while True:
+        entry = queue.pop_due(until)
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+class TestCalendarQueueEdges:
+
+    def test_registry_and_default(self):
+        assert set(SCHEDULERS) == {"heap", "calendar"}
+        assert DEFAULT_SCHEDULER == "calendar"
+        assert SCHEDULERS["calendar"] is CalendarQueue
+        assert SCHEDULERS["heap"] is HeapQueue
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(width=-1.0)
+
+    def test_bucket_boundary_timestamps(self):
+        # Timestamps sitting exactly on bucket edges (t = k * width) must
+        # neither duplicate nor reorder — int(t / width) rounding is the
+        # classic calendar-queue bug.
+        q = CalendarQueue(width=10.0)
+        times = [0.0, 10.0, 10.0, 20.0, 9.999999999, 10.000000001, 30.0]
+        batch = entries(sorted(times))
+        for e in batch:
+            q.push(e)
+        assert drain(q) == sorted(batch)
+
+    def test_push_into_consumed_bucket_keeps_order(self):
+        # A push landing in the bucket currently being consumed (same
+        # idx as the last pop) must slot behind the pointer in full
+        # tuple order — the insort path.
+        q = CalendarQueue(width=100.0)
+        first = (5.0, 0, 0, None)
+        later = (50.0, 0, 1, None)
+        q.push(first)
+        q.push(later)
+        assert q.pop_due(INF) == first
+        mid = (20.0, 0, 2, None)     # same bucket, earlier than `later`
+        q.push(mid)
+        assert drain(q) == [mid, later]
+
+    def test_far_future_overflow(self):
+        # Entries beyond horizon * width ride the fallback heap and
+        # migrate back into buckets when their time approaches.
+        q = CalendarQueue(width=1.0, horizon=16)
+        near = entries([0.5, 1.5, 2.5])
+        far = [(1e6, 0, 10, None), (1e9, 0, 11, None), (INF, 0, 12, None)]
+        for e in near + far:
+            q.push(e)
+        assert len(q._far) == 3          # all three overflowed
+        assert drain(q) == near + far    # ...but drain in global order
+        assert not q
+
+    def test_far_entries_interleave_with_buckets(self):
+        q = CalendarQueue(width=1.0, horizon=4)
+        a = (2.0, 0, 0, None)
+        b = (100.0, 0, 1, None)          # far at push time
+        q.push(a)
+        q.push(b)
+        assert q.pop_due(INF) == a
+        c = (99.0, 0, 2, None)           # bucketed (limit moved on)
+        q.push(c)
+        assert drain(q) == sorted([b, c])
+
+    def test_empty_bucket_skip_cost(self):
+        # Sparse timestamps with a tiny width: the dict-of-buckets must
+        # skip the empty range without visiting each index.  10k-wide
+        # gaps at width 1e-3 would be 10^7 slot visits if the structure
+        # were an array-calendar; the lazy bucket heap makes each pop
+        # O(log #occupied) instead, so this completes instantly.
+        q = CalendarQueue(width=1e-3)
+        sparse = entries([i * 10_000.0 for i in range(200)])
+        for e in sparse:
+            q.push(e)
+        assert drain(q) == sparse
+
+    def test_pop_due_respects_until(self):
+        q = CalendarQueue(width=10.0)
+        batch = entries([1.0, 5.0, 15.0])
+        for e in batch:
+            q.push(e)
+        assert drain(q, until=5.0) == batch[:2]
+        assert q.peek() == 15.0
+        assert q.pop_due(14.999) is None
+        assert drain(q, until=15.0) == batch[2:]
+
+    def test_peek_spans_all_three_structures(self):
+        q = CalendarQueue(width=1.0, horizon=8)
+        assert q.peek() == INF
+        q.push((1e9, 0, 0, None))        # far heap only
+        assert q.peek() == 1e9
+        q.push((3.0, 0, 1, None))        # now a bucket is earlier
+        assert q.peek() == 3.0
+        assert q.pop_due(INF)[0] == 3.0
+        q.push((3.5, 0, 2, None))        # insort into the current bucket
+        assert q.peek() == 3.5
+
+    def test_auto_calibration_from_deltas(self):
+        # Width comes out at width_factor x the mean non-zero adjacent
+        # delta of the first `calibration` sampled timestamps.
+        q = CalendarQueue(calibration=8, width_factor=4.0)
+        assert q.bucket_width is None
+        batch = entries([float(i) for i in range(8)])  # deltas all 1.0
+        for e in batch:
+            q.push(e)
+        assert q.bucket_width == pytest.approx(4.0)
+        assert drain(q) == batch
+
+    def test_calibration_with_identical_timestamps(self):
+        q = CalendarQueue(calibration=4)
+        batch = entries([7.0, 7.0, 7.0, 7.0])
+        for e in batch:
+            q.push(e)
+        assert q.bucket_width == 1.0     # degenerate fallback
+        assert drain(q) == batch
+
+    def test_mixed_width_entries(self):
+        # The kernel pushes 4-tuples (events) and 6-tuples (defer
+        # callbacks); unique seq at slot 2 means comparison never
+        # reaches the mixed-width tail.
+        q = CalendarQueue(width=5.0)
+        event = (10.0, 0, 0, None)
+        cb = (10.0, 0, 1, None, print, ())
+        q.push(cb)
+        q.push(event)
+        assert drain(q) == [event, cb]
+
+
+@st.composite
+def entry_batches(draw):
+    """Interleaved push/pop schedules with adversarial timestamps:
+    boundary-exact values, duplicates, far-future spikes."""
+    times = draw(st.lists(
+        st.one_of(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.sampled_from([0.0, 10.0, 20.0, 9.999999999, 1e5, 1e8]),
+        ),
+        min_size=1, max_size=60))
+    priorities = draw(st.lists(st.integers(min_value=0, max_value=2),
+                               min_size=len(times), max_size=len(times)))
+    return [(t, p, seq, None)
+            for seq, (t, p) in enumerate(zip(times, priorities))]
+
+
+class HeapReference:
+    """The executable spec: plain ``heapq`` over entry tuples."""
+
+    def __init__(self):
+        self._heap = []
+
+    def push(self, entry):
+        heappush(self._heap, entry)
+
+    def pop_due(self, until):
+        if self._heap and self._heap[0][0] <= until:
+            return heappop(self._heap)
+        return None
+
+
+class TestDrainEquivalence:
+
+    @given(batch=entry_batches(),
+           width=st.sampled_from([1e-3, 1.0, 7.5, 1e4]))
+    @settings(max_examples=120, deadline=None)
+    def test_drains_identical_to_heapq(self, batch, width):
+        calendar = CalendarQueue(width=width, horizon=64)
+        reference = HeapReference()
+        for e in batch:
+            calendar.push(e)
+            reference.push(e)
+        assert drain(calendar) == drain(reference)
+
+    @given(batch=entry_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_auto_calibrated_drains_identical(self, batch):
+        calendar = CalendarQueue(calibration=16)
+        reference = HeapReference()
+        for e in batch:
+            calendar.push(e)
+            reference.push(e)
+        assert drain(calendar) == drain(reference)
+
+    @given(batch=entry_batches(), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_push_pop(self, batch, seed):
+        # Pops interleaved with pushes, never going backwards in time
+        # (the kernel invariant: delays are non-negative).
+        import random
+        rng = random.Random(seed)
+        calendar = CalendarQueue(width=3.0, horizon=64)
+        reference = HeapReference()
+        now = 0.0
+        got, expected = [], []
+        for e in sorted(batch):         # sorted: pushes move forward
+            calendar.push(e)
+            reference.push(e)
+            if rng.random() < 0.5:
+                now = max(now, e[0])
+                got.extend(drain(calendar, until=now))
+                expected.extend(drain(reference, until=now))
+        got.extend(drain(calendar))
+        expected.extend(drain(reference))
+        assert got == expected
+
+
+class TestWakeupOrderAcrossSchedulers:
+    """``Simulator.defer`` callbacks and plain events at the same
+    (time, priority) must interleave by global schedule order — on every
+    scheduler backend (the satellite regression for the refactor)."""
+
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    def test_defer_and_events_interleave_by_seq(self, scheduler):
+        sim = Simulator(scheduler=scheduler)
+        order = []
+        # Alternate defer callbacks and timeout events, all landing at
+        # t=10 with PRIORITY_NORMAL: dispatch order is global seq.
+        sim.defer(10.0, order.append, "defer-0")
+        sim.timeout(10.0, "event-1").add_callback(
+            lambda ev: order.append(ev.value))
+        sim.defer(10.0, order.append, "defer-2")
+        sim.timeout(10.0, "event-3").add_callback(
+            lambda ev: order.append(ev.value))
+        sim.run()
+        assert order == ["defer-0", "event-1", "defer-2", "event-3"]
+        assert sim.scheduler == scheduler
+
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    def test_priority_still_beats_seq(self, scheduler):
+        from repro.sim.kernel import PRIORITY_URGENT
+
+        sim = Simulator(scheduler=scheduler)
+        order = []
+        sim.defer(5.0, order.append, "normal")      # NORMAL, earlier seq
+        urgent = sim.event()
+        urgent.add_callback(lambda ev: order.append(ev.value))
+        urgent.succeed("urgent", delay=5.0, priority=PRIORITY_URGENT)
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+    def test_both_schedulers_agree_on_random_program(self):
+        # One mixed program replayed on each backend must produce the
+        # same trace — the cheap end-to-end version of the golden
+        # fingerprint guarantee.
+        def program(sim, trace):
+            def proc():
+                trace.append(("proc", sim.now))
+                yield sim.timeout(3.0)
+                trace.append(("woke", sim.now))
+                yield sim.timeout(0.0)
+                trace.append(("again", sim.now))
+            sim.process(proc())
+            for i in range(20):
+                sim.defer((i * 7) % 13 + 0.5, trace.append, ("defer", i))
+                sim.timeout((i * 5) % 11 + 0.5, i).add_callback(
+                    lambda ev: trace.append(("event", ev.value)))
+            sim.run()
+
+        traces = {}
+        for name in SCHEDULERS:
+            trace = []
+            program(Simulator(scheduler=name), trace)
+            traces[name] = trace
+        assert traces["heap"] == traces["calendar"]

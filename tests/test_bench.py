@@ -50,6 +50,32 @@ class TestPayload:
         assert cell["reason"]
         assert "events_per_s" not in cell
 
+    def test_cells_carry_worker_contention(self, payload, outcomes):
+        # Fresh (non-cached) outcomes carry monotonic window stamps, so
+        # every cell records its mean concurrency; a serial fleet is
+        # uncontended end to end.
+        for outcome in outcomes:
+            assert outcome.ended_at > outcome.started_at
+        for cell in payload["cells"].values():
+            assert cell["concurrency"] == 1.0
+
+    def test_overlapping_windows_raise_concurrency(self, outcomes):
+        import dataclasses as dc
+
+        from repro.bench import _mean_concurrency
+
+        a, b, c = (dc.replace(o) for o in outcomes)
+        a.started_at, a.ended_at = 0.0, 10.0
+        b.started_at, b.ended_at = 0.0, 10.0    # full overlap with a
+        c.started_at, c.ended_at = 20.0, 30.0   # disjoint
+        assert _mean_concurrency(a, [a, b, c]) == 2.0
+        assert _mean_concurrency(c, [a, b, c]) == 1.0
+        # Cached outcomes carry stamps from some other run: excluded
+        # both as subject and as contender.
+        b.cached = True
+        assert _mean_concurrency(b, [a, b, c]) is None
+        assert _mean_concurrency(a, [a, b, c]) == 1.0
+
     def test_filename_embeds_date_and_host(self, payload):
         name = bench_filename(payload)
         date = payload["recorded_at"].split("T", 1)[0]
@@ -124,3 +150,17 @@ class TestCompare:
     def test_bad_tolerance_rejected(self, payload):
         with pytest.raises(ValueError):
             compare_benches(payload, payload, tolerance=1.0)
+
+    def test_matching_job_counts_stay_quiet(self, payload):
+        _, notes = compare_benches(payload, payload)
+        assert not any("job counts differ" in note for note in notes)
+
+    def test_differing_job_counts_warn(self, payload):
+        current = copy.deepcopy(payload)
+        current["run"]["jobs"] = 8
+        regressions, notes = compare_benches(current, payload)
+        assert regressions == []        # a warning, not a gate
+        warning = [n for n in notes if "job counts differ" in n]
+        assert len(warning) == 1
+        assert "WARNING" in warning[0]
+        assert "--jobs 8" in warning[0] and "--jobs 1" in warning[0]
