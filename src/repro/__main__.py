@@ -548,6 +548,142 @@ def cmd_alloc(args) -> int:
     return 0
 
 
+def cmd_synth(args) -> int:
+    from .alloc import DemandSet, get_demand_set
+    from .synth import (CandidateConfig, DesignSpace, SynthesisError,
+                        frontier_report, run_report, synthesize)
+
+    if args.demand_set and args.demands:
+        print("give either --demand-set NAME or --demands FILE, "
+              "not both", file=sys.stderr)
+        return 2
+    # Flags scoped to the other action are refused, not ignored.
+    if args.action == "run" and args.points is not None:
+        print("--points only applies to 'frontier' ('run' synthesizes "
+              "the whole demand set as one point)", file=sys.stderr)
+        return 2
+    if args.action == "frontier" and args.require_cheaper_than_xy:
+        print("--require-cheaper-than-xy only applies to 'run' (the "
+              "frontier's payoff is its cost curve)", file=sys.stderr)
+        return 2
+    if args.require_cheaper_than_xy and args.allocator == "xy":
+        print("--require-cheaper-than-xy compares against xy; pick a "
+              "batch-aware allocator (see docs/synthesis.md)",
+              file=sys.stderr)
+        return 2
+
+    if args.demands:
+        try:
+            with open(args.demands) as handle:
+                dset = DemandSet.from_json(handle.read())
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"cannot load demand set from {args.demands}: "
+                  f"{error!r} (see docs/allocation.md for the file "
+                  "format)", file=sys.stderr)
+            return 2
+    else:
+        try:
+            dset = get_demand_set(args.demand_set
+                                  or "column-saturated-8x8")
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+
+    try:
+        space = (DesignSpace(families=tuple(
+                     name.strip() for name in args.families.split(",")))
+                 if args.families else DesignSpace())
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    def label_of(candidate) -> str:
+        return CandidateConfig.from_dict(candidate).label
+
+    try:
+        if args.action == "frontier":
+            report = frontier_report(
+                dset, allocator=args.allocator, space=space,
+                cost_model=args.cost_model, budget=args.budget,
+                points=args.points if args.points is not None else 4)
+        else:
+            report = run_report(
+                dset, allocator=args.allocator, space=space,
+                cost_model=args.cost_model, budget=args.budget)
+    except SynthesisError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    point = report.best_point()
+    if args.action == "run":
+        table = Table(
+            ["family", "feasible", "winner", "area mm^2", "evals"],
+            title=(f"synth run: {dset.name} via {report.allocator} "
+                   f"(budget {report.budget})"))
+        for entry in point["families"]:
+            table.add_row(
+                entry["family"],
+                "yes" if entry["feasible"] else "no",
+                label_of(entry["candidate"]) if entry["candidate"]
+                else entry.get("reason", "-"),
+                f"{entry['cost']['total_mm2']:.6f}"
+                if entry["cost"] else "-",
+                entry["evaluations"])
+        print(table.render())
+    else:
+        table = Table(
+            ["demands", "winner", "area mm^2", "evals"],
+            title=(f"synth frontier: {dset.name} via "
+                   f"{report.allocator} (budget {report.budget} per "
+                   "point)"))
+        for pt in report.points:
+            best = pt["best"]
+            table.add_row(
+                pt["n_demands"],
+                label_of(best["candidate"]) if best else "-",
+                f"{best['cost']['total_mm2']:.6f}" if best else "-",
+                pt["evaluations"])
+        print(table.render())
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote synthesis report to {args.out}")
+
+    infeasible = [pt["demand_set"] for pt in report.points
+                  if not pt["feasible"]]
+    if infeasible:
+        print(f"FAIL: no feasible configuration for "
+              f"{', '.join(infeasible)} within budget {report.budget}")
+        return 1
+    best = point["best"]
+    winner, total = label_of(best["candidate"]), best["cost"]["total_mm2"]
+    print(f"winner: {winner} at {total:.6f} mm^2 "
+          f"({point['evaluations']} evaluations)")
+
+    if args.require_cheaper_than_xy:
+        xy_point = synthesize(dset, allocator="xy", space=space,
+                              cost_model=args.cost_model,
+                              budget=args.budget)
+        if not xy_point["feasible"]:
+            print(f"OK: xy finds nothing feasible where "
+                  f"{report.allocator} finds {winner}")
+            return 0
+        xy_best = xy_point["best"]
+        xy_winner = label_of(xy_best["candidate"])
+        xy_total = xy_best["cost"]["total_mm2"]
+        if total < xy_total:
+            print(f"OK: {report.allocator} winner {winner} "
+                  f"({total:.6f} mm^2) strictly cheaper than xy winner "
+                  f"{xy_winner} ({xy_total:.6f} mm^2)")
+        else:
+            print(f"FAIL: {report.allocator} winner {winner} "
+                  f"({total:.6f} mm^2) not cheaper than xy winner "
+                  f"{xy_winner} ({xy_total:.6f} mm^2)")
+            return 1
+    return 0
+
+
 def _write_golden(golden_module, fingerprints) -> None:
     """Rewrite scenarios/golden.py with freshly recorded digests."""
     path = golden_module.__file__
@@ -680,6 +816,43 @@ def main(argv=None) -> int:
                             "strategy admits strictly more than xy "
                             "(the CI alloc-smoke gate)")
 
+    from .synth import DEFAULT_BUDGET, cost_model_names
+    synth = sub.add_parser(
+        "synth", help="design-space synthesis: cheapest network that "
+                      "admits a demand set (see docs/synthesis.md)")
+    synth.add_argument("action", choices=("run", "frontier"))
+    synth.add_argument("--demand-set", default=None,
+                       help="named adversarial demand set (default: "
+                            "column-saturated-8x8; see 'alloc "
+                            "demand-set' for the list)")
+    synth.add_argument("--demands",
+                       help="path to a demand-set JSON file (instead "
+                            "of a named set)")
+    synth.add_argument("--allocator", choices=allocator_names(),
+                       default="ripup",
+                       help="feasibility oracle's admission strategy "
+                            "(default: ripup)")
+    synth.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                       help="fresh oracle evaluations per synthesis "
+                            f"(default {DEFAULT_BUDGET})")
+    synth.add_argument("--families",
+                       help="comma-separated topology families to "
+                            "search (default: mesh,ring,ring-uni)")
+    synth.add_argument("--cost-model", choices=cost_model_names(),
+                       default="area",
+                       help="objective to minimize (default: area)")
+    synth.add_argument("--points", type=int, default=None,
+                       help="frontier points along the demand-count "
+                            "axis ('frontier' only; default 4)")
+    synth.add_argument("--out",
+                       help="write the SynthesisReport JSON to this "
+                            "path")
+    synth.add_argument("--require-cheaper-than-xy", action="store_true",
+                       help="exit non-zero unless the winner is "
+                            "strictly cheaper than the cheapest "
+                            "xy-feasible configuration ('run' only; "
+                            "the CI synth-smoke gate)")
+
     args = parser.parse_args(argv)
     if args.command == "scenario" and args.action == "run" \
             and not args.name:
@@ -687,7 +860,8 @@ def main(argv=None) -> int:
                      "(see: scenario list)")
     handlers = {"report": cmd_report, "contract": cmd_contract,
                 "simulate": cmd_simulate, "scenario": cmd_scenario,
-                "bench": cmd_bench, "alloc": cmd_alloc}
+                "bench": cmd_bench, "alloc": cmd_alloc,
+                "synth": cmd_synth}
     return handlers[args.command](args)
 
 

@@ -34,7 +34,7 @@ from .demand import (ADVERSARIAL_SETS, Demand, DemandSet, demand_set_names,
 from .report import (StrategyOutcome, compare, comparison_table,
                      run_demand_set)
 from .strategies import (Allocation, Allocator, MinAdaptiveAllocator,
-                         RipupAllocator, XyAllocator)
+                         PlannedAllocator, RipupAllocator, XyAllocator)
 
 __all__ = [
     "ADVERSARIAL_SETS",
@@ -44,6 +44,7 @@ __all__ = [
     "Demand",
     "DemandSet",
     "MinAdaptiveAllocator",
+    "PlannedAllocator",
     "ResidualCapacity",
     "RipupAllocator",
     "StrategyOutcome",

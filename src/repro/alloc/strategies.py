@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.connection import AdmissionError, Hop
@@ -36,7 +37,7 @@ from ..network.topology import Coord, Direction
 from .capacity import ResidualCapacity
 
 __all__ = ["Allocation", "Allocator", "XyAllocator",
-           "MinAdaptiveAllocator", "RipupAllocator"]
+           "MinAdaptiveAllocator", "RipupAllocator", "PlannedAllocator"]
 
 #: What an allocator returns: the reserved endpoint interfaces and the
 #: reserved hop list — exactly the tuple ``ConnectionManager._allocate``
@@ -188,6 +189,13 @@ class RipupAllocator(Allocator):
     Re-ordering is the classic fix for greedy admission: an early
     demand with alternatives no longer starves a later demand whose
     only path it took.
+
+    One extra trial re-runs the original order with the deterministic
+    ``xy`` routes: the adaptive tie-break can pick a minimal path that
+    blocks a later demand where the fixed route would not, and the
+    batch must never admit fewer demands than the weakest strategy —
+    the strength ordering the synthesis oracle relies on
+    (``tests/synth/test_oracle_conformance.py``).
     """
 
     name = "ripup"
@@ -199,6 +207,7 @@ class RipupAllocator(Allocator):
             raise ValueError("need at least one improvement round")
         self.rounds = rounds
         self._greedy = MinAdaptiveAllocator()
+        self._deterministic = XyAllocator()
 
     def allocate(self, capacity: ResidualCapacity, src: Coord,
                  dst: Coord) -> Allocation:
@@ -214,9 +223,11 @@ class RipupAllocator(Allocator):
                 "ConnectionManager view admits demands one at a time)")
         order = list(range(len(demands)))
         best_order, best_count = list(order), -1
+        best_policy: Allocator = self._greedy
         seen = {tuple(order)}
         for _ in range(self.rounds + 1):
-            accepted = self._trial(capacity.clone(), demands, order)
+            accepted = self._trial(self._greedy, capacity.clone(),
+                                   demands, order)
             count = sum(accepted)
             if count > best_count:
                 best_count, best_order = count, list(order)
@@ -228,25 +239,106 @@ class RipupAllocator(Allocator):
             if tuple(order) in seen:
                 break
             seen.add(tuple(order))
+        if best_count < len(demands):
+            # Deterministic-route fallback trial: never admit fewer
+            # than plain xy would (strict improvement only, so the
+            # adaptive result is otherwise untouched).
+            original = list(range(len(demands)))
+            accepted = self._trial(self._deterministic, capacity.clone(),
+                                   demands, original)
+            if sum(accepted) > best_count:
+                best_count, best_order = sum(accepted), original
+                best_policy = self._deterministic
         results: List[Optional[Allocation]] = [None] * len(demands)
         for index in best_order:
             src, dst = demands[index]
             try:
-                results[index] = self.allocate(capacity, src, dst)
+                results[index] = best_policy.allocate(capacity, src, dst)
             except AdmissionError:
                 results[index] = None
         return results
 
-    def _trial(self, capacity: ResidualCapacity,
+    @staticmethod
+    def _trial(allocator: Allocator, capacity: ResidualCapacity,
                demands: Sequence[Tuple[Coord, Coord]],
                order: Sequence[int]) -> List[bool]:
-        """One greedy round in ``order``; True per slot when admitted."""
+        """One greedy round in ``order`` under ``allocator``; True per
+        slot when admitted."""
         accepted = []
         for index in order:
             src, dst = demands[index]
             try:
-                self.allocate(capacity, src, dst)
+                allocator.allocate(capacity, src, dst)
                 accepted.append(True)
             except AdmissionError:
                 accepted.append(False)
         return accepted
+
+
+class PlannedAllocator(Allocator):
+    """Replays a precomputed route plan, in plan order.
+
+    The design-time synthesizer (:mod:`repro.synth`) decides a whole
+    demand set with a *batch* allocator; replaying its winner through
+    the live network must admit exactly the planned paths — not
+    whatever a greedy per-connection search would pick in open order.
+    This allocator holds the plan as a queue of ``(src, dst,
+    port-name sequence)`` entries and serves each ``allocate`` call by
+    popping the next entry, so a :class:`ScenarioRunner` opening GS
+    connections in spec order reproduces the batch allocation
+    move-for-move.  Port names are resolved against the capacity's own
+    topology, which keeps the plan JSON-safe.
+
+    Instances are single-use and stateful (unlike the registered
+    strategies); construct one per replay and install it directly
+    (``ScenarioRunner(spec, allocator=PlannedAllocator(routes))``).
+    """
+
+    name = "planned"
+    description = "replays a precomputed route plan, in plan order"
+
+    def __init__(self, routes: Sequence[Tuple[Coord, Coord,
+                                              Sequence[str]]]):
+        if not routes:
+            raise ValueError("a plan needs at least one route")
+        self._queue = deque(
+            (Coord(*src), Coord(*dst), tuple(ports))
+            for src, dst, ports in routes)
+
+    def allocate(self, capacity: ResidualCapacity, src: Coord,
+                 dst: Coord) -> Allocation:
+        if not self._queue:
+            raise AdmissionError(
+                f"plan exhausted: no route left for {src} -> {dst}")
+        plan_src, plan_dst, port_names = self._queue[0]
+        if (plan_src, plan_dst) != (src, dst):
+            raise AdmissionError(
+                f"plan order mismatch: next planned route is "
+                f"{plan_src} -> {plan_dst}, requested {src} -> {dst}")
+        capacity.check_pair(src, dst)
+        capacity.check_hop_cap(len(port_names))
+        capacity.check_ifaces(src, dst)
+        moves = []
+        here = src
+        for name in port_names:
+            port = next((p for p in capacity.topology.ports(here)
+                         if p.name == name), None)
+            if port is None:
+                raise AdmissionError(
+                    f"planned route leaves the "
+                    f"{capacity.topology.name!r} adjacency: no port "
+                    f"{name!r} at {here}")
+            moves.append(port)
+            here = capacity.topology.port_neighbor(here, port)
+        if here != dst:
+            raise AdmissionError(
+                f"planned route for {src} -> {dst} ends at {here}")
+        hops = capacity.reserve_moves(src, moves)
+        src_iface, dst_iface = capacity.take_ifaces(src, dst)
+        self._queue.popleft()
+        return src_iface, dst_iface, hops
+
+    @property
+    def remaining(self) -> int:
+        """Planned routes not yet served (0 after a complete replay)."""
+        return len(self._queue)

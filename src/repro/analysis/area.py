@@ -21,7 +21,8 @@ from typing import Dict, List, Tuple
 
 from ..core.config import RouterConfig
 
-__all__ = ["CellLibrary", "AreaModel", "AreaReport", "TABLE1_PAPER_MM2"]
+__all__ = ["CellLibrary", "AreaModel", "AreaReport", "TABLE1_PAPER_MM2",
+           "TABLE1_MODULES"]
 
 #: Table 1 of the paper (mm², pre-layout, 0.12 µm standard cells).
 TABLE1_PAPER_MM2 = {
@@ -71,6 +72,12 @@ _CALIBRATION: Dict[str, float] = {
 }
 
 
+#: The six Table 1 modules, in the paper's row order.
+TABLE1_MODULES: Tuple[str, ...] = (
+    "connection_table", "switching_module", "vc_buffers",
+    "link_access", "vc_control", "be_router")
+
+
 @dataclass
 class AreaReport:
     """Per-module areas in mm²."""
@@ -82,18 +89,37 @@ class AreaReport:
         return sum(self.modules.values())
 
     def rows(self) -> List[Tuple[str, float]]:
-        order = ["connection_table", "switching_module", "vc_buffers",
-                 "link_access", "vc_control", "be_router"]
-        rows = [(name, self.modules[name]) for name in order]
+        missing = [name for name in TABLE1_MODULES
+                   if name not in self.modules]
+        if missing:
+            raise ValueError(
+                f"area report is missing Table 1 module(s) "
+                f"{', '.join(missing)} — a report compares against the "
+                f"paper row-for-row, so all of "
+                f"{', '.join(TABLE1_MODULES)} must be present")
+        rows = [(name, self.modules[name]) for name in TABLE1_MODULES]
         rows.append(("total", self.total))
         return rows
 
     def relative_error(self, reference: Dict[str, float]) -> Dict[str, float]:
-        errors = {}
-        for name, value in self.modules.items():
-            ref = reference.get(name)
-            if ref:
-                errors[name] = (value - ref) / ref
+        """Signed per-module error vs a reference breakdown.
+
+        The reference must price every module of this report plus
+        ``total``, all strictly positive — a zero or missing reference
+        row would silently drop the module from the error map (or
+        divide by zero), which reads as "perfect match" in a table.
+        """
+        needed = list(self.modules) + ["total"]
+        bad = [name for name in needed
+               if not isinstance(reference.get(name), (int, float))
+               or reference.get(name) <= 0]
+        if bad:
+            raise ValueError(
+                f"reference breakdown must give a positive area for "
+                f"{', '.join(bad)} (relative error against a missing "
+                f"or zero reference is undefined)")
+        errors = {name: (value - reference[name]) / reference[name]
+                  for name, value in self.modules.items()}
         errors["total"] = (self.total - reference["total"]) / reference["total"]
         return errors
 
@@ -108,6 +134,21 @@ class AreaModel:
         self.lib = library
         self.calibration = dict(_CALIBRATION if calibration is None
                                 else calibration)
+        missing = [name for name in TABLE1_MODULES
+                   if name not in self.calibration]
+        extra = sorted(set(self.calibration) - set(TABLE1_MODULES))
+        if missing or extra:
+            raise ValueError(
+                f"calibration must cover exactly the Table 1 modules "
+                f"({', '.join(TABLE1_MODULES)}); missing: "
+                f"{missing or 'none'}, unknown: {extra or 'none'}")
+        nonpositive = [name for name, factor in self.calibration.items()
+                       if not factor > 0]
+        if nonpositive:
+            raise ValueError(
+                f"calibration factors must be strictly positive "
+                f"(got {', '.join(nonpositive)} <= 0); a zero factor "
+                f"silently erases a module from every report")
 
     # -- per-module raw inventories (µm²) ----------------------------------
 

@@ -107,6 +107,17 @@ def power_report(model: EnergyModel, counters: ActivityCounters,
                  clock_mhz: float = 0.0) -> PowerReport:
     """Build a :class:`PowerReport`; ``clock_mhz`` > 0 adds the clocked
     equivalent's always-on clock power."""
+    if interval_ns <= 0:
+        raise ValueError(
+            f"measurement interval must be positive, got {interval_ns} "
+            "ns (a zero or negative interval turns energy into "
+            "infinite or negative power)")
+    if area_mm2 < 0:
+        raise ValueError(
+            f"area must be non-negative, got {area_mm2} mm^2")
+    if clock_mhz < 0:
+        raise ValueError(
+            f"clock frequency must be non-negative, got {clock_mhz} MHz")
     dynamic = model.dynamic_energy_pj(counters) / interval_ns
     leakage = model.leakage_mw_per_mm2 * area_mm2
     clock = model.clock_power_mw(clock_mhz) if clock_mhz > 0 else 0.0

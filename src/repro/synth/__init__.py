@@ -1,0 +1,62 @@
+"""Design-space synthesis: search for the cheapest network that admits
+a demand set.
+
+The production inversion of the paper's flow — instead of checking a
+hand-picked router configuration against a demand set, search the
+configuration space (topology family and size, VCs per link, flit
+width, pipeline depth) for the cheapest candidate whose installed
+:class:`~repro.alloc.Allocator` admits *every* demand (Even & Fais,
+*Algorithms for Network-on-Chip Design with Guaranteed QoS*):
+
+* :mod:`~repro.synth.space` — :class:`CandidateConfig` and the bounded,
+  deterministically ordered :class:`DesignSpace`;
+* :mod:`~repro.synth.cost` — pluggable cost models over the analysis
+  layer (Table 1 area, link pipeline silicon, leakage);
+* :mod:`~repro.synth.oracle` — feasibility via a detached
+  :class:`~repro.alloc.capacity.ResidualCapacity` of the candidate's
+  fabric;
+* :mod:`~repro.synth.driver` — the budgeted bisection + refinement
+  search, :class:`SynthesisReport` (JSON round-trippable, byte-
+  deterministic), and the cost-vs-demand frontier;
+* :mod:`~repro.synth.validate` — replay winners through the real
+  simulator (``ScenarioRunner``) and check the contract verdicts.
+
+CLI: ``python -m repro synth run|frontier``; see ``docs/synthesis.md``.
+"""
+
+from __future__ import annotations
+
+from .cost import (COST_MODELS, AreaCostModel, CostBreakdown, CostModel,
+                   cost_model_names, get_cost_model, register_cost_model)
+from .driver import (DEFAULT_BUDGET, SCHEMA, SynthesisError,
+                     SynthesisReport, frontier_report, prefix_demand_set,
+                     run_report, synthesize)
+from .oracle import FeasibilityOracle, OracleVerdict
+from .space import DEFAULT_FAMILIES, CandidateConfig, DesignSpace
+from .validate import replay_point, replay_scenario, validate_report
+
+__all__ = [
+    "AreaCostModel",
+    "COST_MODELS",
+    "CandidateConfig",
+    "CostBreakdown",
+    "CostModel",
+    "DEFAULT_BUDGET",
+    "DEFAULT_FAMILIES",
+    "DesignSpace",
+    "FeasibilityOracle",
+    "OracleVerdict",
+    "SCHEMA",
+    "SynthesisError",
+    "SynthesisReport",
+    "cost_model_names",
+    "frontier_report",
+    "get_cost_model",
+    "prefix_demand_set",
+    "register_cost_model",
+    "replay_point",
+    "replay_scenario",
+    "run_report",
+    "synthesize",
+    "validate_report",
+]

@@ -1,0 +1,145 @@
+"""Cost models scoring synthesis candidates.
+
+A :class:`CostModel` turns a :class:`~repro.synth.space.CandidateConfig`
+into a :class:`CostBreakdown` — JSON-safe plain data whose
+``total_mm2`` is the scalar the search minimises.  The default
+``area`` model composes the existing analysis layer:
+
+* per-router silicon from :class:`~repro.analysis.area.AreaModel`
+  (Table 1 calibrated), scaled by each node's populated port count —
+  a mesh-edge or ring node does not pay for switch halves, arbiters
+  and VC buffers on ports it does not wire;
+* link pipeline silicon from the :class:`~repro.analysis.area.CellLibrary`
+  latch/driver cells, per stage per wire — the term that charges a
+  ring's long wrap links for the deep pipelines their timing needs
+  (:func:`repro.circuits.pipeline.stages_for_full_speed`);
+* idle (leakage) power from :class:`~repro.analysis.power.EnergyModel`
+  rides along informationally — it is proportional to area in this
+  process generation, so it never reorders candidates, but reports
+  show the watts a design would idle at.
+
+Models are registered by name (``--cost-model``), mirroring the
+allocator and topology registries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..analysis.area import AreaModel, CellLibrary
+from ..analysis.power import EnergyModel
+from .space import CandidateConfig
+
+__all__ = ["CostBreakdown", "CostModel", "AreaCostModel", "COST_MODELS",
+           "get_cost_model", "cost_model_names", "register_cost_model"]
+
+#: The full MANGO router of Table 1 is a 5x5: four network ports plus
+#: the local port.  Degree scaling prices a node at the populated
+#: fraction of those ports.
+_FULL_ROUTER_PORTS = 5
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """What one candidate costs, split by where the silicon goes."""
+
+    router_mm2: float
+    link_mm2: float
+    leakage_mw: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.router_mm2 + self.link_mm2
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "router_mm2": round(self.router_mm2, 6),
+            "link_mm2": round(self.link_mm2, 6),
+            "total_mm2": round(self.total_mm2, 6),
+            "leakage_mw": round(self.leakage_mw, 6),
+        }
+
+
+class CostModel(ABC):
+    """One way of pricing a candidate configuration."""
+
+    #: Registry key (``--cost-model`` value).
+    name: str = ""
+
+    #: One-line summary for CLI tables.
+    description: str = ""
+
+    @abstractmethod
+    def evaluate(self, candidate: CandidateConfig) -> CostBreakdown:
+        """Price a candidate (deterministic, side-effect free)."""
+
+
+class AreaCostModel(CostModel):
+    """Pre-layout standard-cell area, the paper's Table 1 currency."""
+
+    name = "area"
+    description = ("degree-scaled Table 1 router area + per-stage link "
+                   "pipeline latches; leakage power informational")
+
+    def __init__(self, library: CellLibrary = CellLibrary(),
+                 energy: EnergyModel = EnergyModel()):
+        self.library = library
+        self.energy = energy
+
+    def evaluate(self, candidate: CandidateConfig) -> CostBreakdown:
+        config = candidate.router_config()
+        topology = candidate.build(config)
+        full_router = AreaModel(config).report().total
+        out_degree: Dict[object, int] = {node: 0
+                                         for node in topology.tiles()}
+        stage_total = 0
+        for link in topology.graph_links():
+            out_degree[link.src] += 1
+            stage_total += link.stages
+        router_mm2 = sum(
+            full_router * (degree + 1) / _FULL_ROUTER_PORTS
+            for degree in out_degree.values())
+        # One pipeline stage latches every wire of the link (flit body
+        # + tail + BE-VC + 5 steering bits) and re-drives it.
+        link_wires = config.flit_width + 2 + 5
+        per_stage_um2 = link_wires * (self.library.latch
+                                      + 2 * self.library.buf)
+        link_mm2 = stage_total * per_stage_um2 / 1e6
+        total = router_mm2 + link_mm2
+        return CostBreakdown(
+            router_mm2=router_mm2, link_mm2=link_mm2,
+            leakage_mw=self.energy.leakage_mw_per_mm2 * total)
+
+
+#: Registered cost models, keyed by ``--cost-model`` value.
+COST_MODELS: Dict[str, CostModel] = {}
+
+
+def register_cost_model(model: CostModel) -> None:
+    if not model.name:
+        raise ValueError("a cost model needs a name")
+    if model.name in COST_MODELS:
+        raise ValueError(f"cost model {model.name!r} already registered")
+    COST_MODELS[model.name] = model
+
+
+def get_cost_model(model) -> CostModel:
+    """Resolve a ``--cost-model`` value (name or instance)."""
+    if isinstance(model, CostModel):
+        return model
+    try:
+        return COST_MODELS[model]
+    except KeyError:
+        known = ", ".join(cost_model_names())
+        raise KeyError(
+            f"unknown cost model {model!r} (known: {known})") from None
+
+
+def cost_model_names() -> List[str]:
+    """Registered model names, default (``area``) first."""
+    return sorted(COST_MODELS, key=lambda name: (name != "area", name))
+
+
+register_cost_model(AreaCostModel())

@@ -1,0 +1,359 @@
+"""The deterministic synthesis search driver.
+
+Given a :class:`~repro.alloc.demand.DemandSet`, find the cheapest
+:class:`~repro.synth.space.CandidateConfig` the feasibility oracle
+admits, under a fixed evaluation budget:
+
+* **per family, monotone bisection on size** — at maximal knobs
+  (most VCs, widest flits, full-speed pipeline depth), feasibility is
+  monotone in the tile array (more links never hurt admission), so the
+  smallest feasible size is found in O(log span) oracle calls;
+* **bounded local refinement at that size** — bisect the VC axis down
+  to the smallest feasible count (capacity is per-VC pools, so
+  feasibility is monotone in V), then walk the width axis upward and
+  keep the first feasible width (width never affects admission, only
+  cost);
+* **the cheapest feasible candidate across families wins**, ties
+  broken by the candidate ordering itself — never by iteration luck.
+
+Every oracle call is cached and counted; the budget caps *fresh*
+evaluations, and an exhausted budget returns the best candidate found
+so far (flagged in the report) instead of failing.  The whole search is
+deterministic: identical demand set + space + allocator + budget
+produce a byte-identical :class:`SynthesisReport` JSON, in-process or
+across process spawns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..alloc.demand import DemandSet
+from .cost import CostBreakdown, get_cost_model
+from .oracle import FeasibilityOracle, OracleVerdict
+from .space import CandidateConfig, DesignSpace
+
+__all__ = ["SynthesisError", "SynthesisReport", "SCHEMA",
+           "DEFAULT_BUDGET", "synthesize", "run_report",
+           "frontier_report", "prefix_demand_set"]
+
+SCHEMA = "repro-synth/1"
+
+#: Fresh oracle evaluations one ``synthesize`` call may spend.
+DEFAULT_BUDGET = 64
+
+
+class SynthesisError(ValueError):
+    """A synthesis request is inconsistent or cannot be served."""
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the evaluator refused a fresh oracle call."""
+
+
+class _Evaluator:
+    """Cached, budgeted oracle + cost evaluation."""
+
+    def __init__(self, oracle: FeasibilityOracle, cost_model,
+                 demand_set: DemandSet, budget: int):
+        self.oracle = oracle
+        self.cost_model = cost_model
+        self.demand_set = demand_set
+        self.budget = budget
+        self.spent = 0
+        self.cache: Dict[CandidateConfig,
+                         Tuple[OracleVerdict, CostBreakdown]] = {}
+
+    def evaluate(self, candidate: CandidateConfig
+                 ) -> Tuple[OracleVerdict, CostBreakdown]:
+        if candidate in self.cache:
+            return self.cache[candidate]
+        if self.spent >= self.budget:
+            raise _BudgetExhausted()
+        self.spent += 1
+        verdict = self.oracle.check(candidate, self.demand_set)
+        cost = self.cost_model.evaluate(candidate)
+        self.cache[candidate] = (verdict, cost)
+        return verdict, cost
+
+
+class _Best:
+    """Cheapest feasible candidate seen so far, deterministic ties."""
+
+    def __init__(self):
+        self.candidate: Optional[CandidateConfig] = None
+        self.cost: Optional[CostBreakdown] = None
+        self.verdict: Optional[OracleVerdict] = None
+
+    def consider(self, candidate: CandidateConfig,
+                 verdict: OracleVerdict, cost: CostBreakdown) -> None:
+        if not verdict.feasible:
+            return
+        if (self.candidate is None
+                or (cost.total_mm2, candidate)
+                < (self.cost.total_mm2, self.candidate)):
+            self.candidate, self.cost, self.verdict = (candidate, cost,
+                                                       verdict)
+
+
+def _family_candidate(family: str, size: Tuple[int, int], vcs: int,
+                      width: int) -> Optional[CandidateConfig]:
+    """The candidate at a space point, with its derived pipeline depth
+    (None when no depth keeps the longest link at full speed)."""
+    cols, rows = size
+    probe = CandidateConfig(family, cols, rows, vcs, width)
+    try:
+        stages = probe.required_stages()
+    except ValueError:
+        return None
+    return replace(probe, link_stages=stages)
+
+
+def _search_family(family: str, space: DesignSpace, evaluator: _Evaluator,
+                   best: _Best) -> Dict[str, Any]:
+    """Bisection on size + local refinement for one topology family."""
+    dset = evaluator.demand_set
+    sizes = space.sizes(dset.cols, dset.rows)
+    spent_before = evaluator.spent
+    family_best = _Best()
+    last_reason = ""
+
+    def probe(size_ix: int, vcs: int, width: int) -> Optional[
+            Tuple[CandidateConfig, OracleVerdict, CostBreakdown]]:
+        nonlocal last_reason
+        candidate = _family_candidate(family, sizes[size_ix], vcs, width)
+        if candidate is None:
+            last_reason = (f"no pipeline depth keeps the "
+                           f"{sizes[size_ix][0]}x{sizes[size_ix][1]} "
+                           f"{family} links at full speed")
+            return None
+        verdict, cost = evaluator.evaluate(candidate)
+        best.consider(candidate, verdict, cost)
+        family_best.consider(candidate, verdict, cost)
+        if not verdict.feasible:
+            last_reason = verdict.reason
+        return candidate, verdict, cost
+
+    def feasible_at(size_ix: int) -> bool:
+        outcome = probe(size_ix, space.max_vcs, space.max_width)
+        return outcome is not None and outcome[1].feasible
+
+    def report() -> Dict[str, Any]:
+        entry = {
+            "family": family,
+            "feasible": family_best.candidate is not None,
+            "candidate": (family_best.candidate.to_dict()
+                          if family_best.candidate else None),
+            "cost": (family_best.cost.to_dict()
+                     if family_best.cost else None),
+            "evaluations": evaluator.spent - spent_before,
+        }
+        if family_best.candidate is None:
+            entry["reason"] = last_reason
+        return entry
+
+    # Monotone bisection: smallest size feasible at maximal knobs.
+    if feasible_at(0):
+        star = 0
+    elif len(sizes) > 1 and feasible_at(len(sizes) - 1):
+        lo, hi = 0, len(sizes) - 1   # lo infeasible, hi feasible
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if feasible_at(mid):
+                hi = mid
+            else:
+                lo = mid
+        star = hi
+    else:
+        return report()
+
+    # VC refinement: smallest feasible count at the winning size.
+    vcs_axis = space.vcs
+    star_vcs = space.max_vcs
+    if len(vcs_axis) > 1:
+        lo, hi = -1, len(vcs_axis) - 1   # hi known feasible
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            outcome = probe(star, vcs_axis[mid], space.max_width)
+            if outcome is not None and outcome[1].feasible:
+                hi = mid
+            else:
+                lo = mid
+        star_vcs = vcs_axis[hi]
+
+    # Width refinement: cost grows with width, so the first feasible
+    # width walking upward wins (admission never depends on width).
+    for width in space.widths:
+        outcome = probe(star, star_vcs, width)
+        if outcome is not None and outcome[1].feasible:
+            break
+
+    return report()
+
+
+def synthesize(demand_set: DemandSet, allocator="ripup",
+               space: Optional[DesignSpace] = None, cost_model="area",
+               budget: int = DEFAULT_BUDGET,
+               seeds: Sequence[CandidateConfig] = ()) -> Dict[str, Any]:
+    """Search the space for the cheapest feasible candidate.
+
+    Returns one frontier *point* as JSON-safe plain data.  ``seeds``
+    are known-good candidates (e.g. a superset demand set's winner)
+    evaluated first — they bound the answer from above, which is what
+    makes the frontier cost monotone by construction.
+    """
+    if budget < 1:
+        raise SynthesisError("the evaluation budget must be >= 1")
+    demand_set.validate()
+    space = space or DesignSpace()
+    oracle = FeasibilityOracle(allocator)
+    evaluator = _Evaluator(oracle, get_cost_model(cost_model),
+                           demand_set, budget)
+    best = _Best()
+    families: List[Dict[str, Any]] = []
+    exhausted = False
+    try:
+        for seed in seeds:
+            verdict, cost = evaluator.evaluate(seed)
+            best.consider(seed, verdict, cost)
+        for family in space.families:
+            families.append(_search_family(family, space, evaluator,
+                                           best))
+    except _BudgetExhausted:
+        exhausted = True
+    point = {
+        "demand_set": demand_set.name,
+        "n_demands": len(demand_set),
+        "feasible": best.candidate is not None,
+        "evaluations": evaluator.spent,
+        "budget_exhausted": exhausted,
+        "families": families,
+        "best": None,
+    }
+    if best.candidate is not None:
+        point["best"] = {
+            "candidate": best.candidate.to_dict(),
+            "cost": best.cost.to_dict(),
+            "plan": [dict(route) for route in best.verdict.plan],
+        }
+    return point
+
+
+@dataclass
+class SynthesisReport:
+    """The JSON-round-trippable output of ``synth run|frontier``."""
+
+    demand_set: Dict[str, Any]
+    allocator: str
+    cost_model: str
+    budget: int
+    space: Dict[str, Any]
+    points: List[Dict[str, Any]]
+
+    def best_point(self) -> Dict[str, Any]:
+        """The full-set point (largest prefix)."""
+        return self.points[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "demand_set": self.demand_set,
+            "allocator": self.allocator,
+            "cost_model": self.cost_model,
+            "budget": self.budget,
+            "space": self.space,
+            "points": self.points,
+        }
+
+    def to_json(self) -> str:
+        """Canonical form: sorted keys, no timestamps, no floats that
+        depend on wall time — byte-identical for identical inputs."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SynthesisReport":
+        if data.get("schema") != SCHEMA:
+            raise SynthesisError(
+                f"not a synthesis report (schema "
+                f"{data.get('schema')!r}, expected {SCHEMA!r})")
+        return cls(demand_set=data["demand_set"],
+                   allocator=data["allocator"],
+                   cost_model=data["cost_model"],
+                   budget=int(data["budget"]), space=data["space"],
+                   points=list(data["points"]))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SynthesisReport":
+        return cls.from_dict(json.loads(text))
+
+
+def _report(demand_set: DemandSet, allocator, space: DesignSpace,
+            cost_model, budget: int,
+            points: List[Dict[str, Any]]) -> SynthesisReport:
+    oracle = FeasibilityOracle(allocator)
+    return SynthesisReport(
+        demand_set=demand_set.to_dict(), allocator=oracle.name,
+        cost_model=get_cost_model(cost_model).name, budget=budget,
+        space=space.to_dict(), points=points)
+
+
+def run_report(demand_set: DemandSet, allocator="ripup",
+               space: Optional[DesignSpace] = None, cost_model="area",
+               budget: int = DEFAULT_BUDGET) -> SynthesisReport:
+    """``synth run``: one point, the whole demand set."""
+    space = space or DesignSpace()
+    point = synthesize(demand_set, allocator, space, cost_model, budget)
+    return _report(demand_set, allocator, space, cost_model, budget,
+                   [point])
+
+
+def prefix_demand_set(demand_set: DemandSet, count: int) -> DemandSet:
+    """The first ``count`` demands as their own (validated) set."""
+    if not 1 <= count <= len(demand_set):
+        raise SynthesisError(
+            f"prefix of {count} demands out of range 1.."
+            f"{len(demand_set)}")
+    if count == len(demand_set):
+        return demand_set
+    sub = DemandSet(name=f"{demand_set.name}:first-{count}",
+                    cols=demand_set.cols, rows=demand_set.rows,
+                    demands=demand_set.demands[:count],
+                    description=(f"first {count} demands of "
+                                 f"{demand_set.name}"),
+                    vcs_per_port=demand_set.vcs_per_port)
+    sub.validate()
+    return sub
+
+
+def frontier_report(demand_set: DemandSet, allocator="ripup",
+                    space: Optional[DesignSpace] = None,
+                    cost_model="area", budget: int = DEFAULT_BUDGET,
+                    points: int = 4) -> SynthesisReport:
+    """``synth frontier``: cost vs demand-set size.
+
+    Synthesizes growing prefixes of the demand set (each with its own
+    ``budget``), largest first: a larger prefix's winner seeds every
+    smaller prefix's search, so the reported cost curve is monotone
+    non-increasing as the demand set shrinks — by construction, not by
+    heuristic luck.
+    """
+    if points < 1:
+        raise SynthesisError("the frontier needs at least one point")
+    total = len(demand_set)
+    counts = sorted({max(1, (total * i) // points)
+                     for i in range(1, points + 1)} | {total})
+    by_count: Dict[int, Dict[str, Any]] = {}
+    space = space or DesignSpace()
+    seeds: Tuple[CandidateConfig, ...] = ()
+    for count in reversed(counts):
+        sub = prefix_demand_set(demand_set, count)
+        point = synthesize(sub, allocator, space, cost_model, budget,
+                           seeds=seeds)
+        if point["feasible"]:
+            seeds = (CandidateConfig.from_dict(
+                point["best"]["candidate"]),)
+        by_count[count] = point
+    return _report(demand_set, allocator, space, cost_model, budget,
+                   [by_count[count] for count in counts])

@@ -1,0 +1,124 @@
+"""The feasibility oracle: does a candidate admit the whole demand set?
+
+Feasibility composes three checks, cheapest first:
+
+1. **Coverage** — every demand endpoint must be a tile of the
+   candidate's array (fabrics share the Coord grid node set, so this
+   is pure geometry).
+2. **Timing** — the candidate's pipeline depth must keep its longest
+   link at full port speed (:meth:`CandidateConfig.required_stages`);
+   a link that throttles the port breaks every contract crossing it.
+3. **Capacity** — the installed :class:`~repro.alloc.Allocator`
+   (default ``ripup``) must admit *every* demand against a detached
+   :class:`~repro.alloc.capacity.ResidualCapacity` of the candidate's
+   fabric.  This is the Even & Fais inner loop: design-time QoS
+   allocation as the admission test of design-space search.
+
+A feasible verdict carries the allocator's hop plan as JSON-safe port
+names — the exact routes :mod:`repro.synth.validate` later replays
+through the real simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..alloc import get_allocator
+from ..alloc.capacity import ResidualCapacity
+from ..alloc.demand import DemandSet
+from .space import CandidateConfig
+
+__all__ = ["OracleVerdict", "FeasibilityOracle"]
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One feasibility decision, with the evidence."""
+
+    feasible: bool
+    admitted: int
+    total: int
+    #: Why the candidate was rejected ("" when feasible).
+    reason: str = ""
+    #: Per-demand routes as port-name sequences, in demand order
+    #: (``None`` entries for rejected demands) — JSON-safe, resolvable
+    #: against a freshly built topology of the same candidate.
+    plan: Tuple[Optional[Dict[str, Any]], ...] = field(default=())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "feasible": self.feasible,
+            "admitted": self.admitted,
+            "total": self.total,
+            "reason": self.reason,
+            "plan": [dict(route) if route is not None else None
+                     for route in self.plan],
+        }
+
+
+class FeasibilityOracle:
+    """Decides candidates for one allocator (shared across a search)."""
+
+    def __init__(self, allocator="ripup"):
+        self.allocator = get_allocator(allocator)
+
+    @property
+    def name(self) -> str:
+        return self.allocator.name
+
+    def check(self, candidate: CandidateConfig,
+              demand_set: DemandSet) -> OracleVerdict:
+        """Full feasibility verdict for one candidate."""
+        total = len(demand_set)
+        if (candidate.cols < demand_set.cols
+                or candidate.rows < demand_set.rows):
+            return OracleVerdict(
+                feasible=False, admitted=0, total=total,
+                reason=(f"{candidate.cols}x{candidate.rows} tile array "
+                        f"cannot cover the {demand_set.cols}x"
+                        f"{demand_set.rows} demand endpoints"))
+        try:
+            config = candidate.router_config()
+        except ValueError as error:
+            return OracleVerdict(feasible=False, admitted=0, total=total,
+                                 reason=f"invalid configuration: {error}")
+        try:
+            required = candidate.required_stages(config)
+        except ValueError as error:
+            return OracleVerdict(
+                feasible=False, admitted=0, total=total,
+                reason=f"no full-speed pipeline depth: {error}")
+        if candidate.link_stages < required:
+            return OracleVerdict(
+                feasible=False, admitted=0, total=total,
+                reason=(f"{candidate.link_stages} pipeline stage(s) "
+                        f"throttle the longest link below port speed "
+                        f"({required} required)"))
+        topology = candidate.build(config)
+        capacity = ResidualCapacity.fresh(candidate.cols, candidate.rows,
+                                          config, topology=topology)
+        pairs = demand_set.pairs()
+        results = self.allocator.allocate_batch(capacity, pairs)
+        admitted = sum(1 for result in results if result is not None)
+        plan = tuple(self._route(pair, result)
+                     for pair, result in zip(pairs, results))
+        if admitted == total:
+            return OracleVerdict(feasible=True, admitted=admitted,
+                                 total=total, plan=plan)
+        return OracleVerdict(
+            feasible=False, admitted=admitted, total=total, plan=plan,
+            reason=(f"{self.allocator.name} admits {admitted}/{total} "
+                    f"demands"))
+
+    @staticmethod
+    def _route(pair, allocation) -> Optional[Dict[str, Any]]:
+        if allocation is None:
+            return None
+        src, dst = pair
+        _src_iface, _dst_iface, hops = allocation
+        return {
+            "src": [src.x, src.y],
+            "dst": [dst.x, dst.y],
+            "ports": [hop.out_dir.name for hop in hops],
+        }

@@ -1,0 +1,192 @@
+"""The candidate space of design-space synthesis.
+
+A :class:`CandidateConfig` is one point of the search space the
+synthesis driver explores: a topology family and tile-array size (via
+the :mod:`repro.network.topology` registry) plus the
+:class:`~repro.core.config.RouterConfig` knobs that dominate cost —
+VCs per link, flit width and link pipeline depth.  A
+:class:`DesignSpace` bounds which of those points the driver may visit
+(which families, which VC counts, which widths, how far beyond the
+demand set's own tile array the fabric may grow) and fixes their
+deterministic enumeration order, so identical inputs always walk
+identical candidates.
+
+Pipeline depth is a *derived* knob: every candidate carries the minimum
+``link_stages`` that keeps its longest link from throttling the router
+port (:func:`repro.circuits.pipeline.stages_for_full_speed`) — fewer
+stages is timing-infeasible, more is pure cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..circuits.pipeline import stages_for_full_speed
+from ..core.config import RouterConfig
+from ..network.topology import Topology, build_topology, topology_names
+
+__all__ = ["CandidateConfig", "DesignSpace", "DEFAULT_FAMILIES"]
+
+#: Families the default space searches: the paper's mesh plus the two
+#: ring fabrics whose sparser link graphs make them the cheap
+#: alternative whenever the demand set fits their arcs.
+DEFAULT_FAMILIES: Tuple[str, ...] = ("mesh", "ring", "ring-uni")
+
+
+@dataclass(frozen=True, order=True)
+class CandidateConfig:
+    """One point of the search space: a fabric plus router knobs.
+
+    The dataclass ordering (family, size, VCs, width, stages) is the
+    tie-break every driver decision falls back to — two candidates with
+    equal cost resolve to the lexicographically smaller one, never to
+    iteration luck.
+    """
+
+    topology: str
+    cols: int
+    rows: int
+    vcs_per_port: int
+    flit_width: int = 32
+    link_stages: int = 1
+
+    @property
+    def label(self) -> str:
+        return (f"{self.topology}-{self.cols}x{self.rows}"
+                f"-v{self.vcs_per_port}-w{self.flit_width}"
+                f"-s{self.link_stages}")
+
+    def router_config(self) -> RouterConfig:
+        """The RouterConfig this candidate's network would be built
+        with (raises ``ValueError`` for out-of-range knobs — the same
+        validation the real hardware parameters enforce)."""
+        return RouterConfig(vcs_per_port=self.vcs_per_port,
+                            flit_width=self.flit_width,
+                            link_stages=self.link_stages)
+
+    def build(self, config: Optional[RouterConfig] = None) -> Topology:
+        """Instantiate the candidate's fabric."""
+        config = config or self.router_config()
+        return build_topology(self.topology, self.cols, self.rows,
+                              link_length_mm=config.link_length_mm,
+                              link_stages=config.link_stages)
+
+    def required_stages(self, config: Optional[RouterConfig] = None) -> int:
+        """Minimum pipeline depth so the candidate's *longest* link
+        runs at full port speed (the timing-feasibility floor).  Raises
+        ``ValueError`` when no depth up to 64 suffices."""
+        config = config or self.router_config()
+        topology = self.build(config)
+        longest = max(link.length_mm for link in topology.graph_links())
+        return stages_for_full_speed(config.timing, longest)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "cols": self.cols,
+            "rows": self.rows,
+            "vcs_per_port": self.vcs_per_port,
+            "flit_width": self.flit_width,
+            "link_stages": self.link_stages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CandidateConfig":
+        return cls(topology=data["topology"], cols=int(data["cols"]),
+                   rows=int(data["rows"]),
+                   vcs_per_port=int(data["vcs_per_port"]),
+                   flit_width=int(data["flit_width"]),
+                   link_stages=int(data["link_stages"]))
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Bounds + deterministic enumeration order of the search.
+
+    ``size_span`` allows the fabric to grow up to that many tiles
+    beyond the demand set's own array in each dimension (extra routing
+    room for congested sets); VC counts and widths are searched over
+    the listed values.  All sequences are kept sorted so the space, its
+    JSON form and the candidate enumeration are canonical.
+    """
+
+    families: Tuple[str, ...] = DEFAULT_FAMILIES
+    vcs: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+    widths: Tuple[int, ...] = (16, 32)
+    size_span: int = 4
+
+    def __post_init__(self):
+        if not self.families:
+            raise ValueError("a design space searches at least one family")
+        known = set(topology_names())
+        unknown = [name for name in self.families if name not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown topology families {unknown} "
+                f"(known: {', '.join(sorted(known))})")
+        if len(set(self.families)) != len(self.families):
+            raise ValueError("duplicate topology families")
+        if not self.vcs or not self.widths:
+            raise ValueError("the VC and width axes must be non-empty")
+        object.__setattr__(self, "vcs",
+                           tuple(sorted(set(int(v) for v in self.vcs))))
+        object.__setattr__(self, "widths",
+                           tuple(sorted(set(int(w) for w in self.widths))))
+        if self.vcs[0] < 1 or self.vcs[-1] > 8:
+            raise ValueError("VCs per port searchable over 1..8 only")
+        if self.widths[0] < 8:
+            raise ValueError("flit widths below 8 bits are not meaningful")
+        if self.size_span < 0:
+            raise ValueError("size span must be non-negative")
+
+    @property
+    def max_vcs(self) -> int:
+        return self.vcs[-1]
+
+    @property
+    def max_width(self) -> int:
+        return self.widths[-1]
+
+    def sizes(self, cols: int, rows: int) -> Tuple[Tuple[int, int], ...]:
+        """The tile arrays searched for a ``cols x rows`` demand set:
+        the set's own array plus ``size_span`` uniform growth steps."""
+        return tuple((cols + k, rows + k)
+                     for k in range(self.size_span + 1))
+
+    def candidates(self, cols: int, rows: int
+                   ) -> Iterator[CandidateConfig]:
+        """Every point of the space for a ``cols x rows`` demand set,
+        in the canonical (family, size, VCs, width) order.  Pipeline
+        depth is derived per (family, size), not enumerated.  This is
+        the reference ordering the driver's bisection provably stays
+        inside; exhaustive walks (tests, tiny spaces) use it directly.
+        """
+        for family in self.families:
+            for c, r in self.sizes(cols, rows):
+                probe = CandidateConfig(family, c, r, self.vcs[0],
+                                        self.widths[0])
+                try:
+                    stages = probe.required_stages()
+                except ValueError:
+                    continue  # no pipeline depth reaches full speed
+                for vcs in self.vcs:
+                    for width in self.widths:
+                        yield replace(probe, vcs_per_port=vcs,
+                                      flit_width=width,
+                                      link_stages=stages)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "families": list(self.families),
+            "vcs": list(self.vcs),
+            "widths": list(self.widths),
+            "size_span": self.size_span,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DesignSpace":
+        return cls(families=tuple(data["families"]),
+                   vcs=tuple(data["vcs"]),
+                   widths=tuple(data["widths"]),
+                   size_span=int(data["size_span"]))

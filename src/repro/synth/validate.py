@@ -1,0 +1,136 @@
+"""Replay a synthesis winner through the real simulator.
+
+The oracle's "feasible" is a capacity-model claim; this module checks
+it against the simulator: every frontier point's winning configuration
+becomes a :class:`~repro.scenarios.spec.ScenarioSpec` driving each
+admitted demand as a GS CBR cell at a contract-admissible rate, and
+the run's per-connection QoS verdicts must all PASS.
+
+Mesh winners replay the oracle's exact routes: a
+:class:`~repro.alloc.PlannedAllocator` feeds the batch allocator's hop
+plan to the live ConnectionManager in spec order, so the simulator
+admits precisely the planned allocation (greedy open-order admission
+could strand demands the batch fit).  Fabric winners (ring, routerless)
+have no pluggable admission — their backends re-admit with their own
+first-fit-over-candidate-arcs policy, which is itself the admission
+control the synthesized network would ship with; an admission rejection
+there is reported as a :class:`SynthesisError`, i.e. a real
+oracle/simulator disagreement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..alloc.strategies import PlannedAllocator
+from ..core.config import RouterConfig
+from ..network.connection import AdmissionError
+from ..scenarios.spec import GsConnectionSpec, ScenarioSpec
+from .driver import SynthesisError, SynthesisReport
+from .space import CandidateConfig
+
+__all__ = ["replay_scenario", "replay_point", "validate_report"]
+
+#: CBR margin above the guaranteed-rate floor: the replay paces each
+#: connection at 1/1.25 of its contract bandwidth, comfortably
+#: admissible yet fast enough to exercise contention.
+_PERIOD_MARGIN = 1.25
+
+#: Flits per connection in a replay cell (smoke-sized; the verdict
+#: machinery needs a handful of latency samples, not a soak).
+_REPLAY_FLITS = 8
+
+
+def _admissible_period_ns(config: RouterConfig) -> float:
+    """A CBR period admissible on any path of the candidate network.
+
+    Guaranteed bandwidth is path-length independent: one fair-share
+    grant per round of ``link_requesters`` contenders (mesh contract),
+    or per ``vcs_per_port`` sharers (fabric loop contract).  The mesh
+    round is the longer one, so a period cleared against it is
+    admissible under both.
+    """
+    round_ns = config.link_requesters * config.timing.link_cycle_ns
+    return round_ns * _PERIOD_MARGIN
+
+
+def replay_scenario(point: Dict[str, Any], flits: int = _REPLAY_FLITS
+                    ) -> Tuple[ScenarioSpec, RouterConfig,
+                               Optional[PlannedAllocator]]:
+    """The spec + config + allocator that replay one frontier point.
+
+    Returns ``(spec, config, planned)`` where ``planned`` is the
+    oracle-plan allocator for mesh winners and ``None`` for fabric
+    winners (whose backends own their admission).
+    """
+    best = point.get("best")
+    if not best:
+        raise SynthesisError(
+            f"frontier point {point.get('demand_set')!r} has no "
+            "feasible configuration to replay")
+    candidate = CandidateConfig.from_dict(best["candidate"])
+    config = candidate.router_config()
+    plan = [route for route in best["plan"] if route is not None]
+    if not plan:
+        raise SynthesisError(
+            f"frontier point {point.get('demand_set')!r} carries no "
+            "admitted routes")
+    period_ns = _admissible_period_ns(config)
+    gs = tuple(
+        GsConnectionSpec(src=tuple(route["src"]), dst=tuple(route["dst"]),
+                         traffic="cbr", flits=flits, period_ns=period_ns)
+        for route in plan)
+    spec = ScenarioSpec(
+        name=f"synth-replay-{candidate.label}",
+        cols=candidate.cols, rows=candidate.rows,
+        topology=candidate.topology, gs=gs,
+        description=(f"synthesis winner {candidate.label} for "
+                     f"{point.get('demand_set')}, every admitted demand "
+                     "as a GS CBR cell"),
+        tags=("synth", "replay"))
+    planned = None
+    if candidate.topology == "mesh":
+        planned = PlannedAllocator(
+            [(tuple(route["src"]), tuple(route["dst"]), route["ports"])
+             for route in plan])
+    return spec, config, planned
+
+
+def replay_point(point: Dict[str, Any], flits: int = _REPLAY_FLITS):
+    """Run one frontier point through :class:`ScenarioRunner` and
+    return its :class:`~repro.scenarios.runner.ScenarioResult`."""
+    # Runner import stays local: synth is a design-time layer and must
+    # not drag the simulator in for search-only uses.
+    from ..scenarios.runner import ScenarioRunner
+
+    spec, config, planned = replay_scenario(point, flits=flits)
+    allocator = planned if planned is not None else "xy"
+    try:
+        runner = ScenarioRunner(spec, config=config, allocator=allocator)
+        return runner.run()
+    except AdmissionError as error:
+        raise SynthesisError(
+            f"simulator refused a connection the oracle admitted on "
+            f"{spec.name}: {error}") from error
+
+
+def validate_report(report: SynthesisReport, flits: int = _REPLAY_FLITS
+                    ) -> List[Tuple[Dict[str, Any], Any]]:
+    """Replay every feasible frontier point of a report.
+
+    Returns ``(point, ScenarioResult)`` pairs; raises
+    :class:`SynthesisError` when a replayed run fails a contract
+    verdict — the oracle called a configuration feasible that the
+    simulator disproves.
+    """
+    outcomes = []
+    for point in report.points:
+        if not point["feasible"]:
+            continue
+        result = replay_point(point, flits=flits)
+        if not result.passed:
+            raise SynthesisError(
+                f"replay of {point['demand_set']!r} failed its "
+                f"contract verdicts: {'; '.join(result.failures())}")
+        outcomes.append((point, result))
+    return outcomes

@@ -1,0 +1,105 @@
+"""Degenerate-input hardening of the analysis layer.
+
+A synthesis search feeds the area/power models machine-generated
+configurations; a silent nonsense answer (a module dropped from an
+error table, a negative power) would be minimized happily.  These
+inputs must raise a clear ``ValueError`` instead.
+"""
+
+import pytest
+
+from repro import RouterConfig
+from repro.analysis.area import (AreaModel, AreaReport, TABLE1_MODULES,
+                                 TABLE1_PAPER_MM2)
+from repro.analysis.power import EnergyModel, power_report
+from repro.core.counters import ActivityCounters
+
+
+class TestAreaReportBoundaries:
+    def test_rows_requires_every_table1_module(self):
+        partial = AreaReport({"connection_table": 0.005})
+        with pytest.raises(ValueError, match="switching_module"):
+            partial.rows()
+
+    def test_rows_lists_all_missing_modules(self):
+        report = AreaReport({name: 0.01 for name in TABLE1_MODULES
+                             if name != "be_router"})
+        with pytest.raises(ValueError, match="be_router"):
+            report.rows()
+
+    def test_full_report_rows_end_with_the_total(self):
+        report = AreaModel().report()
+        rows = report.rows()
+        assert [name for name, _ in rows[:-1]] == list(TABLE1_MODULES)
+        assert rows[-1] == ("total", report.total)
+
+    def test_relative_error_accepts_the_paper_reference(self):
+        errors = AreaModel().report().relative_error(TABLE1_PAPER_MM2)
+        assert set(errors) == set(TABLE1_MODULES) | {"total"}
+
+    @pytest.mark.parametrize("breakage", [
+        lambda ref: ref.pop("vc_buffers"),        # missing module
+        lambda ref: ref.pop("total"),             # missing total
+        lambda ref: ref.update(vc_buffers=0.0),   # zero divides
+        lambda ref: ref.update(total=-0.1),       # negative is nonsense
+        lambda ref: ref.update(be_router=None),   # wrong type
+    ])
+    def test_relative_error_rejects_broken_references(self, breakage):
+        reference = dict(TABLE1_PAPER_MM2)
+        breakage(reference)
+        with pytest.raises(ValueError, match="positive area"):
+            AreaModel().report().relative_error(reference)
+
+
+class TestAreaModelCalibration:
+    def test_missing_module_factor_is_rejected(self):
+        partial = {name: 1.0 for name in TABLE1_MODULES
+                   if name != "vc_control"}
+        with pytest.raises(ValueError, match="vc_control"):
+            AreaModel(calibration=partial)
+
+    def test_unknown_module_factor_is_rejected(self):
+        bloated = {name: 1.0 for name in TABLE1_MODULES}
+        bloated["clock_tree"] = 1.0
+        with pytest.raises(ValueError, match="clock_tree"):
+            AreaModel(calibration=bloated)
+
+    @pytest.mark.parametrize("factor", [0.0, -1.3])
+    def test_nonpositive_factors_are_rejected(self, factor):
+        degenerate = {name: 1.0 for name in TABLE1_MODULES}
+        degenerate["switching_module"] = factor
+        with pytest.raises(ValueError, match="strictly positive"):
+            AreaModel(calibration=degenerate)
+
+    def test_valid_custom_calibration_still_works(self):
+        unit = AreaModel(calibration={name: 1.0
+                                      for name in TABLE1_MODULES})
+        raw, calibrated = unit.raw_report(), unit.report()
+        for name in TABLE1_MODULES:
+            assert calibrated.modules[name] == \
+                pytest.approx(raw.modules[name])
+
+
+class TestPowerReportBoundaries:
+    AREA = AreaModel(RouterConfig()).report().total
+
+    @pytest.mark.parametrize("interval_ns", [0.0, -100.0])
+    def test_nonpositive_intervals_are_rejected(self, interval_ns):
+        with pytest.raises(ValueError, match="interval"):
+            power_report(EnergyModel(), ActivityCounters(), interval_ns,
+                         self.AREA)
+
+    def test_negative_area_is_rejected(self):
+        with pytest.raises(ValueError, match="area"):
+            power_report(EnergyModel(), ActivityCounters(), 1000.0, -1.0)
+
+    def test_negative_clock_is_rejected(self):
+        with pytest.raises(ValueError, match="clock"):
+            power_report(EnergyModel(), ActivityCounters(), 1000.0,
+                         self.AREA, clock_mhz=-515.0)
+
+    def test_idle_router_burns_only_leakage(self):
+        report = power_report(EnergyModel(), ActivityCounters(), 1000.0,
+                              self.AREA)
+        assert report.dynamic_mw == 0.0
+        assert report.total_mw == pytest.approx(report.leakage_mw)

@@ -1,0 +1,69 @@
+"""The area cost model: monotone knobs, degree scaling, the registry."""
+
+import pytest
+
+from repro.synth import (AreaCostModel, CandidateConfig, CostBreakdown,
+                         cost_model_names, get_cost_model)
+
+
+def total(candidate: CandidateConfig) -> float:
+    return get_cost_model("area").evaluate(candidate).total_mm2
+
+
+class TestAreaCostModel:
+    def test_breakdown_sums_router_and_link_terms(self):
+        cost = get_cost_model("area").evaluate(
+            CandidateConfig("mesh", 3, 3, 2))
+        assert cost.router_mm2 > 0
+        assert cost.link_mm2 > 0
+        assert cost.total_mm2 == cost.router_mm2 + cost.link_mm2
+        assert cost.leakage_mw == pytest.approx(0.15 * cost.total_mm2)
+
+    def test_to_dict_is_json_safe_and_rounded(self):
+        data = get_cost_model("area").evaluate(
+            CandidateConfig("mesh", 3, 3, 1)).to_dict()
+        assert set(data) == {"router_mm2", "link_mm2", "total_mm2",
+                             "leakage_mw"}
+        for value in data.values():
+            assert value == round(value, 6)
+
+    @pytest.mark.parametrize("base,costlier", [
+        # More VCs, wider flits, deeper pipelines, bigger arrays: each
+        # knob alone must cost silicon.
+        (CandidateConfig("mesh", 3, 3, 1), CandidateConfig("mesh", 3, 3, 2)),
+        (CandidateConfig("mesh", 3, 3, 1, 16),
+         CandidateConfig("mesh", 3, 3, 1, 32)),
+        (CandidateConfig("mesh", 3, 3, 1, 16, 1),
+         CandidateConfig("mesh", 3, 3, 1, 16, 2)),
+        (CandidateConfig("mesh", 3, 3, 1), CandidateConfig("mesh", 4, 4, 1)),
+    ])
+    def test_cost_grows_with_every_knob(self, base, costlier):
+        assert total(base) < total(costlier)
+
+    def test_degree_scaling_prices_the_ring_below_the_mesh(self):
+        # Same knobs, same node count: the bidirectional ring wires 2
+        # network ports per node where the mesh interior wires 4.
+        mesh = CandidateConfig("mesh", 4, 4, 2, 16, 1)
+        ring = CandidateConfig("ring", 4, 4, 2, 16,
+                               CandidateConfig("ring", 4, 4, 2,
+                                               16).required_stages())
+        assert total(ring) < total(mesh)
+
+    def test_evaluation_is_deterministic(self):
+        cand = CandidateConfig("ring-uni", 5, 5, 3, 32, 4)
+        assert (get_cost_model("area").evaluate(cand)
+                == get_cost_model("area").evaluate(cand))
+
+
+class TestRegistry:
+    def test_area_is_registered_and_listed_first(self):
+        assert cost_model_names()[0] == "area"
+        assert isinstance(get_cost_model("area"), AreaCostModel)
+
+    def test_instances_pass_through(self):
+        model = AreaCostModel()
+        assert get_cost_model(model) is model
+
+    def test_unknown_name_is_a_clear_key_error(self):
+        with pytest.raises(KeyError, match="unknown cost model"):
+            get_cost_model("nope")

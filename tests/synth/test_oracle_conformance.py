@@ -1,0 +1,112 @@
+"""Cross-allocator oracle conformance: the strength ordering.
+
+``ripup`` subsumes ``min-adaptive`` (its greedy step *is*
+min-adaptive, and rip-up rounds only ever admit more), and
+``min-adaptive`` explores every path ``xy``'s single deterministic
+route could take.  So on the same candidate and demand set:
+
+* infeasible under ``ripup``  ⇒  infeasible under ``min-adaptive``
+  and ``xy``;
+* feasible under ``xy``  ⇒  feasible under the adaptive strategies.
+
+A violation would mean the synthesis driver's default oracle rejects
+configurations a weaker oracle accepts — the search would not be
+conservative.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.demand import Demand, DemandSet
+from repro.synth import CandidateConfig, FeasibilityOracle
+
+STRENGTH = ("xy", "min-adaptive", "ripup")   # weakest to strongest
+
+
+@st.composite
+def synthesis_instances(draw):
+    cols = draw(st.integers(min_value=2, max_value=4))
+    rows = draw(st.integers(min_value=2, max_value=4))
+    family = draw(st.sampled_from(["mesh", "ring", "ring-uni"]))
+    vcs = draw(st.integers(min_value=1, max_value=3))
+    coords = st.tuples(st.integers(0, cols - 1), st.integers(0, rows - 1))
+    pairs = draw(st.lists(
+        st.tuples(coords, coords).filter(lambda p: p[0] != p[1]),
+        min_size=1, max_size=10))
+    dset = DemandSet(name="prop", cols=cols, rows=rows,
+                     demands=tuple(Demand(src, dst)
+                                   for src, dst in pairs))
+    probe = CandidateConfig(family, cols, rows, vcs, 16)
+    candidate = CandidateConfig(family, cols, rows, vcs, 16,
+                                probe.required_stages())
+    return candidate, dset
+
+
+class TestStrengthOrdering:
+    @settings(max_examples=60, deadline=None)
+    @given(synthesis_instances())
+    def test_ripup_admits_at_least_as_many_as_every_weaker_strategy(
+            self, instance):
+        # Note min-adaptive alone is NOT ordered against xy: its
+        # tie-break can pick a minimal path xy's fixed route avoids.
+        # ripup subsumes both (greedy rounds + deterministic-route
+        # fallback trial), so it upper-bounds each of them.
+        candidate, dset = instance
+        admitted = {name: FeasibilityOracle(name).check(candidate,
+                                                        dset).admitted
+                    for name in STRENGTH}
+        assert admitted["ripup"] >= max(admitted["xy"],
+                                        admitted["min-adaptive"]), (
+            f"strength ordering violated on {candidate.label}: {admitted}")
+
+    @settings(max_examples=60, deadline=None)
+    @given(synthesis_instances())
+    def test_ripup_infeasible_implies_all_weaker_infeasible(self, instance):
+        candidate, dset = instance
+        if FeasibilityOracle("ripup").check(candidate, dset).feasible:
+            return
+        for weaker in ("xy", "min-adaptive"):
+            verdict = FeasibilityOracle(weaker).check(candidate, dset)
+            assert not verdict.feasible, (
+                f"{weaker} admits {candidate.label} where ripup "
+                "rejects it")
+
+    def test_structural_rejections_agree_across_allocators(self):
+        # Coverage and timing rejections are allocator-independent.
+        small = CandidateConfig("mesh", 2, 2, 1, 16, 1)
+        shallow = CandidateConfig("ring", 8, 8, 1, 16, 1)
+        big = DemandSet(name="big", cols=3, rows=3,
+                        demands=(Demand((0, 0), (2, 2)),))
+        ok = DemandSet(name="ok", cols=8, rows=8,
+                       demands=(Demand((0, 0), (7, 7)),))
+        for name in STRENGTH:
+            oracle = FeasibilityOracle(name)
+            coverage = oracle.check(small, big)
+            assert not coverage.feasible and "cover" in coverage.reason
+            timing = oracle.check(shallow, ok)
+            assert not timing.feasible
+            assert "pipeline" in timing.reason
+
+
+class TestVerdictShape:
+    def test_feasible_verdict_plan_covers_every_demand(self):
+        dset = DemandSet(name="pair", cols=3, rows=3,
+                         demands=(Demand((0, 0), (2, 0)),
+                                  Demand((0, 1), (2, 1))))
+        candidate = CandidateConfig("mesh", 3, 3, 1, 16, 1)
+        verdict = FeasibilityOracle("ripup").check(candidate, dset)
+        assert verdict.feasible
+        assert verdict.admitted == verdict.total == 2
+        assert verdict.reason == ""
+        for route, demand in zip(verdict.plan, dset.demands):
+            assert route["src"] == list(demand.src)
+            assert route["dst"] == list(demand.dst)
+            assert len(route["ports"]) >= 1
+
+    def test_verdict_round_trips_to_json_safe_dict(self):
+        dset = DemandSet(name="one", cols=2, rows=2,
+                         demands=(Demand((0, 0), (1, 1)),))
+        candidate = CandidateConfig("mesh", 2, 2, 1, 16, 1)
+        data = FeasibilityOracle("xy").check(candidate, dset).to_dict()
+        import json
+        assert json.loads(json.dumps(data)) == data

@@ -1,0 +1,95 @@
+"""The candidate space: validation, canonical ordering, derived depth."""
+
+import pytest
+
+from repro.synth import CandidateConfig, DEFAULT_FAMILIES, DesignSpace
+
+
+class TestCandidateConfig:
+    def test_label_reads_every_knob(self):
+        cand = CandidateConfig("mesh", 4, 3, 2, 16, 1)
+        assert cand.label == "mesh-4x3-v2-w16-s1"
+
+    def test_round_trips_through_dict(self):
+        cand = CandidateConfig("ring", 8, 8, 5, 32, 7)
+        assert CandidateConfig.from_dict(cand.to_dict()) == cand
+
+    def test_ordering_is_the_field_order(self):
+        # family, size, VCs, width, stages — the driver's tie-break.
+        assert (CandidateConfig("mesh", 3, 3, 1)
+                < CandidateConfig("ring", 3, 3, 1))
+        assert (CandidateConfig("mesh", 3, 3, 1)
+                < CandidateConfig("mesh", 3, 3, 2))
+        assert (CandidateConfig("mesh", 3, 3, 1, 16)
+                < CandidateConfig("mesh", 3, 3, 1, 32))
+
+    def test_router_config_rejects_out_of_range_knobs(self):
+        with pytest.raises(ValueError):
+            CandidateConfig("mesh", 3, 3, 9).router_config()
+        with pytest.raises(ValueError):
+            CandidateConfig("mesh", 3, 3, 1, flit_width=4).router_config()
+
+    def test_mesh_links_need_one_stage(self):
+        assert CandidateConfig("mesh", 8, 8, 1).required_stages() == 1
+
+    def test_ring_wrap_links_need_deep_pipelines(self):
+        # The 8x8 ring's longest wrap link spans several tile pitches;
+        # full port speed needs a multi-stage pipeline.
+        assert CandidateConfig("ring", 8, 8, 1).required_stages() > 1
+
+    def test_build_instantiates_the_named_fabric(self):
+        topo = CandidateConfig("ring-uni", 3, 3, 1).build()
+        assert topo.name == "ring-uni"
+        assert len(list(topo.tiles())) == 9
+
+
+class TestDesignSpace:
+    def test_default_families(self):
+        assert DesignSpace().families == DEFAULT_FAMILIES
+
+    def test_axes_are_sorted_and_deduped(self):
+        space = DesignSpace(vcs=(4, 1, 4, 2), widths=(32, 16, 32))
+        assert space.vcs == (1, 2, 4)
+        assert space.widths == (16, 32)
+        assert space.max_vcs == 4
+        assert space.max_width == 32
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(families=()),
+        dict(families=("mesh", "nope")),
+        dict(families=("mesh", "mesh")),
+        dict(vcs=()),
+        dict(vcs=(0, 1)),
+        dict(vcs=(1, 9)),
+        dict(widths=()),
+        dict(widths=(4,)),
+        dict(size_span=-1),
+    ])
+    def test_rejects_malformed_spaces(self, kwargs):
+        with pytest.raises(ValueError):
+            DesignSpace(**kwargs)
+
+    def test_sizes_grow_uniformly_from_the_demand_array(self):
+        assert DesignSpace(size_span=2).sizes(3, 4) == \
+            ((3, 4), (4, 5), (5, 6))
+
+    def test_round_trips_through_dict(self):
+        space = DesignSpace(families=("mesh",), vcs=(1, 2), widths=(16,),
+                            size_span=1)
+        assert DesignSpace.from_dict(space.to_dict()) == space
+
+    def test_candidates_walk_family_size_vc_width_order(self):
+        space = DesignSpace(families=("mesh", "ring-uni"), vcs=(1, 2),
+                            widths=(16, 32), size_span=1)
+        walked = list(space.candidates(3, 3))
+        keys = [(c.topology, c.cols, c.vcs_per_port, c.flit_width)
+                for c in walked]
+        assert keys == sorted(keys, key=lambda k: (
+            ("mesh", "ring-uni").index(k[0]), k[1], k[2], k[3]))
+        assert len(walked) == 2 * 2 * 2 * 2
+
+    def test_candidates_carry_their_derived_pipeline_depth(self):
+        space = DesignSpace(families=("ring",), vcs=(1,), widths=(16,),
+                            size_span=0)
+        (cand,) = space.candidates(8, 8)
+        assert cand.link_stages == cand.required_stages()

@@ -1,0 +1,121 @@
+"""E2E: every frontier point replays through the real simulator.
+
+The oracle claims "feasible"; the simulator decides.  Each winning
+configuration becomes a scenario driving all admitted demands as GS
+CBR cells, and every per-connection contract verdict must PASS — on
+mesh winners via the exact batch-planned routes
+(:class:`PlannedAllocator`), on fabric winners via the backend's own
+admission.
+"""
+
+import pytest
+
+from repro import AdmissionError, Coord, RouterConfig
+from repro.alloc import PlannedAllocator, ResidualCapacity, get_demand_set
+from repro.synth import (SynthesisError, frontier_report, replay_point,
+                         replay_scenario, run_report, validate_report)
+
+
+@pytest.fixture(scope="module")
+def column_frontier():
+    return frontier_report(get_demand_set("column-saturated-8x8"),
+                           allocator="ripup")
+
+
+class TestFrontierReplay:
+    def test_every_frontier_point_passes_its_contract_verdicts(
+            self, column_frontier):
+        outcomes = validate_report(column_frontier)
+        assert len(outcomes) == len(column_frontier.points)
+        for point, result in outcomes:
+            assert result.passed
+            assert len(result.gs) == point["n_demands"]
+            assert all(verdict.ok for verdict in result.gs)
+
+    def test_replay_covers_both_mesh_and_fabric_winners(
+            self, column_frontier):
+        topologies = {point["best"]["candidate"]["topology"]
+                      for point in column_frontier.points}
+        # The frontier's payoff structure: small prefixes fit the
+        # cheap ring, the full set needs the mesh — so this suite
+        # exercises both replay paths (planned routes + fabric
+        # admission).
+        assert len(topologies) > 1
+
+    def test_mesh_winners_replay_the_exact_oracle_plan(
+            self, column_frontier):
+        mesh_points = [point for point in column_frontier.points
+                       if point["best"]["candidate"]["topology"] == "mesh"]
+        assert mesh_points
+        spec, config, planned = replay_scenario(mesh_points[0])
+        assert planned is not None
+        assert planned.remaining == mesh_points[0]["n_demands"]
+        assert len(spec.gs) == mesh_points[0]["n_demands"]
+        result = replay_point(mesh_points[0])
+        assert result.allocator == "planned"
+        assert result.passed
+
+    def test_greedy_trap_winner_replays_clean(self):
+        report = run_report(get_demand_set("greedy-trap-3x3"),
+                            allocator="ripup")
+        ((point, result),) = validate_report(report)
+        assert result.passed
+        assert len(result.gs) == 5
+
+    def test_infeasible_points_cannot_be_replayed(self):
+        with pytest.raises(SynthesisError, match="no feasible"):
+            replay_scenario({"demand_set": "x", "feasible": False,
+                             "best": None})
+
+
+class TestPlannedAllocator:
+    CONFIG = RouterConfig(vcs_per_port=2)
+
+    def fresh(self):
+        return ResidualCapacity.fresh(3, 3, self.CONFIG)
+
+    def test_replays_routes_in_plan_order(self):
+        plan = PlannedAllocator([
+            ((0, 0), (2, 0), ("EAST", "EAST")),
+            ((0, 1), (0, 0), ("NORTH",)),
+        ])
+        capacity = self.fresh()
+        _, _, hops = plan.allocate(capacity, Coord(0, 0), Coord(2, 0))
+        assert [hop.out_dir.name for hop in hops] == ["EAST", "EAST"]
+        assert plan.remaining == 1
+        plan.allocate(capacity, Coord(0, 1), Coord(0, 0))
+        assert plan.remaining == 0
+
+    def test_out_of_order_requests_are_refused(self):
+        plan = PlannedAllocator([((0, 0), (2, 0), ("EAST", "EAST"))])
+        with pytest.raises(AdmissionError, match="order mismatch"):
+            plan.allocate(self.fresh(), Coord(0, 1), Coord(0, 0))
+
+    def test_exhausted_plan_is_refused(self):
+        plan = PlannedAllocator([((0, 0), (1, 0), ("EAST",))])
+        capacity = self.fresh()
+        plan.allocate(capacity, Coord(0, 0), Coord(1, 0))
+        with pytest.raises(AdmissionError, match="exhausted"):
+            plan.allocate(capacity, Coord(0, 0), Coord(1, 0))
+
+    def test_routes_leaving_the_adjacency_are_refused(self):
+        plan = PlannedAllocator([((0, 0), (1, 0), ("WEST",))])
+        with pytest.raises(AdmissionError, match="adjacency"):
+            plan.allocate(self.fresh(), Coord(0, 0), Coord(1, 0))
+
+    def test_routes_ending_at_the_wrong_node_are_refused(self):
+        plan = PlannedAllocator([((0, 0), (2, 0), ("EAST",))])
+        with pytest.raises(AdmissionError, match="ends at"):
+            plan.allocate(self.fresh(), Coord(0, 0), Coord(2, 0))
+
+    def test_empty_plans_are_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PlannedAllocator([])
+
+    def test_reservations_land_on_the_planned_links(self):
+        plan = PlannedAllocator([((0, 0), (2, 0), ("EAST", "EAST"))])
+        capacity = self.fresh()
+        plan.allocate(capacity, Coord(0, 0), Coord(2, 0))
+        from repro.network.topology import Direction
+        assert capacity.used_vcs(Coord(0, 0), Direction.EAST) == 1
+        assert capacity.used_vcs(Coord(1, 0), Direction.EAST) == 1

@@ -581,3 +581,87 @@ class TestTopologyCli:
         out = capsys.readouterr().out
         assert "no golden" in out
         assert "1/1 scenarios passed" in out
+
+
+class TestSynthCli:
+    def test_run_greedy_trap_mesh_family(self, capsys):
+        assert main(["synth", "run", "--demand-set", "greedy-trap-3x3",
+                     "--families", "mesh", "--budget", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "synth run: greedy-trap-3x3 via ripup" in out
+        assert "winner: mesh-3x3-v1-w16-s1" in out
+
+    def test_run_payoff_gate_passes_on_the_column_set(self, capsys):
+        assert main(["synth", "run",
+                     "--demand-set", "column-saturated-8x8",
+                     "--allocator", "ripup",
+                     "--require-cheaper-than-xy"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: ripup winner" in out
+        assert "strictly cheaper than xy winner" in out
+
+    def test_frontier_writes_a_round_trippable_report(self, capsys,
+                                                      tmp_path):
+        out_path = tmp_path / "frontier.json"
+        assert main(["synth", "frontier",
+                     "--demand-set", "column-saturated-8x8",
+                     "--points", "2", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "synth frontier: column-saturated-8x8" in out
+        from repro.synth import SynthesisReport
+        report = SynthesisReport.from_json(out_path.read_text())
+        assert len(report.points) == 2
+        assert report.points[-1]["feasible"]
+
+    def test_run_accepts_a_demand_file(self, capsys, tmp_path):
+        from repro.alloc import get_demand_set
+        path = tmp_path / "set.json"
+        path.write_text(get_demand_set("greedy-trap-3x3").to_json())
+        assert main(["synth", "run", "--demands", str(path),
+                     "--families", "mesh", "--budget", "16"]) == 0
+        assert "winner:" in capsys.readouterr().out
+
+    def test_infeasible_search_exits_one(self, capsys, tmp_path):
+        from repro.alloc.demand import Demand, DemandSet
+        path = tmp_path / "hard.json"
+        hard = DemandSet(
+            name="over-subscribed", cols=2, rows=1,
+            demands=(Demand((0, 0), (1, 0)),) * 9)
+        path.write_text(hard.to_json())
+        assert main(["synth", "run", "--demands", str(path),
+                     "--families", "mesh", "--budget", "8"]) == 1
+        assert "FAIL: no feasible configuration" in \
+            capsys.readouterr().out
+
+    def test_unknown_demand_set_exits_two(self, capsys):
+        assert main(["synth", "run", "--demand-set", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_unknown_family_exits_two(self, capsys):
+        assert main(["synth", "run", "--families", "torus"]) == 2
+        assert "unknown topology families" in capsys.readouterr().err
+
+
+class TestSynthFlagScoping:
+    def test_points_refused_for_run(self, capsys):
+        assert main(["synth", "run", "--points", "3"]) == 2
+        assert "--points only applies" in capsys.readouterr().err
+
+    def test_payoff_gate_refused_for_frontier(self, capsys):
+        assert main(["synth", "frontier",
+                     "--require-cheaper-than-xy"]) == 2
+        assert "only applies to 'run'" in capsys.readouterr().err
+
+    def test_payoff_gate_refused_under_xy(self, capsys):
+        assert main(["synth", "run", "--allocator", "xy",
+                     "--require-cheaper-than-xy"]) == 2
+        assert "compares against xy" in capsys.readouterr().err
+
+    def test_named_set_and_file_are_mutually_exclusive(self, capsys):
+        assert main(["synth", "run", "--demand-set", "greedy-trap-3x3",
+                     "--demands", "x.json"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_nonpositive_budget_exits_two(self, capsys):
+        assert main(["synth", "run", "--budget", "0"]) == 2
+        assert "budget" in capsys.readouterr().err
