@@ -9,8 +9,14 @@ Commands:
   scenario, or drive the whole conformance ``matrix`` (``--jobs N``
   shards it over worker processes)
 * ``bench``      — the persisted perf trajectory: ``record`` a
-  machine-readable ``BENCH_*.json`` from a fleet run, or ``compare``
-  a run against a recorded baseline (the CI regression gate)
+  machine-readable ``BENCH_*.json`` from a fleet run, ``compare``
+  a run against a recorded baseline (the CI regression gate), or
+  ``report`` the markdown trend table over a series of BENCH files
+* ``trace``      — flit-timeline observability: ``run`` a scenario with
+  tracing enabled and export a Chrome trace-event JSON (or print the
+  text timeline), or ``validate`` an exported file against the schema
+* ``profile``    — run a scenario under the kernel callback-site
+  profiler and print the per-site wall-clock attribution table
 * ``alloc``      — connection allocation: print a named adversarial
   ``demand-set`` as JSON, or ``report`` the acceptance-rate comparison
   of the registered strategies on a demand set
@@ -115,6 +121,20 @@ def cmd_scenario(args) -> int:
     if args.jobs < 1:
         print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
         return 2
+    if args.action == "list" and args.metrics:
+        print("--metrics only applies to 'run' and 'matrix'",
+              file=sys.stderr)
+        return 2
+    if args.metrics_sample_ns is not None and not args.metrics:
+        print("--metrics-sample-ns needs --metrics", file=sys.stderr)
+        return 2
+    if args.metrics_sample_ns is not None and args.metrics_sample_ns <= 0:
+        print("--metrics-sample-ns must be positive", file=sys.stderr)
+        return 2
+    if args.metrics_sample_ns is not None and args.action == "matrix":
+        print("--metrics-sample-ns only applies to 'run' (matrix cells "
+              "snapshot at run end)", file=sys.stderr)
+        return 2
 
     if args.action == "list":
         table = Table(["scenario", "mesh", "GS", "pattern", "tags"],
@@ -136,8 +156,13 @@ def cmd_scenario(args) -> int:
             spec = dataclasses.replace(spec, topology=args.topology)
         if smoke:
             spec = spec.smoke()
+        obs = None
+        if args.metrics:
+            from .obs import ObsConfig
+            obs = ObsConfig(metrics=True,
+                            metrics_sample_ns=args.metrics_sample_ns)
         runner = ScenarioRunner(spec, backend=backend,
-                                allocator=args.allocator)
+                                allocator=args.allocator, obs=obs)
         return runner.run(mode=args.mode)
 
     def resolve(requested):
@@ -197,10 +222,25 @@ def cmd_scenario(args) -> int:
             table.add_row(f"failure ({result.failure_kind})",
                           "detected" if result.failure_detected
                           else "NOT DETECTED")
+        if result.metrics is not None:
+            snap = result.metrics
+            table.add_row("metrics",
+                          f"{len(snap['counters'])} counters, "
+                          f"{len(snap['gauges'])} gauges, "
+                          f"{snap['samples']} sample(s)")
         table.add_row("verdict", "PASS" if result.passed else "FAIL")
         print(table.render())
         for problem in result.failures():
             print(f"  !! {problem}")
+        if result.metrics is not None:
+            top = sorted(result.metrics["counters"].items(),
+                         key=lambda item: (-item[1], item[0]))[:10]
+            metrics_table = Table(["counter", "value"],
+                                  title="Top metrics counters "
+                                        "(full set via to_dict)")
+            for key, value in top:
+                metrics_table.add_row(key, value)
+            print(metrics_table.render())
         return 0 if result.passed else 1
 
     # matrix
@@ -264,7 +304,7 @@ def cmd_scenario(args) -> int:
     from .scenarios.fleet import FleetCell, run_fleet
     cells = [FleetCell(name=name, backend=args.backend,
                        allocator=args.allocator, topology=args.topology,
-                       smoke=smoke, mode=args.mode)
+                       smoke=smoke, mode=args.mode, metrics=args.metrics)
              for name in selected]
     outcomes = run_fleet(cells, jobs=args.jobs, cache_dir=args.cache_dir)
     table = Table(["scenario", "mesh", "BE recv/sent", "GS ok",
@@ -357,12 +397,12 @@ def cmd_bench(args) -> int:
     import time
 
     from .bench import (DEFAULT_TOLERANCE, bench_payload, compare_benches,
-                        load_bench, write_bench)
+                        load_bench, trajectory_report, write_bench)
     from .scenarios import registry
     from .scenarios.fleet import FleetCell, run_fleet
 
     # Flags scoped to the other action are refused, not ignored.
-    if args.action == "record":
+    if args.action in ("record", "report"):
         for flag, value in (("--against", args.against),
                             ("--current", args.current),
                             ("--tolerance", args.tolerance)):
@@ -370,7 +410,47 @@ def cmd_bench(args) -> int:
                 print(f"{flag} only applies to 'compare'", file=sys.stderr)
                 return 2
     if args.action == "compare" and args.out is not None:
-        print("--out only applies to 'record'", file=sys.stderr)
+        print("--out only applies to 'record' and 'report'",
+              file=sys.stderr)
+        return 2
+    if args.action != "report" and args.files:
+        print("BENCH files are 'report' arguments (record/compare take "
+              "--out/--against)", file=sys.stderr)
+        return 2
+    if args.action == "report":
+        for flag, value in (("--names", args.names),
+                            ("--backend", args.backend)):
+            if value is not None:
+                print(f"{flag} only applies to 'record'/'compare'",
+                      file=sys.stderr)
+                return 2
+        if args.metrics or args.smoke or args.jobs != 1 \
+                or args.allocator != "xy":
+            print("report reads recorded files; run flags "
+                  "(--metrics/--smoke/--jobs/--allocator) do not apply",
+                  file=sys.stderr)
+            return 2
+        if not args.files:
+            print("report needs at least one recorded BENCH_*.json",
+                  file=sys.stderr)
+            return 2
+        try:
+            text = trajectory_report(args.files)
+        except (OSError, ValueError) as error:
+            print(f"cannot build trajectory report: {error}",
+                  file=sys.stderr)
+            return 2
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote trajectory report ({len(args.files)} points) "
+                  f"to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    if args.action == "compare" and args.metrics:
+        print("--metrics only applies to 'record' (compare inherits the "
+              "baseline's axes)", file=sys.stderr)
         return 2
     if args.jobs < 1:
         print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
@@ -390,7 +470,8 @@ def cmd_bench(args) -> int:
                 raise SystemExit(2)
             selected = names
         cells = [FleetCell(name=name, backend=args.backend,
-                           allocator=args.allocator, smoke=args.smoke)
+                           allocator=args.allocator, smoke=args.smoke,
+                           metrics=args.metrics)
                  for name in selected]
         start = time.perf_counter()
         outcomes = run_fleet(cells, jobs=args.jobs)
@@ -398,7 +479,12 @@ def cmd_bench(args) -> int:
         run_info = {"smoke": args.smoke, "mode": "event",
                     "jobs": args.jobs, "backend": args.backend or "auto",
                     "allocator": args.allocator,
-                    "names": args.names or "all"}
+                    "names": args.names or "all",
+                    # Part of the header so `compare` can warn when two
+                    # records were taken at different observability
+                    # settings (overhead skews events/sec).
+                    "observability": ("metrics" if args.metrics
+                                      else "off")}
         return bench_payload(outcomes, run_info, fleet_wall_s=wall)
 
     if args.action == "record":
@@ -453,6 +539,129 @@ def cmd_bench(args) -> int:
         return 1
     print(f"no regressions vs {args.against} (tolerance {tolerance:.0%})")
     return 0
+
+
+def _resolve_cell(args):
+    """Resolve a trace/profile scenario argument to a (smoked) spec, or
+    ``None`` (after printing why) when the name is unknown."""
+    from .scenarios import get, registry
+
+    if args.name not in registry.SCENARIOS:
+        print(f"unknown scenario {args.name!r} (see: scenario list)",
+              file=sys.stderr)
+        return None
+    spec = get(args.name)
+    if not args.full:
+        # Observability runs default to smoke durations: a full soak
+        # cell emits tens of millions of records; opt in with --full.
+        spec = spec.smoke()
+    return spec
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    from .obs import (ChromeTraceSink, ObsConfig, parse_filters,
+                      render_timeline, validate_chrome_trace)
+    from .scenarios import ScenarioRunner
+    from .sim.tracing import Tracer
+
+    if args.action == "validate":
+        for flag, value in (("--out", args.out),
+                            ("--filter", args.filter or None),
+                            ("--limit", args.limit),
+                            ("--max-records", args.max_records),
+                            ("--backend", args.backend)):
+            if value is not None:
+                print(f"{flag} only applies to 'run'", file=sys.stderr)
+                return 2
+        if args.full:
+            print("--full only applies to 'run'", file=sys.stderr)
+            return 2
+        try:
+            with open(args.name) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot load trace {args.name}: {error}",
+                  file=sys.stderr)
+            return 2
+        problems = validate_chrome_trace(payload)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            return 1
+        events = payload["traceEvents"]
+        spans = sum(1 for event in events if event.get("ph") == "X")
+        print(f"OK: {args.name} is a loadable Chrome trace "
+              f"({len(events)} events, {spans} spans)")
+        return 0
+
+    # run
+    try:
+        filters = parse_filters(args.filter or [])
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    spec = _resolve_cell(args)
+    if spec is None:
+        return 2
+    sources = filters.get("source")
+    kinds = filters.get("kind")
+    sink = None
+    if args.out:
+        # The sink sees every record at emit time, so the export is
+        # complete even when the ring buffer sheds old records.
+        sink = ChromeTraceSink(sources=sources, kinds=kinds)
+    max_records = (args.max_records if args.max_records is not None
+                   else 65_536)
+    tracer = Tracer(enabled=True, max_records=max_records, sink=sink)
+    runner = ScenarioRunner(spec, backend=args.backend,
+                            obs=ObsConfig(tracer=tracer))
+    result = runner.run()
+    if args.out:
+        sink.save(args.out)
+        dropped = f" ({sink.dropped} dropped at the sink cap)" \
+            if sink.dropped else ""
+        print(f"wrote {len(sink)} trace events to {args.out}"
+              f"{dropped} — load in chrome://tracing or "
+              "https://ui.perfetto.dev")
+    else:
+        print(render_timeline(tracer, limit=args.limit or 40,
+                              sources=sources, kinds=kinds))
+    print(f"scenario {result.name}: {result.events} kernel events, "
+          f"fingerprint {result.fingerprint}, "
+          f"{'PASS' if result.passed else 'FAIL'}")
+    return 0 if result.passed else 1
+
+
+def cmd_profile(args) -> int:
+    from .obs import CallSiteProfiler, ObsConfig
+    from .scenarios import ScenarioRunner
+
+    if args.top < 1:
+        print(f"--top must be >= 1 (got {args.top})", file=sys.stderr)
+        return 2
+    spec = _resolve_cell(args)
+    if spec is None:
+        return 2
+    profiler = CallSiteProfiler()
+    runner = ScenarioRunner(spec, backend=args.backend,
+                            obs=ObsConfig(profile=profiler))
+    runner.build()
+    # Attribute the run phase only: construction-time dispatches (table
+    # programming, process starts) are not what the hot path is.
+    profiler.reset()
+    result = runner.run()
+    print(f"profile {result.name} ({'full' if args.full else 'smoke'}, "
+          f"backend {result.backend}): {result.events} kernel events "
+          f"in {result.wall_s:.3f}s wall")
+    print()
+    print(profiler.table(top=args.top, wall_s=result.wall_s))
+    attributed = profiler.total_seconds
+    if result.wall_s > 0:
+        print(f"\n{attributed / result.wall_s:.1%} of run-phase wall "
+              "time attributed")
+    return 0 if result.passed else 1
 
 
 def cmd_alloc(args) -> int:
@@ -761,11 +970,23 @@ def main(argv=None) -> int:
                                "keyed on spec+backend+allocator+"
                                "topology+code fingerprint (see "
                                "docs/benchmarks.md)")
+    scenario.add_argument("--metrics", action="store_true",
+                          help="register the observability probe set "
+                               "and report counters/gauges ('run' and "
+                               "'matrix'; fingerprints are unchanged; "
+                               "see docs/observability.md)")
+    scenario.add_argument("--metrics-sample-ns", type=float, default=None,
+                          help="additionally snapshot gauges on this "
+                               "simulated-time cadence ('run' with "
+                               "--metrics only)")
 
     bench = sub.add_parser(
-        "bench", help="perf trajectory: record/compare BENCH_*.json "
-                      "(see docs/benchmarks.md)")
-    bench.add_argument("action", choices=("record", "compare"))
+        "bench", help="perf trajectory: record/compare/report "
+                      "BENCH_*.json (see docs/benchmarks.md)")
+    bench.add_argument("action", choices=("record", "compare", "report"))
+    bench.add_argument("files", nargs="*",
+                       help="recorded BENCH_*.json files ('report' "
+                            "only)")
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized durations (capped slots/flits)")
     bench.add_argument("--jobs", type=int, default=1,
@@ -792,6 +1013,54 @@ def main(argv=None) -> int:
                        help="allowed fractional per-cell throughput "
                             "drop before 'compare' flags a regression "
                             "(default 0.3)")
+    bench.add_argument("--metrics", action="store_true",
+                       help="record with the metrics probe set enabled "
+                            "('record' only; the BENCH header notes the "
+                            "observability mode so 'compare' can warn "
+                            "on mismatched settings)")
+
+    trace = sub.add_parser(
+        "trace", help="per-flit timeline traces: text view or Chrome/"
+                      "Perfetto export (see docs/observability.md)")
+    trace.add_argument("action", choices=("run", "validate"))
+    trace.add_argument("name",
+                       help="scenario name ('run') or exported trace "
+                            "file to schema-check ('validate')")
+    trace.add_argument("--out", default=None,
+                       help="write Chrome trace-event JSON here "
+                            "instead of printing the text timeline")
+    trace.add_argument("--filter", action="append", default=None,
+                       metavar="FIELD=VALUE",
+                       help="restrict records: source=NAME or "
+                            "kind=KIND; repeatable (same field ORs, "
+                            "different fields AND)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="text-timeline rows to show (default 40)")
+    trace.add_argument("--max-records", type=int, default=None,
+                       help="tracer ring-buffer capacity (default "
+                            "65536; the --out export streams past the "
+                            "ring and is unaffected)")
+    trace.add_argument("--full", action="store_true",
+                       help="trace the full-length scenario instead of "
+                            "the smoke-sized cut")
+    trace.add_argument("--backend", choices=backend_names(),
+                       default=None,
+                       help="router architecture to trace on (default: "
+                            "the topology's own backend)")
+
+    profile = sub.add_parser(
+        "profile", help="kernel hot-path profile: wall time per "
+                        "callback site (see docs/observability.md)")
+    profile.add_argument("name", help="scenario name to profile")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the hot-site table (default 15)")
+    profile.add_argument("--full", action="store_true",
+                         help="profile the full-length scenario "
+                              "instead of the smoke-sized cut")
+    profile.add_argument("--backend", choices=backend_names(),
+                         default=None,
+                         help="router architecture to profile (default: "
+                              "the topology's own backend)")
 
     alloc = sub.add_parser(
         "alloc", help="connection allocation: demand sets + "
@@ -860,7 +1129,8 @@ def main(argv=None) -> int:
                      "(see: scenario list)")
     handlers = {"report": cmd_report, "contract": cmd_contract,
                 "simulate": cmd_simulate, "scenario": cmd_scenario,
-                "bench": cmd_bench, "alloc": cmd_alloc,
+                "bench": cmd_bench, "trace": cmd_trace,
+                "profile": cmd_profile, "alloc": cmd_alloc,
                 "synth": cmd_synth}
     return handlers[args.command](args)
 

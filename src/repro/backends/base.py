@@ -105,12 +105,17 @@ class RouterBackend(ABC):
     supports_alternate_allocators: bool = False
 
     @abstractmethod
-    def build_network(self, spec, config: Optional[RouterConfig] = None):
+    def build_network(self, spec, config: Optional[RouterConfig] = None,
+                      obs=None):
         """Construct an idle network for ``spec``'s mesh (untimed).
 
         ``spec`` is a :class:`~repro.scenarios.spec.ScenarioSpec`; only
         its geometry (and, for clocked backends, timing-derived slot
         parameters) matter here — traffic is attached by the runner.
+        ``obs`` is an optional :class:`repro.obs.ObsConfig`: backends
+        attach its tracer to their emit points and hand its profiler to
+        the kernel; ``None`` (the default) keeps every hot path on the
+        untouched no-observability branch.
         """
 
     @abstractmethod

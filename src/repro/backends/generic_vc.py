@@ -41,7 +41,7 @@ from ..core.config import RouterConfig
 from ..network.packet import BePacket
 from ..network.topology import Coord, Direction
 from .base import RouterBackend
-from .graphnet import BaseMeshNetwork, MeshAdapter, MeshConnection
+from .graphnet import BaseMeshNetwork, MeshAdapter, MeshConnection, _trace_tag
 
 __all__ = ["MeshRoutedFlit", "GenericVcNetwork", "GenericVcBackend"]
 
@@ -106,6 +106,8 @@ class GenericVcNetwork(BaseMeshNetwork):
         neighbor = coord.step(direction)
         router = self.routers[neighbor]
         in_port = int(direction.opposite)
+        label = f"L{coord.x}.{coord.y}.{direction.name}"
+        cycle_ns = self.cycle_ns
 
         def forward(flit: MeshRoutedFlit, _now: float) -> None:
             if flit.kind == "gs":
@@ -115,6 +117,11 @@ class GenericVcNetwork(BaseMeshNetwork):
                 # flits it serializes, so flit-hop totals stay
                 # comparable with the flit-granular backends.
                 counters.be_flits += flit.service_flits
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(_now, label, "hop", flit=_trace_tag(flit),
+                            cls=flit.kind,
+                            dur_ns=cycle_ns * flit.service_flits)
             self._steer(neighbor, flit)
             if not router.try_inject(in_port, flit):  # pragma: no cover
                 raise RuntimeError("unbounded input FIFO refused a flit")
@@ -125,8 +132,13 @@ class GenericVcNetwork(BaseMeshNetwork):
         """Sink for a LOCAL output: terminate GS flits at their
         connection sink, assemble BE packets on their tail flit."""
         adapter = self.adapters[coord]
+        label = f"NA{coord.x}.{coord.y}"
 
         def deliver(flit: MeshRoutedFlit, now: float) -> None:
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(now, label, "eject", flit=_trace_tag(flit),
+                            cls=flit.kind)
             if flit.kind == "gs":
                 conn = self.connection_manager.connections[
                     flit.connection_id]
@@ -145,6 +157,11 @@ class GenericVcNetwork(BaseMeshNetwork):
                               payload=payload, dst=conn.dst, kind="gs",
                               connection_id=conn.connection_id, last=last)
         self._steer(conn.src, flit)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, f"NA{conn.src.x}.{conn.src.y}",
+                        "inject", flit=_trace_tag(flit), cls="gs",
+                        dur_ns=self.cycle_ns)
         self.adapters[conn.src].local_link.gs_flits += 1
         router = self.routers[conn.src]
         if not router.try_inject(int(Direction.LOCAL),
@@ -164,6 +181,12 @@ class GenericVcNetwork(BaseMeshNetwork):
                               is_tail=True, packet=packet,
                               inject_time=packet.inject_time)
         self._steer(adapter.coord, unit)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now,
+                        f"NA{adapter.coord.x}.{adapter.coord.y}",
+                        "inject", flit=_trace_tag(unit), cls="be",
+                        dur_ns=self.cycle_ns * packet.n_flits)
         yield from router.inject(int(Direction.LOCAL), unit)
         yield self.sim.timeout(self.cycle_ns * packet.n_flits)
 
@@ -179,9 +202,11 @@ class GenericVcBackend(RouterBackend):
     has_hard_guarantees = False
     supports_failure_injection = False
 
-    def build_network(self, spec, config: Optional[RouterConfig] = None
-                      ) -> GenericVcNetwork:
-        return GenericVcNetwork(spec.cols, spec.rows, config=config)
+    def build_network(self, spec, config: Optional[RouterConfig] = None,
+                      obs=None) -> GenericVcNetwork:
+        net = GenericVcNetwork(spec.cols, spec.rows, config=config)
+        net.attach_observability(obs)
+        return net
 
     def open_connection(self, network: GenericVcNetwork, src: Coord,
                         dst: Coord) -> MeshConnection:

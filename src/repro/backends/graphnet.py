@@ -42,6 +42,7 @@ from ..network.packet import BePacket
 from ..network.topology import Coord, Mesh, Topology
 from ..sim.kernel import Simulator
 from ..sim.resources import Store
+from ..sim.tracing import NULL_TRACER
 
 __all__ = [
     "LinkCounters",
@@ -60,6 +61,16 @@ __all__ = [
 
 #: Tolerance when mapping continuous time onto cycle boundaries.
 _EPS = 1e-9
+
+
+def _trace_tag(flit) -> str:
+    """Run-relative flit label for trace records (never the process-global
+    flit/packet counters, so repeated runs export identical bytes)."""
+    if flit.kind == "gs":
+        return f"c{flit.connection_id}.{flit.payload}"
+    packet = flit.packet
+    pid = packet.packet_id if packet is not None else -1
+    return f"p{pid}.{flit.payload}"
 
 
 class LinkCounters:
@@ -199,6 +210,9 @@ class BaseGraphNetwork:
         #: geometry off ``net.mesh``; every fabric provides it.
         self.mesh = topology
         self.sim = Simulator()
+        #: Trace emit point shared by every transport; links read it per
+        #: emit, so an ObsConfig can attach after construction.
+        self.tracer = NULL_TRACER
         self.route_fn = route_fn or topology.route_ports
         self.links: Dict[Tuple[Coord, object], LinkCounters] = {
             link.key: LinkCounters() for link in topology.graph_links()
@@ -214,6 +228,17 @@ class BaseGraphNetwork:
 
     def next_packet_id(self) -> int:
         return next(self._packet_ids)
+
+    def attach_observability(self, obs) -> None:
+        """Late-bind an :class:`repro.obs.ObsConfig`: transports read
+        ``self.tracer`` per emit and the profiled drain checks its hook
+        per drain call, so attaching after construction is exact."""
+        if obs is None:
+            return
+        if obs.tracer is not None:
+            self.tracer = obs.tracer
+        if obs.profile is not None:
+            self.sim.profile = obs.profile
 
     def register_connection(self, src: Coord, dst: Coord,
                             route: Optional[List] = None
@@ -338,6 +363,8 @@ class FairShareLink:
         self.key = key
         self.dst_node = dst_node
         self.counters = counters
+        port = key[1]
+        self.label = f"L{key[0].x}.{key[0].y}.{getattr(port, 'name', port)}"
         self.gs_queues: Dict[int, Deque[FairShareFlit]] = {}
         self.gs_order: List[int] = []       # admission order
         self._rr_index = 0                  # round-robin cursor
@@ -432,6 +459,14 @@ class FairShareLink:
         # The flit occupies this cycle on the wire; it is at the next
         # node for the following boundary.
         network = self.network
+        tracer = network.tracer
+        if tracer.enabled:
+            # Timestamped at the *boundary* (cycle * cycle_ns), exactly
+            # as _commit re-expands condensed crossings — so batched and
+            # unbatched runs export identical spans.
+            tracer.emit(cycle * self.cycle_ns, self.label, "hop",
+                        flit=_trace_tag(flit), cls=flit.kind,
+                        dur_ns=self.cycle_ns, cycle=cycle)
         hop = flit.hop
         keys = flit.keys
         n = len(keys)
@@ -533,6 +568,11 @@ class FairShareNetwork(BaseGraphNetwork):
                              keys=conn.link_keys, kind="gs",
                              inject_time=self.sim.now,
                              connection_id=conn.connection_id, last=last)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, f"NA{conn.src.x}.{conn.src.y}",
+                        "inject", flit=_trace_tag(flit), cls="gs",
+                        dur_ns=self.cycle_ns)
         self.adapters[conn.src].local_link.gs_flits += 1
         fair_links = self.fair_links
         for key in conn.link_keys:
@@ -552,15 +592,27 @@ class FairShareNetwork(BaseGraphNetwork):
         for index, word in enumerate(words):
             for key in keys:
                 fair_links[key].pending += 1
-            first.enqueue(FairShareFlit(
+            flit = FairShareFlit(
                 payload=word, dst=dst, keys=keys, kind="be",
                 inject_time=packet.inject_time,
-                is_tail=(index == len(words) - 1), packet=packet))
+                is_tail=(index == len(words) - 1), packet=packet)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(self.sim.now,
+                            f"NA{adapter.coord.x}.{adapter.coord.y}",
+                            "inject", flit=_trace_tag(flit), cls="be",
+                            dur_ns=self.cycle_ns)
+            first.enqueue(flit)
             yield self.sim.timeout(self.cycle_ns)
 
     def _arrive(self, flit: FairShareFlit) -> None:
         flit.hop += 1
         if flit.hop == len(flit.keys):
+            tracer = self.tracer
+            if tracer.enabled and (flit.kind == "gs" or flit.is_tail):
+                tracer.emit(self.sim.now,
+                            f"NA{flit.dst.x}.{flit.dst.y}", "eject",
+                            flit=_trace_tag(flit), cls=flit.kind)
             if flit.kind == "gs":
                 conn = self.connection_manager.connections[
                     flit.connection_id]
@@ -588,6 +640,8 @@ class FairShareNetwork(BaseGraphNetwork):
         gs = flit.kind == "gs"
         cid = flit.connection_id
         sim = self.sim
+        tracer = self.tracer
+        tag = _trace_tag(flit) if tracer.enabled else None
         for j in range(batch.committed, upto):
             link = batch.links[j]
             link._transit = None
@@ -604,6 +658,13 @@ class FairShareNetwork(BaseGraphNetwork):
                 link._rr_index = (order.index(cid) + 1) % len(order)
             else:
                 link.counters.be_flits += 1
+            if tracer.enabled:
+                # Re-expand the condensed crossing into the identical
+                # span an unbatched _fire would have emitted at this
+                # boundary (the batch knows the exact cycle).
+                tracer.emit(boundary * self.cycle_ns, link.label, "hop",
+                            flit=tag, cls=flit.kind,
+                            dur_ns=self.cycle_ns, cycle=boundary)
             self.batched_hops += 1
             # Each condensed crossing replaces two scheduler entries
             # (the arrival defer and the departure-boundary defer); they

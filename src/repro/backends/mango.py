@@ -34,9 +34,12 @@ class MangoBackend(RouterBackend):
     supports_churn = True
     supports_alternate_allocators = True
 
-    def build_network(self, spec, config: Optional[RouterConfig] = None
-                      ) -> MangoNetwork:
-        return MangoNetwork(spec.cols, spec.rows, config=config)
+    def build_network(self, spec, config: Optional[RouterConfig] = None,
+                      obs=None) -> MangoNetwork:
+        return MangoNetwork(
+            spec.cols, spec.rows, config=config,
+            tracer=obs.tracer if obs is not None else None,
+            profile=obs.profile if obs is not None else None)
 
     def open_connection(self, network: MangoNetwork, src: Coord,
                         dst: Coord):

@@ -47,11 +47,13 @@ class PriorityBackend(MangoBackend):
     has_hard_guarantees = False
     supports_failure_injection = True
 
-    def build_network(self, spec, config: Optional[RouterConfig] = None
-                      ) -> MangoNetwork:
+    def build_network(self, spec, config: Optional[RouterConfig] = None,
+                      obs=None) -> MangoNetwork:
         return MangoNetwork(
             spec.cols, spec.rows,
-            config=priority_router_config(config or RouterConfig()))
+            config=priority_router_config(config or RouterConfig()),
+            tracer=obs.tracer if obs is not None else None,
+            profile=obs.profile if obs is not None else None)
 
     def latency_bound_ns(self, hops: int,
                          config: Optional[RouterConfig] = None) -> float:

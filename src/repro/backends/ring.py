@@ -52,13 +52,15 @@ class RingBackend(RouterBackend):
     has_hard_guarantees = True
     supports_failure_injection = False
 
-    def build_network(self, spec, config: Optional[RouterConfig] = None
-                      ) -> FairShareNetwork:
+    def build_network(self, spec, config: Optional[RouterConfig] = None,
+                      obs=None) -> FairShareNetwork:
         config = config or RouterConfig()
         topology = build_topology(spec.topology, spec.cols, spec.rows,
                                   link_length_mm=config.link_length_mm,
                                   link_stages=config.link_stages)
-        return FairShareNetwork(topology, config=config)
+        net = FairShareNetwork(topology, config=config)
+        net.attach_observability(obs)
+        return net
 
     def open_connection(self, network: FairShareNetwork, src: Coord,
                         dst: Coord) -> GraphConnection:

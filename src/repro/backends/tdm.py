@@ -256,10 +256,12 @@ class TdmBackend(RouterBackend):
     def __init__(self, table_size: int = DEFAULT_TABLE_SIZE):
         self.table_size = table_size
 
-    def build_network(self, spec, config: Optional[RouterConfig] = None
-                      ) -> TdmNetwork:
-        return TdmNetwork(spec.cols, spec.rows, config=config,
-                          table_size=self.table_size)
+    def build_network(self, spec, config: Optional[RouterConfig] = None,
+                      obs=None) -> TdmNetwork:
+        net = TdmNetwork(spec.cols, spec.rows, config=config,
+                         table_size=self.table_size)
+        net.attach_observability(obs)
+        return net
 
     def open_connection(self, network: TdmNetwork, src: Coord,
                         dst: Coord) -> MeshConnection:

@@ -46,6 +46,7 @@ __all__ = [
     "compare_benches",
     "host_fingerprint",
     "load_bench",
+    "trajectory_report",
     "write_bench",
 ]
 
@@ -218,6 +219,16 @@ def compare_benches(current: Dict[str, Any], baseline: Dict[str, Any],
             f"baseline --jobs {base_jobs}) — parallel recording skews "
             "per-cell events/sec, so throughput deltas below are not "
             "like-for-like")
+    # Baselines recorded before the observability axis existed carry no
+    # key; they were necessarily observability-off runs.
+    cur_obs = _observability_of(current)
+    base_obs = _observability_of(baseline)
+    if cur_obs != base_obs:
+        notes.append(
+            f"WARNING: observability settings differ (current "
+            f"{cur_obs!r}, baseline {base_obs!r}) — metrics/tracing "
+            "overhead skews per-cell events/sec, so throughput deltas "
+            "below are not like-for-like")
     current_cells = current["cells"]
     for name, base in sorted(baseline["cells"].items()):
         if base.get("status") != "ok":
@@ -257,3 +268,90 @@ def compare_benches(current: Dict[str, Any], baseline: Dict[str, Any],
                      f"baseline {base_total:.0f} "
                      f"({cur_total / base_total:.2f}x)")
     return regressions, notes
+
+
+def _observability_of(payload: Dict[str, Any]) -> str:
+    return (payload.get("run") or {}).get("observability") or "off"
+
+
+# -- trajectory report ------------------------------------------------------
+
+#: Sparkline glyphs, lowest throughput to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[Optional[float]]) -> str:
+    """One glyph per trajectory point, normalized per row (``·`` marks a
+    point where the cell has no throughput figure)."""
+    present = [value for value in values if value is not None]
+    if not present:
+        return "·" * len(values)
+    lo, hi = min(present), max(present)
+    glyphs = []
+    for value in values:
+        if value is None:
+            glyphs.append("·")
+        elif hi == lo:
+            glyphs.append(_SPARK[len(_SPARK) // 2])
+        else:
+            index = int((value - lo) / (hi - lo) * (len(_SPARK) - 1))
+            glyphs.append(_SPARK[index])
+    return "".join(glyphs)
+
+
+def trajectory_report(paths: Sequence[str]) -> str:
+    """Markdown report of per-cell events/sec and verdict trends across
+    a series of recorded ``BENCH_*.json`` files.
+
+    Points are ordered by ``recorded_at`` (file name as tie-break), one
+    table row per cell id, with a per-row-normalized sparkline and the
+    fractional change of the last point against the one before it.  The
+    output is a pure function of the input files — no clocks, no host
+    state — so regenerating the report is byte-identical.
+    """
+    if not paths:
+        raise ValueError("trajectory_report needs at least one BENCH file")
+    loaded = [(os.path.basename(path), load_bench(path)) for path in paths]
+    loaded.sort(key=lambda item: (item[1].get("recorded_at", ""), item[0]))
+
+    lines = ["# Bench trajectory", "",
+             f"{len(loaded)} trajectory point(s):", ""]
+    for index, (name, payload) in enumerate(loaded, 1):
+        run = payload.get("run") or {}
+        totals = payload["totals"]
+        total_rate = totals.get("events_per_s")
+        lines.append(
+            f"{index}. `{name}` — {payload.get('recorded_at', '?')}, "
+            f"jobs {run.get('jobs', '?')}, observability "
+            f"{_observability_of(payload)}, "
+            f"{totals.get('cells', '?')} cells, "
+            + (f"{total_rate:.0f} events/s total"
+               if total_rate else "no total throughput"))
+    lines += ["", "| cell | trend | events/s (last) | Δ last | verdicts |",
+              "|---|---|---:|---:|---|"]
+
+    all_cells = sorted({cell for _name, payload in loaded
+                        for cell in payload["cells"]})
+    for cell in all_cells:
+        rates: List[Optional[float]] = []
+        verdicts: List[str] = []
+        for _name, payload in loaded:
+            entry = payload["cells"].get(cell)
+            if entry is None:
+                rates.append(None)
+                verdicts.append("-")
+            else:
+                rates.append(entry.get("events_per_s") or None)
+                verdicts.append((entry.get("verdict") or "?")[0])
+        last = rates[-1]
+        prev = next((rate for rate in reversed(rates[:-1])
+                     if rate is not None), None)
+        if last is not None and prev:
+            delta = f"{(last - prev) / prev:+.1%}"
+        else:
+            delta = "-"
+        last_text = f"{last:.0f}" if last is not None else "-"
+        lines.append(f"| {cell} | {_sparkline(rates)} | {last_text} "
+                     f"| {delta} | {''.join(verdicts)} |")
+    lines.append("")
+    return "\n".join(lines)

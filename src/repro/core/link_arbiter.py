@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 from ..sim.kernel import Event, Simulator, SimulationError, fire
+from ..sim.tracing import NULL_TRACER
 
 __all__ = [
     "ArbiterPolicy",
@@ -198,7 +199,8 @@ class LinkArbiter:
     """
 
     def __init__(self, sim: Simulator, policy: ArbiterPolicy,
-                 cycle_ns: float, arbitration_ns: float, name: str = "arb"):
+                 cycle_ns: float, arbitration_ns: float, name: str = "arb",
+                 tracer=NULL_TRACER):
         if cycle_ns <= 0:
             raise ValueError("cycle time must be positive")
         self.sim = sim
@@ -206,6 +208,7 @@ class LinkArbiter:
         self.cycle_ns = cycle_ns
         self.arbitration_ns = arbitration_ns
         self.name = name
+        self.tracer = tracer
         self._pending: Dict[int, tuple] = {}  # rid -> (event, req_time)
         self._busy_until = -float("inf")
         #: Time the queued dispatch fires at, or None when idle.  The
@@ -271,6 +274,12 @@ class LinkArbiter:
             stats.first_grant = grant_time
         self._busy_until = busy_until = grant_time + self.cycle_ns
         stats.last_release = busy_until
+        if self.tracer.enabled:
+            # Stamped at decision time (keeps the ring time-monotonic);
+            # a backlogged link's grant takes effect at grant_ns.
+            self.tracer.emit(now, self.name, "grant", rid=rid,
+                             grant_ns=grant_time,
+                             waited_ns=grant_time - req_time)
         if grant_time > now:
             # succeed(delay=...) fires the grant callbacks at grant_time
             # with a single heap entry (no deferred re-enqueue two-step).

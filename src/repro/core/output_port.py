@@ -185,6 +185,7 @@ class BeTxChannel:
         self.credits = config.be_buffer_depth
         self._gate = Gate(sim, is_open=True, name=f"{name}.credits")
         self.flits_sent = 0
+        self.credit_stalls = 0  # head flit found zero downstream credits
 
     def credit_return(self) -> None:
         if self.credits >= self.config.be_buffer_depth:
@@ -246,7 +247,7 @@ class NetworkOutputPort:
         self.arbiter = LinkArbiter(
             self.sim, policy, cycle_ns=link.media_cycle_ns,
             arbitration_ns=self.config.timing.arbitration_ns(),
-            name=f"{self.name}.arb")
+            name=f"{self.name}.arb", tracer=self.router.tracer)
         for slot in self.slots:
             self.sim.process(self._gs_sender(slot),
                              name=f"{slot.name}.sender")
@@ -292,6 +293,8 @@ class NetworkOutputPort:
         transmit = self.link.transmit_be
         while True:
             yield queue.when_any()
+            if chan.credits <= 0:
+                chan.credit_stalls += 1
             while chan.credits <= 0:
                 yield chan.wait_credit()
             yield request(be_rid)

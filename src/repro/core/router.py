@@ -100,9 +100,12 @@ class MangoRouter:
             slot = self.output_ports[out_port].slots[out_vc]
         slot.accept(flit)
         if self.tracer.enabled:
+            # Run-relative tag (connection id + payload), never the
+            # process-global flit_id: repeated runs in one process must
+            # export byte-identical traces.
             self.tracer.emit(self.sim.now, self.name, "gs_switch",
-                             flit=flit.flit_id, inp=in_dir.name,
-                             out=out_port.name, vc=out_vc)
+                             flit=f"c{flit.connection_id}.{flit.payload}",
+                             inp=in_dir.name, out=out_port.name, vc=out_vc)
 
     def accept_be_flit(self, in_dir: Direction, flit: BeFlit) -> None:
         """A BE flit after the split stage: into the BE router."""
@@ -181,8 +184,11 @@ class MangoRouter:
                           inject_time=flits[0].inject_time,
                           arrive_time=self.sim.now)
         if self.tracer.enabled:
+            # Tagged like the head flit's hop records (vc + header word),
+            # not the process-global packet_id (see gs_switch above).
             self.tracer.emit(self.sim.now, self.name, "be_delivered",
-                             packet=packet.packet_id, flits=packet.n_flits)
+                             flit=f"be{flits[0].vc}.{header}",
+                             flits=packet.n_flits)
         if not self.local_be_rx.try_put(packet):  # pragma: no cover
             raise RuntimeError("unbounded store refused a put")
 

@@ -36,6 +36,11 @@ class VcControlModule:
             self.orphan_unlocks += 1
             return
         self.unlocks_routed += 1
+        tracer = self.router.tracer
+        if tracer.enabled:
+            tracer.emit(self.router.sim.now, self.router.name, "unlock",
+                        port=out_port.name, vc=vc,
+                        towards=entry.unlock_dir.name)
         if entry.unlock_dir is Direction.LOCAL:
             self.router.local_link.send_gs_unlock(entry.unlock_vc)
         else:

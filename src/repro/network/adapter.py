@@ -180,6 +180,11 @@ class NetworkAdapter:
         if callback is None:
             self.dropped_rx_flits += 1
         else:
+            tracer = self.router.tracer
+            if tracer.enabled:
+                tracer.emit(self.sim.now, self.name, "eject",
+                            flit=f"c{flit.connection_id}.{flit.payload}",
+                            cls="gs", iface=iface)
             callback(flit, self.sim.now)
 
     def _rx_run(self, iface: int):
@@ -237,6 +242,14 @@ class NetworkAdapter:
                                    inject_time=self.sim.now,
                                    src=self.coord)
             self.be_packets_sent += 1
+            tracer = self.router.tracer
+            if tracer.enabled:
+                # Tagged like the downstream hop/delivery records
+                # (vc + header word, never the global packet_id).
+                cycle_ns = self.router.config.timing.link_cycle_ns
+                tracer.emit(self.sim.now, self.name, "inject",
+                            flit=f"be{chosen}.{header}", cls="be",
+                            dur_ns=cycle_ns * len(flits))
             yield from self.router._inject_local_be_flits(flits)
         finally:
             self.router.release_local_be_port()
@@ -271,6 +284,11 @@ class NetworkAdapter:
         while True:
             packet = yield self.router.local_be_rx.get()
             self.be_packets_received += 1
+            tracer = self.router.tracer
+            if tracer.enabled:
+                tracer.emit(self.sim.now, self.name, "eject",
+                            flit=f"be.{packet.header}",
+                            flits=packet.n_flits)
             words = packet.words
             if words and is_config_word(words[0]) \
                     and ((words[0] >> 20) & 0xF) == OP_ACK:

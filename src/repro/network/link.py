@@ -61,6 +61,12 @@ class Link:
         self.be_flits = 0
         self.unlocks = 0
 
+        # Trace emit point: hop spans (inject -> per-hop link occupancy
+        # -> eject) go through the source router's tracer, a no-op
+        # NULL_TRACER unless the run opted in.
+        self.tracer = src_router.tracer
+        self.label = f"{src_router.name}>{spec.direction.name}"
+
         # Every flit crosses a link (forward) and toggles a reverse wire,
         # so these handlers are prebound once instead of looked up (and
         # wrapped in a closure) per transfer.
@@ -78,11 +84,22 @@ class Link:
         """Carry a granted GS flit (with appended steering bits) to the
         next router's switching module."""
         self.gs_flits += 1
+        if self.tracer.enabled:
+            # Flit tags are run-relative (connection id + payload), never
+            # the process-global flit_id, so traces from repeated runs
+            # compare byte-identical.
+            self.tracer.emit(self.sim.now, self.label, "hop",
+                             flit=f"c{flit.connection_id}.{flit.payload}",
+                             cls="gs", dur_ns=self.forward_gs_ns)
         self.sim.defer(self.forward_gs_ns, self._deliver_gs, self.in_dir,
                        steering, flit)
 
     def transmit_be(self, flit: BeFlit) -> None:
         self.be_flits += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.label, "hop",
+                             flit=f"be{flit.vc}.{flit.word}", cls="be",
+                             dur_ns=self.forward_be_ns)
         self.sim.defer(self.forward_be_ns, self._deliver_be, self.in_dir,
                        flit)
 
@@ -119,6 +136,8 @@ class LocalLink:
         self.unlock_ns = profile.ns(d.unlock_path(length_mm))
         self.adapter = None
         self.gs_flits = 0
+        self.tracer = router.tracer
+        self.label = f"{router.name}<NA"
         router.attach_local_link(self)
 
     def attach_adapter(self, adapter) -> None:
@@ -128,6 +147,10 @@ class LocalLink:
         """NA -> router: a GS flit enters the switching module on the
         LOCAL input."""
         self.gs_flits += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.label, "inject",
+                             flit=f"c{flit.connection_id}.{flit.payload}",
+                             cls="gs", dur_ns=self.forward_gs_ns)
         self.sim.defer(self.forward_gs_ns, self.router.accept_gs_flit,
                        Direction.LOCAL, steering, flit)
 

@@ -1,0 +1,124 @@
+"""Callback-site profiling for the simulation kernel.
+
+``Simulator(profile=CallSiteProfiler())`` swaps the drive loop for an
+instrumented twin (:meth:`repro.sim.kernel.Simulator._drain_profiled`)
+that wall-clocks every dispatched callback and deferred call, attributed
+to its *site* — the owning object's class plus the method (or, for
+process resumes, the generator function actually running).  The result
+is the table ``python -m repro profile <cell>`` prints: which router
+subsystem the interpreter actually spends its time in, measured rather
+than guessed.
+
+The profiler is duck-typed from the kernel's side (``record(fn, s)`` /
+``overhead(s)``) so this module stays import-free of :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["CallSiteProfiler", "callback_site"]
+
+#: Site name charged with everything the profiled loop spends *outside*
+#: dispatches: scheduler pops, loop bookkeeping, and the timer calls.
+OVERHEAD_SITE = "(kernel) scheduler + drive loop"
+
+
+def callback_site(fn: Callable) -> str:
+    """Human-readable site for a kernel-dispatched callable.
+
+    * a :class:`~repro.sim.kernel.Process` resume is attributed to the
+      *generator function* the process runs (``MangoRouter._be_worker``),
+      not to ``Process._do_resume`` — that is the code that executes;
+    * other bound methods become ``Owner.method``;
+    * ``functools.partial`` unwraps to the wrapped callable;
+    * plain functions report their qualified name.
+    """
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    owner = getattr(fn, "__self__", None)
+    if owner is not None:
+        generator = getattr(owner, "_generator", None)
+        code = getattr(generator, "gi_code", None)
+        if code is not None:
+            return getattr(code, "co_qualname", code.co_name)
+        return f"{type(owner).__name__}.{fn.__name__}"
+    return getattr(fn, "__qualname__", None) or repr(fn)
+
+
+class CallSiteProfiler:
+    """Accumulates per-site dispatch counts and inclusive wall seconds."""
+
+    def __init__(self):
+        #: site -> [dispatch count, inclusive seconds]
+        self.sites: Dict[str, List] = {}
+
+    # -- kernel-facing hooks (called per dispatch / per drain) ------------
+
+    def record(self, fn: Callable, seconds: float) -> None:
+        site = callback_site(fn)
+        entry = self.sites.get(site)
+        if entry is None:
+            self.sites[site] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    def overhead(self, seconds: float) -> None:
+        """Charge non-dispatch loop time to :data:`OVERHEAD_SITE`."""
+        if seconds <= 0.0:
+            return
+        entry = self.sites.get(OVERHEAD_SITE)
+        if entry is None:
+            self.sites[OVERHEAD_SITE] = [0, seconds]
+        else:
+            entry[1] += seconds
+
+    # -- reporting --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (e.g. the build phase, so a
+        report covers the run phase only)."""
+        self.sites.clear()
+
+    @property
+    def total_calls(self) -> int:
+        return sum(entry[0] for entry in self.sites.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry[1] for entry in self.sites.values())
+
+    def top(self, n: Optional[int] = None) -> List[Tuple[str, int, float]]:
+        """``(site, calls, seconds)`` rows, most expensive first (ties
+        broken by site name so the ordering is deterministic)."""
+        rows = sorted(((site, entry[0], entry[1])
+                       for site, entry in self.sites.items()),
+                      key=lambda row: (-row[2], row[0]))
+        return rows if n is None else rows[:n]
+
+    def table(self, top: Optional[int] = None,
+              wall_s: Optional[float] = None) -> str:
+        """Render the hot-site table.  With ``wall_s`` (the measured
+        run-phase wall time) each row and the footer also show the share
+        of that wall time accounted for."""
+        total = wall_s if wall_s else self.total_seconds
+        rows = self.top(top)
+        header = f"{'site':<52s} {'calls':>12s} {'seconds':>10s} {'%wall':>7s}"
+        lines = [header, "-" * len(header)]
+        for site, calls, seconds in rows:
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"{site:<52s} {calls:>12d} {seconds:>10.4f} "
+                         f"{share:>6.1f}%")
+        attributed = self.total_seconds
+        share = 100.0 * attributed / total if total > 0 else 0.0
+        lines.append("-" * len(header))
+        lines.append(f"{'total attributed':<52s} {self.total_calls:>12d} "
+                     f"{attributed:>10.4f} {share:>6.1f}%")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump: ``{site: {"calls": n, "seconds": s}}``."""
+        return {site: {"calls": entry[0], "seconds": entry[1]}
+                for site, entry in sorted(self.sites.items())}

@@ -68,6 +68,11 @@ class FleetCell:
     topology: Optional[str] = None
     smoke: bool = True
     mode: str = "event"
+    #: Collect the standard metrics probe set into the result payload
+    #: (``scenario matrix --metrics``).  Probes are read-only, so the
+    #: fingerprint is unchanged — but the axis is still part of the
+    #: cache key, because the result *payload* differs.
+    metrics: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -104,6 +109,8 @@ def cell_id(cell: FleetCell) -> str:
         axes.append("full")
     if cell.mode != "event":
         axes.append(f"mode={cell.mode}")
+    if cell.metrics:
+        axes.append("metrics")
     if not axes:
         return cell.name
     return f"{cell.name}[{','.join(axes)}]"
@@ -202,8 +209,12 @@ def run_cell(cell: FleetCell) -> CellOutcome:
 
     try:
         spec = cell.resolve_spec()
+        obs = None
+        if cell.metrics:
+            from ..obs import ObsConfig
+            obs = ObsConfig(metrics=True)
         runner = ScenarioRunner(spec, backend=cell.backend,
-                                allocator=cell.allocator)
+                                allocator=cell.allocator, obs=obs)
         result = runner.run(mode=cell.mode)
     except BackendCapabilityError as error:
         return done(CellOutcome(cell, "skip", reason=str(error)))
@@ -254,6 +265,7 @@ def cache_key(cell: FleetCell, code_fp: str) -> str:
         "allocator": cell.allocator,
         "topology": cell.topology,
         "mode": cell.mode,
+        "metrics": cell.metrics,
         "code": code_fp,
     }, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]

@@ -37,6 +37,7 @@ from ..core.config import RouterConfig
 from ..network.connection import AdmissionError
 from ..network.network import MangoNetwork
 from ..network.topology import Coord, Direction, Mesh
+from ..obs import MetricsRegistry, ObsConfig, build_registry
 from ..traffic.generators import BurstySource, CbrSource
 from ..traffic.patterns import (BitComplement, Hotspot, LocalUniform,
                                 NearestNeighbor, Pattern, Transpose,
@@ -246,6 +247,9 @@ class ScenarioResult:
     failure_detected: bool = False
     failure_kind: str = ""
     churn: Optional[Dict[str, int]] = None
+    #: JSON-safe ``MetricsSnapshot.to_dict()`` when the run was built
+    #: with ``ObsConfig(metrics=True)``; ``None`` otherwise.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def be_lost(self) -> int:
@@ -302,7 +306,11 @@ class ScenarioResult:
         return problems
 
     def to_dict(self) -> Dict[str, Any]:
+        # ``metrics`` rides along only when the run collected any, so
+        # the serialized form of observability-off runs is unchanged.
+        extra = {} if self.metrics is None else {"metrics": self.metrics}
         return {
+            **extra,
             "name": self.name,
             "mesh": f"{self.cols}x{self.rows}",
             "backend": self.backend,
@@ -339,7 +347,8 @@ class ScenarioRunner:
                  config: Optional[RouterConfig] = None,
                  retain_packets: Optional[bool] = None,
                  backend: Union[None, str, RouterBackend] = None,
-                 allocator: str = "xy"):
+                 allocator: str = "xy",
+                 obs: Optional[ObsConfig] = None):
         spec.validate(config)
         # No explicit backend -> the spec's topology picks its default
         # (mesh cells run on mango, fabric cells on their fabric's
@@ -357,6 +366,11 @@ class ScenarioRunner:
         # network admits GS connections with; "xy" is the bit-identical
         # default the golden fingerprints pin.
         self.allocator = allocator
+        # Observability choices for this run (metrics probes, a tracer
+        # wired to the emit points, kernel profiling); None keeps every
+        # hot path on the no-op branch.
+        self.obs = obs
+        self.metrics_registry: Optional[MetricsRegistry] = None
         if self._allocator_name() != "xy" and \
                 not self.backend.supports_alternate_allocators:
             raise BackendCapabilityError(
@@ -386,7 +400,7 @@ class ScenarioRunner:
         ``mango``/``priority`` backends, otherwise whatever implements
         the duck-typed protocol of :mod:`repro.backends.base`."""
         spec = self.spec
-        net = self.backend.build_network(spec, self.config)
+        net = self.backend.build_network(spec, self.config, obs=self.obs)
         self.network = net
         if self._allocator_name() != "xy":
             # Capability-checked in __init__: this network exposes the
@@ -429,6 +443,13 @@ class ScenarioRunner:
             self.churn_driver = ChurnDriver(net, spec.churn)
         if spec.failure is not None:
             self._schedule_failure(net, spec.failure)
+        if self.obs is not None and self.obs.metrics:
+            # Last, so the probes (pure reads) and the optional sampler
+            # process sit after every workload process — the relative
+            # event order of the simulated work is untouched.
+            self.metrics_registry = build_registry(
+                net, sample_ns=self.obs.metrics_sample_ns,
+                horizon_ns=spec.max_ns)
         return net
 
     def _schedule_failure(self, net: MangoNetwork,
@@ -610,4 +631,6 @@ class ScenarioRunner:
             failure_kind=spec.failure.kind if spec.failure else "",
             churn=(self.churn_driver.stats()
                    if self.churn_driver is not None else None),
+            metrics=(self.metrics_registry.snapshot().to_dict()
+                     if self.metrics_registry is not None else None),
         )

@@ -2,17 +2,32 @@
 
 Routers, arbiters and adapters emit :class:`TraceRecord` entries through an
 attached :class:`Tracer`.  Tests assert on event sequences; examples render
-timelines.  Tracing is off (a no-op ``NULL_TRACER``) unless enabled, so the
-hot simulation path stays cheap.
+timelines; the observability layer (:mod:`repro.obs.trace`) exports them as
+Chrome trace-event JSON.  Tracing is off (a no-op ``NULL_TRACER``) unless
+enabled, so the hot simulation path stays cheap.
+
+The tracer is a *bounded ring buffer*: it retains the newest
+``max_records`` records and counts what it sheds in :attr:`Tracer.drop_count`
+— a soak run with tracing enabled stays at constant memory.  Consumers that
+need every record attach a streaming ``sink`` callable, which sees each
+record exactly once at emit time, before the ring may drop it.
 """
 
 from __future__ import annotations
 
 import io
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from itertools import islice
+from typing import Any, Callable, Deque, Dict, List, Optional
 
-__all__ = ["TraceRecord", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["DEFAULT_MAX_RECORDS", "TraceRecord", "Tracer", "NullTracer",
+           "NULL_TRACER"]
+
+#: Ring-buffer capacity unless the caller picks one: enough for the tail
+#: of any scenario, small enough (~tens of MB worst case) that leaving a
+#: tracer enabled on a soak run cannot exhaust memory.
+DEFAULT_MAX_RECORDS = 65_536
 
 
 @dataclass(frozen=True)
@@ -30,15 +45,35 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; supports filtering and CSV export."""
+    """Collects trace records in a bounded ring; supports filtering, CSV
+    export, and an optional streaming ``sink``.
 
-    def __init__(self, enabled: bool = True):
+    ``max_records`` bounds :attr:`records` (pass ``None`` for an unbounded
+    buffer — tests over short runs only).  When the ring is full, the
+    oldest record is shed and :attr:`drop_count` increments; ``sink`` (any
+    callable taking a :class:`TraceRecord`) still sees every record, so
+    streaming exporters never lose data to the ring.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_records: Optional[int] = DEFAULT_MAX_RECORDS,
+                 sink: Optional[Callable[[TraceRecord], None]] = None):
         self.enabled = enabled
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self.drop_count = 0
+        self.sink = sink
 
     def emit(self, time: float, source: str, kind: str, **info: Any) -> None:
-        if self.enabled:
-            self.records.append(TraceRecord(time, source, kind, info))
+        if not self.enabled:
+            return
+        record = TraceRecord(time, source, kind, info)
+        if self.sink is not None:
+            self.sink(record)
+        records = self.records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.drop_count += 1
+        records.append(record)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -64,14 +99,17 @@ class Tracer:
         return counts
 
     def clear(self) -> None:
+        """Empty the ring and reset :attr:`drop_count`."""
         self.records.clear()
+        self.drop_count = 0
 
     def dump(self, limit: Optional[int] = None) -> str:
-        records = self.records if limit is None else self.records[:limit]
+        records = self.records if limit is None \
+            else islice(self.records, limit)
         return "\n".join(rec.format() for rec in records)
 
     def to_csv(self) -> str:
-        """Render all records as CSV (info dict flattened to key=value)."""
+        """Render all retained records as CSV (info flattened to key=value)."""
         buf = io.StringIO()
         buf.write("time,source,kind,info\n")
         for rec in self.records:
@@ -84,7 +122,7 @@ class NullTracer(Tracer):
     """Tracer that drops everything (the default)."""
 
     def __init__(self):
-        super().__init__(enabled=False)
+        super().__init__(enabled=False, max_records=0)
 
     def emit(self, time: float, source: str, kind: str, **info: Any) -> None:
         pass

@@ -1,0 +1,85 @@
+"""Tests for the metrics registry (``repro.obs.metrics``)."""
+
+import json
+
+from repro.obs import MetricsRegistry, MetricsSnapshot, ObsConfig
+from repro.scenarios import ScenarioRunner, get
+
+
+def _run(name, obs=None, mode="event"):
+    return ScenarioRunner(get(name).smoke(), obs=obs).run(mode=mode)
+
+
+class TestSnapshot:
+    def test_off_by_default(self):
+        result = _run("be-uniform-4x4")
+        assert result.metrics is None
+        # The off path serializes without a metrics key at all, so
+        # pre-observability consumers see byte-identical JSON.
+        assert "metrics" not in result.to_dict()
+
+    def test_snapshot_shape(self):
+        result = _run("be-uniform-4x4", obs=ObsConfig(metrics=True))
+        metrics = result.metrics
+        assert metrics is not None
+        assert set(metrics) >= {"time_ns", "samples", "counters",
+                                "gauges"}
+        assert metrics["counters"]
+        assert metrics["gauges"]
+        # Router activity made it into the standard probe set.
+        assert any(key.startswith("router.") for key in
+                   metrics["counters"])
+        assert any(key.startswith("link.") for key in
+                   metrics["counters"])
+        # JSON-safe end to end.
+        json.dumps(metrics)
+
+    def test_snapshot_in_result_dict(self):
+        result = _run("be-uniform-4x4", obs=ObsConfig(metrics=True))
+        assert result.to_dict()["metrics"] == result.metrics
+
+    def test_sampler_cadence(self):
+        result = _run("be-uniform-4x4",
+                      obs=ObsConfig(metrics=True,
+                                    metrics_sample_ns=50.0))
+        assert result.metrics["samples"] > 1
+
+    def test_total_helper(self):
+        snap = MetricsSnapshot(time_ns=1.0, samples=1,
+                               counters={"a.x": 1, "a.y": 2, "b.z": 4},
+                               gauges={})
+        assert snap.total("a.") == 3
+        assert snap.total("a") == 3  # trailing dot optional
+        assert snap.total("b") == 4
+        assert snap.total("nope") == 0
+
+
+class TestNonPerturbation:
+    def test_fingerprint_identical_with_metrics(self):
+        for cell in ("be-uniform-4x4", "ring-cbr-8x8"):
+            off = _run(cell)
+            on = _run(cell, obs=ObsConfig(metrics=True))
+            assert on.fingerprint == off.fingerprint, cell
+            assert on.events == off.events, cell
+            assert on.flit_hops == off.flit_hops, cell
+
+    def test_fingerprint_identical_in_batch_mode(self):
+        off = _run("be-uniform-4x4", mode="batch")
+        on = _run("be-uniform-4x4", obs=ObsConfig(metrics=True),
+                  mode="batch")
+        assert on.fingerprint == off.fingerprint
+
+
+class TestRegistry:
+    def test_counters_flattened_with_prefix(self):
+        runner = ScenarioRunner(get("be-uniform-4x4").smoke(),
+                                obs=ObsConfig(metrics=True))
+        runner.build()
+        registry = runner.metrics_registry
+        assert isinstance(registry, MetricsRegistry)
+        snap = registry.snapshot()
+        # Dotted probe names; serialized ordering is deterministic.
+        assert all("." in key for key in snap.counters)
+        payload = snap.to_dict()
+        assert list(payload["counters"]) == sorted(payload["counters"])
+        assert list(payload["gauges"]) == sorted(payload["gauges"])

@@ -1,0 +1,107 @@
+"""Tests for the callback-site profiler (``repro.obs.profile``)."""
+
+import functools
+
+from repro.obs import CallSiteProfiler, ObsConfig, callback_site
+from repro.obs.profile import OVERHEAD_SITE
+from repro.scenarios import ScenarioRunner, get
+from repro.sim.kernel import Simulator
+
+
+class _Owner:
+    def method(self):
+        pass
+
+
+def _plain():
+    pass
+
+
+class TestCallbackSite:
+    def test_bound_method(self):
+        assert callback_site(_Owner().method) == "_Owner.method"
+
+    def test_partial_unwraps(self):
+        fn = functools.partial(functools.partial(_plain))
+        assert callback_site(fn) == "_plain"
+
+    def test_plain_function(self):
+        assert callback_site(_plain) == "_plain"
+
+    def test_process_resume_names_the_generator(self):
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(1.0)
+
+        process = sim.process(worker())
+        site = callback_site(process._do_resume)
+        assert site.endswith("worker")
+
+
+class TestProfiler:
+    def test_record_accumulates_per_site(self):
+        prof = CallSiteProfiler()
+        owner = _Owner()
+        prof.record(owner.method, 0.25)
+        prof.record(owner.method, 0.25)
+        prof.record(_plain, 0.5)
+        assert prof.total_calls == 3
+        assert prof.total_seconds == 1.0
+        rows = prof.top()
+        assert rows[0][0] in ("_Owner.method", "_plain")
+        assert prof.to_dict()["_Owner.method"] == {"calls": 2,
+                                                   "seconds": 0.5}
+
+    def test_overhead_site(self):
+        prof = CallSiteProfiler()
+        prof.overhead(0.1)
+        prof.overhead(-1.0)  # clock went backwards: ignored
+        assert prof.sites[OVERHEAD_SITE] == [0, 0.1]
+
+    def test_top_is_deterministic_on_ties(self):
+        prof = CallSiteProfiler()
+        prof.record(_plain, 0.5)
+        prof.sites["aaa"] = [1, 0.5]
+        assert [row[0] for row in prof.top()] == ["_plain", "aaa"]
+
+    def test_reset(self):
+        prof = CallSiteProfiler()
+        prof.record(_plain, 1.0)
+        prof.reset()
+        assert prof.total_calls == 0
+        assert prof.table() .startswith("site")
+
+
+class TestKernelIntegration:
+    def test_simulator_profile_true_builds_a_profiler(self):
+        sim = Simulator(profile=True)
+        assert isinstance(sim.profile, CallSiteProfiler)
+
+    def test_dispatches_are_attributed(self):
+        prof = CallSiteProfiler()
+        sim = Simulator(profile=prof)
+
+        def worker():
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.process(worker())
+        sim.run(until=100.0)
+        sites = "\n".join(prof.sites)
+        assert "worker" in sites
+        assert prof.total_seconds > 0
+
+    def test_scenario_profile_does_not_perturb(self):
+        spec = get("be-uniform-4x4").smoke()
+        off = ScenarioRunner(spec).run()
+        prof = CallSiteProfiler()
+        on = ScenarioRunner(spec, obs=ObsConfig(profile=prof)).run()
+        assert on.fingerprint == off.fingerprint
+        assert on.events == off.events
+        # The bulk of the run-phase wall time is attributed (the rest
+        # is the loop's own bookkeeping, charged to OVERHEAD_SITE).
+        assert prof.total_seconds > 0
+        table = prof.table(top=5, wall_s=on.wall_s)
+        assert OVERHEAD_SITE in prof.sites
+        assert "%wall" in table

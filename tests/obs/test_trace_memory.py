@@ -1,0 +1,60 @@
+"""A soak run with tracing enabled stays at constant memory.
+
+Regression guard for the PR 10 ring-buffer rewrite of
+:class:`repro.sim.tracing.Tracer`: the old tracer accumulated an
+unbounded list, so leaving tracing on for a long run grew without
+limit.  The run happens in a subprocess so ``ru_maxrss`` measures this
+workload alone, not whatever the pytest process has already touched.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+#: Peak-RSS ceiling for a full-length traced run (KiB on Linux).  The
+#: run needs ~100 MB for the network + kernel alone; the bounded ring
+#: adds a few tens of MB at most.  An unbounded tracer on this cell
+#: retains ~250k records and blows well past the margin.
+RSS_BUDGET_KIB = 400 * 1024
+
+_SCRIPT = """
+import json, resource, sys
+from repro.obs import ObsConfig
+from repro.scenarios import ScenarioRunner, get
+from repro.sim.tracing import Tracer
+
+# A ring smaller than the cell's ~58k emits, so shedding is exercised.
+tracer = Tracer(enabled=True, max_records=20_000)
+result = ScenarioRunner(get("corner-streams-6x6"),
+                        obs=ObsConfig(tracer=tracer)).run()
+print(json.dumps({
+    "passed": result.passed,
+    "retained": len(tracer),
+    "max_records": tracer.max_records,
+    "drop_count": tracer.drop_count,
+    "maxrss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+@pytest.mark.slow
+def test_soak_with_tracing_is_bounded():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run([sys.executable, "-c", _SCRIPT],
+                          capture_output=True, text=True, env=env,
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    stats = json.loads(proc.stdout.splitlines()[-1])
+    assert stats["passed"]
+    # The ring actually filled and shed — the run exercised the bound.
+    assert stats["retained"] == stats["max_records"]
+    assert stats["drop_count"] > 0
+    assert stats["maxrss_kib"] < RSS_BUDGET_KIB, (
+        f"traced soak peaked at {stats['maxrss_kib'] / 1024:.0f} MiB "
+        f"(budget {RSS_BUDGET_KIB / 1024:.0f} MiB) — is the tracer "
+        "ring unbounded again?")

@@ -67,3 +67,49 @@ class TestTracer:
         NULL_TRACER.emit(0.0, "a", "x")
         assert len(NULL_TRACER) == 0
         assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestRingBuffer:
+    def test_default_capacity_is_bounded(self):
+        from repro.sim.tracing import DEFAULT_MAX_RECORDS
+
+        tracer = Tracer()
+        assert tracer.records.maxlen == DEFAULT_MAX_RECORDS
+
+    def test_ring_sheds_oldest_and_counts_drops(self):
+        tracer = Tracer(max_records=3)
+        for t in range(5):
+            tracer.emit(float(t), "a", "tick", index=t)
+        assert len(tracer) == 3
+        assert tracer.drop_count == 2
+        # Newest three survive, oldest two were shed.
+        assert [r.info["index"] for r in tracer.records] == [2, 3, 4]
+
+    def test_unbounded_when_asked(self):
+        tracer = Tracer(max_records=None)
+        for t in range(100):
+            tracer.emit(float(t), "a", "tick")
+        assert len(tracer) == 100
+        assert tracer.drop_count == 0
+
+    def test_sink_sees_every_record_past_the_ring(self):
+        seen = []
+        tracer = Tracer(max_records=2, sink=seen.append)
+        for t in range(6):
+            tracer.emit(float(t), "a", "tick", index=t)
+        assert len(tracer) == 2
+        assert [r.info["index"] for r in seen] == list(range(6))
+
+    def test_disabled_tracer_never_calls_sink(self):
+        seen = []
+        tracer = Tracer(enabled=False, sink=seen.append)
+        tracer.emit(0.0, "a", "x")
+        assert seen == []
+
+    def test_clear_resets_drop_count(self):
+        tracer = Tracer(max_records=1)
+        tracer.emit(0.0, "a", "x")
+        tracer.emit(1.0, "a", "x")
+        assert tracer.drop_count == 1
+        tracer.clear()
+        assert tracer.drop_count == 0

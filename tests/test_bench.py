@@ -164,3 +164,96 @@ class TestCompare:
         assert len(warning) == 1
         assert "WARNING" in warning[0]
         assert "--jobs 8" in warning[0] and "--jobs 1" in warning[0]
+
+
+class TestObservabilityHeader:
+    def test_matching_modes_stay_quiet(self, payload):
+        _, notes = compare_benches(payload, payload)
+        assert not any("observability" in note for note in notes)
+
+    def test_missing_header_means_off(self, payload):
+        # Pre-PR-10 baselines have no observability field: treated as
+        # "off", so comparing them to a plain current run never warns.
+        current = copy.deepcopy(payload)
+        current["run"]["observability"] = "off"
+        _, notes = compare_benches(current, payload)
+        assert not any("observability" in note for note in notes)
+
+    def test_differing_modes_warn(self, payload):
+        current = copy.deepcopy(payload)
+        current["run"]["observability"] = "metrics"
+        regressions, notes = compare_benches(current, payload)
+        assert regressions == []        # a warning, not a gate
+        warning = [n for n in notes if "observability" in n]
+        assert len(warning) == 1
+        assert "WARNING" in warning[0]
+        assert "metrics" in warning[0] and "off" in warning[0]
+
+
+class TestTrajectoryReport:
+    def _write_point(self, tmp_path, payload, stamp, name):
+        doc = copy.deepcopy(payload)
+        doc["recorded_at"] = stamp
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_report_is_deterministic(self, payload, tmp_path):
+        from repro.bench import trajectory_report
+
+        paths = [self._write_point(tmp_path, payload,
+                                   "2026-08-07T10:00:00+0000", "a.json"),
+                 self._write_point(tmp_path, payload,
+                                   "2026-08-07T11:00:00+0000", "b.json")]
+        report = trajectory_report(paths)
+        assert report == trajectory_report(list(reversed(paths)))
+        assert report.startswith("# Bench trajectory")
+        assert "| cell | trend |" in report
+        for cell in payload["cells"]:
+            assert cell in report
+
+    def test_delta_between_points(self, payload, tmp_path):
+        from repro.bench import trajectory_report
+
+        slower = copy.deepcopy(payload)
+        for cell in slower["cells"].values():
+            if "events_per_s" in cell:
+                cell["events_per_s"] *= 2.0
+        first = self._write_point(tmp_path, payload,
+                                  "2026-08-07T10:00:00+0000", "a.json")
+        second = self._write_point(tmp_path, slower,
+                                   "2026-08-07T11:00:00+0000", "b.json")
+        report = trajectory_report([first, second])
+        assert "+100.0%" in report
+
+    def test_empty_input_rejected(self):
+        from repro.bench import trajectory_report
+
+        with pytest.raises(ValueError):
+            trajectory_report([])
+
+
+class TestMetricsAxis:
+    def test_cell_id_tags_metrics(self):
+        from repro.bench import cell_id
+
+        plain = FleetCell(name="be-uniform-4x4")
+        tagged = FleetCell(name="be-uniform-4x4", metrics=True)
+        assert cell_id(plain) == "be-uniform-4x4"
+        assert "[metrics]" in cell_id(tagged)
+
+    def test_metrics_cell_carries_a_snapshot(self):
+        from repro.scenarios.fleet import run_cell
+
+        outcome = run_cell(FleetCell(name="be-uniform-4x4",
+                                     metrics=True))
+        assert outcome.status == "ok"
+        assert outcome.result["metrics"]["counters"]
+
+    def test_metrics_axis_changes_the_cache_key(self):
+        from repro.scenarios.fleet import cache_key
+
+        plain = cache_key(FleetCell(name="be-uniform-4x4"), "fp")
+        tagged = cache_key(FleetCell(name="be-uniform-4x4",
+                                     metrics=True), "fp")
+        assert plain != tagged

@@ -665,3 +665,91 @@ class TestSynthFlagScoping:
     def test_nonpositive_budget_exits_two(self, capsys):
         assert main(["synth", "run", "--budget", "0"]) == 2
         assert "budget" in capsys.readouterr().err
+
+
+class TestObservabilityCli:
+    def test_scenario_run_metrics(self, capsys):
+        assert main(["scenario", "run", "be-uniform-4x4", "--smoke",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "Top metrics counters" in out
+
+    def test_scenario_metrics_refused_for_list(self, capsys):
+        assert main(["scenario", "list", "--metrics"]) == 2
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_sample_ns_needs_metrics(self, capsys):
+        assert main(["scenario", "run", "be-uniform-4x4", "--smoke",
+                     "--metrics-sample-ns", "100"]) == 2
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_trace_run_text_timeline(self, capsys):
+        assert main(["trace", "run", "be-uniform-4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "record(s) retained" in out
+        assert "fingerprint" in out
+
+    def test_trace_run_export_then_validate(self, tmp_path, capsys):
+        out_path = str(tmp_path / "trace.json")
+        assert main(["trace", "run", "ring-cbr-8x8",
+                     "--out", out_path]) == 0
+        capsys.readouterr()
+        assert main(["trace", "validate", out_path]) == 0
+        assert "loadable Chrome trace" in capsys.readouterr().out
+
+    def test_trace_validate_flags_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+        assert main(["trace", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_trace_filter_narrows(self, capsys):
+        assert main(["trace", "run", "be-uniform-4x4",
+                     "--filter", "kind=hop"]) == 0
+        out = capsys.readouterr().out
+        assert "hop=" in out
+        assert "grant=" not in out
+
+    def test_trace_bad_filter_exits_two(self, capsys):
+        assert main(["trace", "run", "be-uniform-4x4",
+                     "--filter", "bogus"]) == 2
+        assert "bad filter" in capsys.readouterr().err
+
+    def test_trace_unknown_scenario_exits_two(self, capsys):
+        assert main(["trace", "run", "nonsense"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_profile_prints_hot_sites(self, capsys):
+        assert main(["profile", "be-uniform-4x4", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "%wall" in out
+        assert "total attributed" in out
+        assert "wall time attributed" in out
+
+    def test_profile_bad_top_exits_two(self, capsys):
+        assert main(["profile", "be-uniform-4x4", "--top", "0"]) == 2
+        assert "--top" in capsys.readouterr().err
+
+
+class TestBenchReportCli:
+    def test_report_needs_files(self, capsys):
+        assert main(["bench", "report"]) == 2
+        assert "BENCH_*.json" in capsys.readouterr().err
+
+    def test_record_refuses_positional_files(self, capsys):
+        assert main(["bench", "record", "x.json"]) == 2
+        assert "report" in capsys.readouterr().err
+
+    def test_report_round_trip(self, tmp_path, capsys):
+        assert main(["bench", "record", "--smoke",
+                     "--names", "be-uniform-4x4",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        recorded = sorted(tmp_path.glob("BENCH_*.json"))
+        out_md = tmp_path / "report.md"
+        assert main(["bench", "report", str(recorded[0]),
+                     "--out", str(out_md)]) == 0
+        text = out_md.read_text()
+        assert text.startswith("# Bench trajectory")
+        assert "be-uniform-4x4" in text
